@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one table or figure of the paper.
+The expensive substrates (synthetic MovieLens-like dataset, social network,
+fitted recommender, study cohort) are built once per session and shared.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every benchmark prints the regenerated rows/series (the same quantities the
+paper reports) in addition to the timing collected by pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.scalability import ScalabilityConfig, ScalabilityEnvironment  # noqa: E402
+from repro.study.environment import build_study_environment  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def scalability_env() -> ScalabilityEnvironment:
+    """The shared substrate for the scalability figures (5-8).
+
+    Uses the paper's 3,900-item catalogue with a scaled-down user population
+    so that the whole benchmark suite completes in a couple of minutes.
+    """
+    return ScalabilityEnvironment(ScalabilityConfig())
+
+
+@pytest.fixture(scope="session")
+def study_env():
+    """The shared study environment for the quality figures (1-3)."""
+    return build_study_environment()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result.
+
+    The experiments are deterministic and relatively slow, so a single round
+    is both sufficient and what keeps the harness fast.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

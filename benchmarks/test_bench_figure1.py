@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 1 (independent quality evaluation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1_independent_evaluation(benchmark, study_env):
+    """Score the six recommendation configurations per group characteristic."""
+    result = run_once(benchmark, figure1.run, environment=study_env)
+    print()
+    print(result.format_table())
+    assert len(result.charts) == 6
+    default = result.charts["A (Default)"]
+    agnostic = result.charts["B (Affinity-agnostic)"]
+    # The default temporal-affinity configuration scores reasonably high overall
+    # and is never much worse than the affinity-agnostic ablation.
+    assert default.overall() > 60.0
+    assert default.overall() >= agnostic.overall() - 5.0

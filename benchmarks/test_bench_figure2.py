@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 2 (consensus-function comparison)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure2
+from repro.study.environment import CHARACTERISTICS
+
+
+def test_figure2_consensus_function_preferences(benchmark, study_env):
+    """Three-way forced choice between AP, MO and PD recommendation lists."""
+    result = run_once(benchmark, figure2.run, environment=study_env)
+    print()
+    print(result.format_table())
+    for characteristic in CHARACTERISTICS:
+        shares = result.comparison.preference_percent[characteristic]
+        assert abs(sum(shares.values()) - 100.0) < 1e-6

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 3 (comparative quality evaluation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3_comparative_evaluation(benchmark, study_env):
+    """Pairwise forced-choice comparisons of the temporal-affinity ingredients."""
+    result = run_once(benchmark, figure3.run, environment=study_env)
+    print()
+    print(result.format_table())
+    assert len(result.charts) == 3
+    affinity_chart = result.charts["A (Affinity-aware vs Affinity-agnostic)"]
+    # Affinity-aware recommendations are never rejected outright: they win at
+    # least half of the votes on average (the paper reports ~75%).
+    assert affinity_chart.overall() >= 45.0

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 4 (time-period granularities)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+def test_figure4_time_period_granularities(benchmark, scalability_env):
+    """Measure #periods and % non-empty periods for every granularity."""
+    result = run_once(benchmark, figure4.run, social=scalability_env.social)
+    print()
+    print(result.format_table())
+    rows = {row["granularity"]: row for row in result.rows()}
+    # Shape: finer granularity -> more periods, fewer of them non-empty.
+    assert rows["week"]["n_periods"] == 53
+    assert rows["two-month"]["n_periods"] == 6
+    assert rows["half-year"]["n_periods"] == 2
+    assert rows["week"]["non_empty_percent"] <= rows["half-year"]["non_empty_percent"]
+    assert result.chosen_granularity() == "two-month"

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 5 (%SA varying k, group size and #items)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5_varying_k_group_size_items(benchmark, scalability_env):
+    """Sweep k, group size and catalogue size; report mean %SA per point."""
+    result = run_once(
+        benchmark,
+        figure5.run,
+        environment=scalability_env,
+        k_values=(5, 10, 15, 20, 25, 30),
+        group_sizes=(3, 6, 9, 12),
+        item_fractions=(0.25, 0.5, 0.75, 1.0),
+    )
+    print()
+    print(result.format_table())
+    print(f"worst saveup observed: {result.worst_saveup():.1f}%")
+
+    # Shape checks mirroring the paper's observations.
+    k_series = result.varying_k
+    assert k_series[5].mean_percent_sa <= k_series[30].mean_percent_sa  # grows with k
+    for stats in k_series.values():
+        assert stats.mean_percent_sa < 100.0  # always cheaper than the naive scan
+    # At the paper's default (k=10, size 6) GRECA avoids the large majority of accesses.
+    assert k_series[10].mean_saveup > 60.0

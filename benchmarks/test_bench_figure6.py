@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 6 (%SA per period, discrete time model)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6_accesses_per_period(benchmark, scalability_env):
+    """Run GRECA with the query period set to each period of the timeline."""
+    result = run_once(benchmark, figure6.run, environment=scalability_env)
+    print()
+    print(result.format_table())
+    rows = result.rows()
+    assert len(rows) == len(scalability_env.timeline)
+    # The absolute number of accesses grows (weakly) with the period index,
+    # since later periods add more periodic affinity lists (paper: ~linear).
+    assert rows[-1]["mean_sequential_accesses"] >= rows[0]["mean_sequential_accesses"]

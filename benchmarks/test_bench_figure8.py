@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 8 (%SA per consensus function)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8_consensus_functions(benchmark, scalability_env):
+    """Compare GRECA's access cost under AR (AP), MO, PD V1 and PD V2."""
+    result = run_once(benchmark, figure8.run, environment=scalability_env)
+    print()
+    print(result.format_table())
+    rows = {row["consensus"]: row for row in result.rows()}
+    assert set(rows) == {"AR", "MO", "PD V1", "PD V2"}
+    for row in rows.values():
+        assert 0.0 < row["mean_percent_sa"] <= 100.0
+    # AR (average preference) achieves substantial savings, as in the paper.
+    assert rows["AR"]["saveup"] > 50.0

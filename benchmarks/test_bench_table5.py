@@ -1,0 +1,22 @@
+"""Benchmark regenerating Table 5 (dataset statistics)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.data.movielens import MovieLensConfig
+from repro.experiments import table5
+
+
+def test_table5_dataset_statistics(benchmark):
+    """Generate a MovieLens-like dataset and report its Table 5 statistics."""
+    result = run_once(
+        benchmark,
+        table5.run,
+        config=MovieLensConfig(n_users=1_500, n_items=1_200, n_ratings=120_000, seed=7),
+    )
+    print()
+    print(result.format_table())
+    rows = {row["statistic"]: row for row in result.rows()}
+    assert rows["# users"]["measured"] == 1_500
+    assert rows["# ratings"]["measured"] == 120_000

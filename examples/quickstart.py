@@ -1,0 +1,71 @@
+"""Quickstart: recommend movies to an ad-hoc group with temporal affinities.
+
+Builds a small synthetic MovieLens-like dataset plus a social network,
+fits the group recommender and asks for a top-5 recommendation for a group
+of four friends, comparing the affinity-aware result with the classic
+affinity-agnostic one.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import GroupRecommender, one_year_timeline
+from repro.data import MovieLensConfig, SocialNetworkGenerator, generate_movielens_like
+
+
+def main() -> None:
+    # 1. A collaborative rating dataset (substitute for MovieLens 1M).
+    ratings = generate_movielens_like(
+        MovieLensConfig(n_users=200, n_items=600, n_ratings=12_000, seed=42)
+    )
+    print(f"dataset: {ratings.stats().n_users} users, {ratings.stats().n_items} items, "
+          f"{ratings.stats().n_ratings} ratings")
+
+    # 2. A one-year observation window discretised into two-month periods
+    #    (the granularity the paper selects in Figure 4) and a social network
+    #    providing friendships (static affinity) and page likes (dynamic affinity).
+    timeline = one_year_timeline(granularity="two-month")
+    members_pool = list(ratings.users[:40])
+    social = SocialNetworkGenerator().generate(members_pool, timeline)
+
+    # 3. Fit the recommender: user-based collaborative filtering for absolute
+    #    preferences plus pre-computed pairwise affinities.
+    recommender = GroupRecommender(
+        ratings, social, timeline, affinity_universe=members_pool
+    ).fit()
+
+    # 4. Ask for recommendations for an ad-hoc group of four users.
+    group = members_pool[:4]
+    affinity_aware = recommender.recommend(
+        group, k=5, consensus="AP", affinity="discrete", exclude_rated=False
+    )
+    affinity_agnostic = recommender.recommend(
+        group, k=5, consensus="AP", affinity="none", exclude_rated=False
+    )
+
+    print(f"\ngroup: {group}")
+    print("\ntop-5 with temporal affinities (discrete model):")
+    for item, score in affinity_aware.ranked():
+        print(f"  item {item:>5}  consensus score {score:.3f}")
+    print(f"  GRECA read {affinity_aware.percent_sequential_accesses:.1f}% of the index "
+          f"(saved {affinity_aware.saveup:.1f}% of accesses, stopped by {affinity_aware.stopping})")
+
+    print("\ntop-5 without affinities (classic group recommendation):")
+    for item, score in affinity_agnostic.ranked():
+        print(f"  item {item:>5}  consensus score {score:.3f}")
+
+    overlap = set(affinity_aware.items) & set(affinity_agnostic.items)
+    print(f"\nthe two lists share {len(overlap)} of 5 items; any difference is what "
+          f"accounting for who is in the room changes (cohesive groups often agree).")
+
+
+if __name__ == "__main__":
+    main()

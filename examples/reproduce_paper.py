@@ -1,0 +1,24 @@
+"""Reproduce every table and figure of the paper in one go.
+
+Thin wrapper around :mod:`repro.experiments.runner`: builds the study and
+scalability environments once and prints, for each experiment, the same
+rows/series the paper reports (next to the paper's own values where known).
+
+Run with::
+
+    python examples/reproduce_paper.py              # everything
+    python examples/reproduce_paper.py figure5      # a single experiment
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.experiments.runner import main
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`pip install -e .`) on offline machines where
+PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — reproduction of "Group Recommendation with Temporal Affinities" (EDBT 2015).
+
+The package is organised around the paper's architecture:
+
+* :mod:`repro.data` — ratings, MovieLens loader/generator, social graph and
+  the synthetic Facebook-study cohort.
+* :mod:`repro.cf` — collaborative filtering producing absolute preferences.
+* :mod:`repro.core` — temporal affinity models, relative preferences, group
+  consensus functions and the GRECA top-k algorithm.
+* :mod:`repro.groups` — ad-hoc group formation (size, cohesiveness, affinity).
+* :mod:`repro.topk` — generic Fagin-style TA / NRA substrate.
+* :mod:`repro.study` — the user-study (quality) simulator.
+* :mod:`repro.experiments` — drivers regenerating every table and figure of
+  the paper's evaluation.
+
+Quickstart::
+
+    from repro import GroupRecommender, one_year_timeline
+    from repro.data import generate_movielens_like, SocialNetworkGenerator
+
+    ratings = generate_movielens_like()
+    timeline = one_year_timeline()
+    social = SocialNetworkGenerator().generate(ratings.users[:80], timeline)
+    recommender = GroupRecommender(ratings, social, timeline,
+                                   affinity_universe=social.users).fit()
+    result = recommender.recommend(group=list(social.users[:4]), k=5, consensus="PD")
+    print(result.items, f"saved {result.saveup:.0f}% of accesses")
+"""
+
+from repro.core import (
+    ConsensusFunction,
+    Greca,
+    GrecaIndex,
+    GrecaResult,
+    GroupRecommendation,
+    GroupRecommender,
+    Period,
+    PreferenceModel,
+    Timeline,
+    make_consensus,
+    one_year_timeline,
+    uniform_timeline,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConsensusFunction",
+    "Greca",
+    "GrecaIndex",
+    "GrecaResult",
+    "GroupRecommendation",
+    "GroupRecommender",
+    "Period",
+    "PreferenceModel",
+    "ReproError",
+    "Timeline",
+    "__version__",
+    "make_consensus",
+    "one_year_timeline",
+    "uniform_timeline",
+]

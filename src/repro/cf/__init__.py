@@ -1,0 +1,26 @@
+"""Collaborative-filtering substrate producing absolute preferences ``apref``."""
+
+from repro.cf.matrix import RatingMatrix
+from repro.cf.predictors import ItemBasedCF, MeanPredictor, RatingPredictor, UserBasedCF
+from repro.cf.similarity import (
+    SIMILARITY_FUNCTIONS,
+    cosine_similarity_matrix,
+    jaccard_similarity_matrix,
+    pairwise_user_similarity,
+    pearson_similarity_matrix,
+    similarity_matrix,
+)
+
+__all__ = [
+    "SIMILARITY_FUNCTIONS",
+    "ItemBasedCF",
+    "MeanPredictor",
+    "RatingMatrix",
+    "RatingPredictor",
+    "UserBasedCF",
+    "cosine_similarity_matrix",
+    "jaccard_similarity_matrix",
+    "pairwise_user_similarity",
+    "pearson_similarity_matrix",
+    "similarity_matrix",
+]

@@ -1,0 +1,107 @@
+"""Dense rating-matrix view of a :class:`~repro.data.ratings.RatingsDataset`.
+
+Collaborative filtering needs fast vector access to user and item rating
+profiles.  :class:`RatingMatrix` materialises the dataset as a dense numpy
+matrix (users x items) with 0 marking "unrated", plus the index mappings
+between external ids and matrix rows/columns.
+
+For the dataset sizes used in this reproduction (hundreds to a few thousand
+users/items) the dense representation is both the simplest and the fastest
+option in pure Python + numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ratings import RatingsDataset
+from repro.exceptions import UnknownItemError, UnknownUserError
+
+
+class RatingMatrix:
+    """Dense users-by-items rating matrix with id <-> index mappings."""
+
+    def __init__(self, dataset: RatingsDataset) -> None:
+        self._user_index = {user: index for index, user in enumerate(dataset.users)}
+        self._item_index = {item: index for index, item in enumerate(dataset.items)}
+        self._users = dataset.users
+        self._items = dataset.items
+        self._matrix = np.zeros((len(self._users), len(self._items)), dtype=float)
+        for rating in dataset:
+            row = self._user_index[rating.user_id]
+            col = self._item_index[rating.item_id]
+            self._matrix[row, col] = rating.value
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def users(self) -> tuple[int, ...]:
+        """User ids in row order."""
+        return self._users
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """Item ids in column order."""
+        return self._items
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying (n_users, n_items) matrix; 0 means unrated."""
+        return self._matrix
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(n_users, n_items)."""
+        return self._matrix.shape
+
+    def user_row(self, user_id: int) -> np.ndarray:
+        """The rating vector of ``user_id`` over all items (0 = unrated)."""
+        if user_id not in self._user_index:
+            raise UnknownUserError(user_id)
+        return self._matrix[self._user_index[user_id]]
+
+    def item_column(self, item_id: int) -> np.ndarray:
+        """The rating vector of ``item_id`` over all users (0 = unrated)."""
+        if item_id not in self._item_index:
+            raise UnknownItemError(item_id)
+        return self._matrix[:, self._item_index[item_id]]
+
+    def user_position(self, user_id: int) -> int:
+        """Row index of a user."""
+        if user_id not in self._user_index:
+            raise UnknownUserError(user_id)
+        return self._user_index[user_id]
+
+    def item_position(self, item_id: int) -> int:
+        """Column index of an item."""
+        if item_id not in self._item_index:
+            raise UnknownItemError(item_id)
+        return self._item_index[item_id]
+
+    def rating(self, user_id: int, item_id: int) -> float:
+        """The stored rating or 0.0 when unrated."""
+        return float(self._matrix[self.user_position(user_id), self.item_position(item_id)])
+
+    def rated_mask(self) -> np.ndarray:
+        """Boolean mask of rated cells."""
+        return self._matrix > 0
+
+    def user_means(self) -> np.ndarray:
+        """Per-user mean over *rated* items only (0 for users with no rating)."""
+        mask = self.rated_mask()
+        counts = mask.sum(axis=1)
+        sums = self._matrix.sum(axis=1)
+        means = np.zeros(len(self._users))
+        nonzero = counts > 0
+        means[nonzero] = sums[nonzero] / counts[nonzero]
+        return means
+
+    def item_means(self) -> np.ndarray:
+        """Per-item mean over users who rated it (0 for unrated items)."""
+        mask = self.rated_mask()
+        counts = mask.sum(axis=0)
+        sums = self._matrix.sum(axis=0)
+        means = np.zeros(len(self._items))
+        nonzero = counts > 0
+        means[nonzero] = sums[nonzero] / counts[nonzero]
+        return means

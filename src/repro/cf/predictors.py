@@ -1,0 +1,263 @@
+"""Single-user rating predictors (the ``apref(u, i)`` substrate).
+
+The paper's group model takes *absolute preferences* ``apref(u, i)`` from any
+single-user recommendation algorithm; its experiments use user-based
+collaborative filtering with cosine similarity.  This module implements:
+
+* :class:`UserBasedCF` — k-nearest-neighbour user-based CF (the paper's
+  choice), with mean-centred weighted aggregation.
+* :class:`ItemBasedCF` — the classic item-based variant, useful as an
+  alternative ``apref`` source.
+* :class:`MeanPredictor` — a trivial baseline (item mean, falling back to
+  user mean / global mean), handy in tests.
+
+Every predictor exposes the same interface: ``fit(dataset)`` and
+``predict(user_id, item_id) -> float`` in the original 1-5 rating scale, plus
+``predict_all(user_id)`` returning predictions for every item.  Predictions
+for items a user already rated return the observed rating, as is customary
+when the predictor feeds a recommender that excludes already-rated items at a
+later stage.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.cf.matrix import RatingMatrix
+from repro.cf.similarity import similarity_matrix
+from repro.data.ratings import MAX_RATING, MIN_RATING, RatingsDataset
+from repro.exceptions import AlgorithmError, ConfigurationError
+
+
+class RatingPredictor(abc.ABC):
+    """Interface of all ``apref`` providers."""
+
+    def __init__(self) -> None:
+        self._matrix: RatingMatrix | None = None
+
+    @property
+    def matrix(self) -> RatingMatrix:
+        """The fitted rating matrix."""
+        if self._matrix is None:
+            raise AlgorithmError("predictor is not fitted; call fit() first")
+        return self._matrix
+
+    @property
+    def is_fitted(self) -> bool:
+        """``True`` once :meth:`fit` has been called."""
+        return self._matrix is not None
+
+    def fit(self, dataset: RatingsDataset) -> "RatingPredictor":
+        """Fit the predictor on a ratings dataset and return ``self``."""
+        self._matrix = RatingMatrix(dataset)
+        self._fit(self._matrix)
+        return self
+
+    @abc.abstractmethod
+    def _fit(self, matrix: RatingMatrix) -> None:
+        """Model-specific fitting using the dense matrix."""
+
+    @abc.abstractmethod
+    def predict(self, user_id: int, item_id: int) -> float:
+        """Predicted rating of ``user_id`` for ``item_id`` in [1, 5]."""
+
+    def predict_all(self, user_id: int) -> dict[int, float]:
+        """Predictions for every item in the dataset."""
+        return {item: self.predict(user_id, item) for item in self.matrix.items}
+
+    @staticmethod
+    def _clip(value: float) -> float:
+        """Clip a raw prediction into the valid rating range."""
+        return float(min(MAX_RATING, max(MIN_RATING, value)))
+
+
+class MeanPredictor(RatingPredictor):
+    """Predict the item mean, falling back to the user mean then to 3.0."""
+
+    def _fit(self, matrix: RatingMatrix) -> None:
+        self._item_means = matrix.item_means()
+        self._user_means = matrix.user_means()
+        rated = matrix.values[matrix.rated_mask()]
+        self._global_mean = float(rated.mean()) if rated.size else 3.0
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        matrix = self.matrix
+        observed = matrix.rating(user_id, item_id)
+        if observed > 0:
+            return observed
+        item_mean = self._item_means[matrix.item_position(item_id)]
+        if item_mean > 0:
+            return self._clip(item_mean)
+        user_mean = self._user_means[matrix.user_position(user_id)]
+        if user_mean > 0:
+            return self._clip(user_mean)
+        return self._clip(self._global_mean)
+
+
+class UserBasedCF(RatingPredictor):
+    """k-NN user-based collaborative filtering with cosine similarity.
+
+    Prediction follows the standard mean-centred formulation:
+
+    ``apref(u, i) = mean(u) + sum_v sim(u, v) * (r(v, i) - mean(v)) / sum_v |sim(u, v)|``
+
+    where the sum ranges over the ``k`` most similar users who rated ``i``.
+
+    Parameters
+    ----------
+    k_neighbors:
+        Neighbourhood size (``None`` means all users).
+    metric:
+        Similarity metric name (``cosine``, ``pearson`` or ``jaccard``).
+    min_similarity:
+        Neighbours with similarity below this threshold are ignored.
+    """
+
+    def __init__(
+        self,
+        k_neighbors: int | None = 40,
+        metric: str = "cosine",
+        min_similarity: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if k_neighbors is not None and k_neighbors <= 0:
+            raise ConfigurationError("k_neighbors must be positive or None")
+        self.k_neighbors = k_neighbors
+        self.metric = metric
+        self.min_similarity = min_similarity
+
+    def _fit(self, matrix: RatingMatrix) -> None:
+        self._similarity = similarity_matrix(matrix, metric=self.metric, axis="user")
+        np.fill_diagonal(self._similarity, 0.0)
+        self._user_means = matrix.user_means()
+        rated = matrix.values[matrix.rated_mask()]
+        self._global_mean = float(rated.mean()) if rated.size else 3.0
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        matrix = self.matrix
+        observed = matrix.rating(user_id, item_id)
+        if observed > 0:
+            return observed
+
+        row = matrix.user_position(user_id)
+        col = matrix.item_position(item_id)
+        raters = np.flatnonzero(matrix.values[:, col] > 0)
+        if raters.size == 0:
+            baseline = self._user_means[row] if self._user_means[row] > 0 else self._global_mean
+            return self._clip(baseline)
+
+        similarities = self._similarity[row, raters]
+        keep = similarities > self.min_similarity
+        raters = raters[keep]
+        similarities = similarities[keep]
+        if raters.size == 0:
+            baseline = self._user_means[row] if self._user_means[row] > 0 else self._global_mean
+            return self._clip(baseline)
+
+        if self.k_neighbors is not None and raters.size > self.k_neighbors:
+            order = np.argsort(-similarities)[: self.k_neighbors]
+            raters = raters[order]
+            similarities = similarities[order]
+
+        neighbour_ratings = matrix.values[raters, col]
+        neighbour_means = self._user_means[raters]
+        numerator = float(np.sum(similarities * (neighbour_ratings - neighbour_means)))
+        denominator = float(np.sum(np.abs(similarities)))
+        baseline = self._user_means[row] if self._user_means[row] > 0 else self._global_mean
+        if denominator == 0:
+            return self._clip(baseline)
+        return self._clip(baseline + numerator / denominator)
+
+    def predict_all(self, user_id: int) -> dict[int, float]:
+        """Vectorised prediction of every item for one user."""
+        matrix = self.matrix
+        row = matrix.user_position(user_id)
+        values = matrix.values
+        n_items = values.shape[1]
+        baseline = self._user_means[row] if self._user_means[row] > 0 else self._global_mean
+
+        similarities = self._similarity[row].copy()
+        similarities[similarities <= self.min_similarity] = 0.0
+
+        predictions = np.full(n_items, baseline)
+        rated_mask = values > 0
+        for col in range(n_items):
+            observed = values[row, col]
+            if observed > 0:
+                predictions[col] = observed
+                continue
+            raters = np.flatnonzero(rated_mask[:, col])
+            sims = similarities[raters]
+            keep = sims > 0
+            raters = raters[keep]
+            sims = sims[keep]
+            if raters.size == 0:
+                continue
+            if self.k_neighbors is not None and raters.size > self.k_neighbors:
+                order = np.argsort(-sims)[: self.k_neighbors]
+                raters = raters[order]
+                sims = sims[order]
+            centred = values[raters, col] - self._user_means[raters]
+            denominator = float(np.sum(np.abs(sims)))
+            if denominator > 0:
+                predictions[col] = baseline + float(np.sum(sims * centred)) / denominator
+
+        predictions = np.clip(predictions, MIN_RATING, MAX_RATING)
+        return {item: float(predictions[index]) for index, item in enumerate(matrix.items)}
+
+
+class ItemBasedCF(RatingPredictor):
+    """k-NN item-based collaborative filtering.
+
+    ``apref(u, i)`` is the similarity-weighted average of the user's ratings
+    on the items most similar to ``i``.
+    """
+
+    def __init__(self, k_neighbors: int | None = 40, metric: str = "cosine") -> None:
+        super().__init__()
+        if k_neighbors is not None and k_neighbors <= 0:
+            raise ConfigurationError("k_neighbors must be positive or None")
+        self.k_neighbors = k_neighbors
+        self.metric = metric
+
+    def _fit(self, matrix: RatingMatrix) -> None:
+        self._similarity = similarity_matrix(matrix, metric=self.metric, axis="item")
+        np.fill_diagonal(self._similarity, 0.0)
+        self._item_means = matrix.item_means()
+        rated = matrix.values[matrix.rated_mask()]
+        self._global_mean = float(rated.mean()) if rated.size else 3.0
+
+    def predict(self, user_id: int, item_id: int) -> float:
+        matrix = self.matrix
+        observed = matrix.rating(user_id, item_id)
+        if observed > 0:
+            return observed
+
+        row = matrix.user_position(user_id)
+        col = matrix.item_position(item_id)
+        rated_cols = np.flatnonzero(matrix.values[row] > 0)
+        if rated_cols.size == 0:
+            fallback = self._item_means[col] if self._item_means[col] > 0 else self._global_mean
+            return self._clip(fallback)
+
+        similarities = self._similarity[col, rated_cols]
+        keep = similarities > 0
+        rated_cols = rated_cols[keep]
+        similarities = similarities[keep]
+        if rated_cols.size == 0:
+            fallback = self._item_means[col] if self._item_means[col] > 0 else self._global_mean
+            return self._clip(fallback)
+
+        if self.k_neighbors is not None and rated_cols.size > self.k_neighbors:
+            order = np.argsort(-similarities)[: self.k_neighbors]
+            rated_cols = rated_cols[order]
+            similarities = similarities[order]
+
+        ratings = matrix.values[row, rated_cols]
+        denominator = float(np.sum(np.abs(similarities)))
+        if denominator == 0:
+            fallback = self._item_means[col] if self._item_means[col] > 0 else self._global_mean
+            return self._clip(fallback)
+        return self._clip(float(np.sum(similarities * ratings)) / denominator)

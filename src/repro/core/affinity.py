@@ -1,0 +1,444 @@
+"""Temporal affinity models (Section 2.1 of the paper).
+
+Affinity describes the bonding between a pair of users and has two
+components:
+
+* **Static affinity** ``aff_S(u, u')`` — time-independent closeness.  In the
+  paper's experiments it is the number of common Facebook friends, normalised
+  by the maximum pairwise value within the considered user set.
+* **Dynamic affinity** ``aff_V(u, u', p)`` — the aggregated *drift* that a
+  pair's periodic affinity exhibits compared to the population average, over
+  every period from the beginning of time to the end of ``p`` (Equation 1):
+
+  ``aff_V(u, u', p) = sum_{p' <= p} (aff_P(u, u', p') - Avg_aff_P(p')) / Gamma``
+
+  where ``aff_P`` is the periodic affinity (common page-category likes during
+  ``p'``) and ``Gamma`` depends on the time model: the number of periods for
+  the discrete model, the elapsed time ``f - s0`` for the continuous one.
+
+Two dynamic models combine these components:
+
+* **Discrete**:   ``aff_D(u, u', p) = aff_S(u, u') + aff_V(u, u', p)``
+* **Continuous**: ``aff_C(u, u', p) = aff_S(u, u') * exp(lambda * (f - s0))``
+  with ``lambda`` the per-second drift rate (i.e. ``aff_V`` with the
+  continuous ``Gamma``), capturing exponential growth/decay of affinity.
+
+Following Section 4.1.2, all affinity values handed to the recommendation
+machinery are normalised to ``[0, 1]``; this also preserves the monotonicity
+required by GRECA (Lemma 1).
+
+The module also provides the ablation models used in the evaluation:
+:class:`NoAffinityModel` (affinity-agnostic recommendations) and
+:class:`TimeAgnosticAffinityModel` (affinity without the temporal dimension),
+plus :class:`ExplicitAffinityModel` to plug in hand-specified values such as
+the running example of Tables 2-4.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.timeline import Period, Timeline
+from repro.data.social import SocialNetwork
+from repro.exceptions import AffinityError
+
+
+def pair_key(left: int, right: int) -> tuple[int, int]:
+    """Canonical unordered key for a user pair (affinity is symmetric)."""
+    if left == right:
+        raise AffinityError(f"affinity of a user with themselves is undefined ({left})")
+    return (left, right) if left < right else (right, left)
+
+
+def clamp01(value: float) -> float:
+    """Clamp a value into the normalised affinity range [0, 1]."""
+    return min(1.0, max(0.0, value))
+
+
+#: Clamp on the continuous-model exponent so exp() stays finite.
+MAX_GROWTH_EXPONENT = 8.0
+
+
+def combine_discrete(
+    static: float,
+    periodic: Sequence[float],
+    averages: Sequence[float],
+) -> float:
+    """Discrete combination ``aff_D = clamp01(aff_S + aff_V)``.
+
+    ``periodic`` holds the normalised periodic affinities ``aff_P`` of the
+    pair for every period up to the query period, ``averages`` the matching
+    population averages.  ``Gamma`` is the number of periods (Equation 1).
+    The combination is monotone non-decreasing in ``static`` and in every
+    ``periodic`` value, which is what GRECA's bound computations rely on.
+    """
+    if not periodic:
+        return clamp01(static)
+    drift = sum(value - average for value, average in zip(periodic, averages))
+    return clamp01(static + drift / len(periodic))
+
+
+def combine_continuous(
+    static: float,
+    periodic: Sequence[float],
+    averages: Sequence[float],
+) -> float:
+    """Continuous combination ``aff_C = clamp01(aff_S * exp(lambda * (f - s0)))``.
+
+    The exponent ``lambda * (f - s0)`` telescopes to the cumulative drift sum
+    (the elapsed time cancels), clamped to avoid overflow.  Monotone
+    non-decreasing in ``static`` and in every ``periodic`` value.
+    """
+    if not periodic:
+        return clamp01(static)
+    drift = sum(value - average for value, average in zip(periodic, averages))
+    exponent = max(-MAX_GROWTH_EXPONENT, min(MAX_GROWTH_EXPONENT, drift))
+    return clamp01(static * math.exp(exponent))
+
+
+class AffinityModel(abc.ABC):
+    """Interface of every (temporal) affinity model.
+
+    Implementations must be symmetric: ``affinity(u, v, p) == affinity(v, u, p)``.
+    Returned values are normalised to ``[0, 1]``.
+    """
+
+    #: Human-readable name used by experiment drivers and reports.
+    name: str = "affinity"
+
+    @abc.abstractmethod
+    def affinity(self, left: int, right: int, period: Period | None = None) -> float:
+        """The affinity of the pair during ``period`` (or overall when ``None``)."""
+
+    def pairwise(
+        self, users: Sequence[int], period: Period | None = None
+    ) -> dict[tuple[int, int], float]:
+        """Affinity of every unordered pair within ``users``."""
+        values: dict[tuple[int, int], float] = {}
+        for index, left in enumerate(users):
+            for right in users[index + 1 :]:
+                values[pair_key(left, right)] = self.affinity(left, right, period)
+        return values
+
+    def mean_pairwise(self, users: Sequence[int], period: Period | None = None) -> float:
+        """Average pairwise affinity within ``users`` (0 for singleton groups)."""
+        values = self.pairwise(users, period)
+        return sum(values.values()) / len(values) if values else 0.0
+
+
+class NoAffinityModel(AffinityModel):
+    """Affinity-agnostic model: every pair has affinity 0.
+
+    With this model the relative preference vanishes and group
+    recommendations reduce to aggregating individual ``apref`` values — the
+    baseline the paper compares against in Figures 1B and 3A.
+    """
+
+    name = "affinity-agnostic"
+
+    def affinity(self, left: int, right: int, period: Period | None = None) -> float:
+        pair_key(left, right)  # validates the pair
+        return 0.0
+
+
+class ExplicitAffinityModel(AffinityModel):
+    """Affinity values supplied explicitly, optionally per period.
+
+    Parameters
+    ----------
+    static:
+        Mapping of unordered pairs to static affinity values.
+    periodic:
+        Optional mapping ``period -> {pair: periodic value}`` used as the
+        per-period drift contribution; when given, the discrete combination
+        ``aff_S + mean of per-period values up to p`` is returned.
+    timeline:
+        Required when ``periodic`` is given, to know which periods precede
+        the queried one.
+
+    This model backs the paper's running example (Tables 2-4) and the unit
+    tests for GRECA.
+    """
+
+    name = "explicit"
+
+    def __init__(
+        self,
+        static: Mapping[tuple[int, int], float],
+        periodic: Mapping[Period, Mapping[tuple[int, int], float]] | None = None,
+        timeline: Timeline | None = None,
+    ) -> None:
+        self._static = {pair_key(*pair): float(value) for pair, value in static.items()}
+        self._periodic: dict[Period, dict[tuple[int, int], float]] = {}
+        if periodic:
+            if timeline is None:
+                raise AffinityError("a timeline is required when periodic values are given")
+            for period, values in periodic.items():
+                self._periodic[period] = {
+                    pair_key(*pair): float(value) for pair, value in values.items()
+                }
+        self._timeline = timeline
+
+    def static_affinity(self, left: int, right: int) -> float:
+        """The supplied static affinity of the pair (0 when unknown)."""
+        return self._static.get(pair_key(left, right), 0.0)
+
+    def periodic_affinity(self, left: int, right: int, period: Period) -> float:
+        """The supplied per-period value of the pair (0 when unknown)."""
+        return self._periodic.get(period, {}).get(pair_key(left, right), 0.0)
+
+    def affinity(self, left: int, right: int, period: Period | None = None) -> float:
+        key = pair_key(left, right)
+        value = self._static.get(key, 0.0)
+        if period is not None and self._periodic and self._timeline is not None:
+            preceding = self._timeline.periods_until(period)
+            contributions = [
+                self._periodic.get(past, {}).get(key, 0.0) for past in preceding
+            ]
+            if contributions:
+                value += sum(contributions) / len(contributions)
+        return clamp01(value)
+
+
+class ComputedAffinities:
+    """Pre-computed static and periodic affinities from a social network.
+
+    This object performs the expensive population-level computations once —
+    raw common-friend counts, per-period common-category-like counts and the
+    population averages ``Avg_aff_P(p')`` of Equation 1 — and serves them to
+    the concrete :class:`DiscreteAffinityModel` / :class:`ContinuousAffinityModel`
+    and to GRECA's index builder.
+
+    Parameters
+    ----------
+    network:
+        The social network providing friendships and page likes.
+    timeline:
+        The period discretisation.
+    users:
+        The user universe over which population averages and normalisation
+        constants are computed.  Defaults to every user of the network.
+    """
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        timeline: Timeline,
+        users: Iterable[int] | None = None,
+    ) -> None:
+        self.network = network
+        self.timeline = timeline
+        self.users: tuple[int, ...] = tuple(sorted(users if users is not None else network.users))
+        if len(self.users) < 2:
+            raise AffinityError("need at least two users to compute affinities")
+
+        self._static_raw: dict[tuple[int, int], float] = {}
+        self._periodic_raw: dict[Period, dict[tuple[int, int], float]] = {
+            period: {} for period in timeline
+        }
+        for index, left in enumerate(self.users):
+            for right in self.users[index + 1 :]:
+                key = pair_key(left, right)
+                self._static_raw[key] = float(network.common_friends(left, right))
+                for period in timeline:
+                    self._periodic_raw[period][key] = float(
+                        network.common_category_likes(left, right, period)
+                    )
+
+        self._static_max = max(self._static_raw.values(), default=0.0)
+        self._periodic_max = max(
+            (value for values in self._periodic_raw.values() for value in values.values()),
+            default=0.0,
+        )
+        self._population_average: dict[Period, float] = {}
+        n_pairs = len(self._static_raw)
+        for period in timeline:
+            total = sum(self._periodic_raw[period].values())
+            self._population_average[period] = total / n_pairs if n_pairs else 0.0
+
+    # -- raw and normalised components ---------------------------------------------
+
+    def static_raw(self, left: int, right: int) -> float:
+        """Raw static affinity (common friends count)."""
+        return self._static_raw.get(pair_key(left, right), 0.0)
+
+    def static_normalized(self, left: int, right: int) -> float:
+        """Static affinity normalised by the maximum pairwise value (paper §4.1.2)."""
+        if self._static_max == 0:
+            return 0.0
+        return clamp01(self._static_raw.get(pair_key(left, right), 0.0) / self._static_max)
+
+    def periodic_raw(self, left: int, right: int, period: Period) -> float:
+        """Raw periodic affinity ``aff_P`` (common category likes during ``period``)."""
+        if period not in self._periodic_raw:
+            raise AffinityError(f"period {period} is not part of the timeline")
+        return self._periodic_raw[period].get(pair_key(left, right), 0.0)
+
+    def periodic_normalized(self, left: int, right: int, period: Period) -> float:
+        """Periodic affinity normalised by the global per-period maximum."""
+        if self._periodic_max == 0:
+            return 0.0
+        return clamp01(self.periodic_raw(left, right, period) / self._periodic_max)
+
+    def population_average(self, period: Period) -> float:
+        """``Avg_aff_P(p)``: mean raw periodic affinity over all user pairs."""
+        if period not in self._population_average:
+            raise AffinityError(f"period {period} is not part of the timeline")
+        return self._population_average[period]
+
+    def population_average_normalized(self, period: Period) -> float:
+        """Population average on the same normalised scale as :meth:`periodic_normalized`."""
+        if self._periodic_max == 0:
+            return 0.0
+        return self._population_average[period] / self._periodic_max
+
+    # -- drift (Equation 1) ----------------------------------------------------------
+
+    def drift_sum(self, left: int, right: int, period: Period) -> float:
+        """Un-normalised numerator of Equation 1 on the normalised periodic scale.
+
+        ``sum_{p' <= p} (aff_P(u, u', p') - Avg_aff_P(p'))`` computed on the
+        [0, 1]-normalised periodic affinities so that drift magnitudes are
+        comparable with the static component.
+        """
+        total = 0.0
+        for past in self.timeline.periods_until(period):
+            total += self.periodic_normalized(left, right, past) - self.population_average_normalized(past)
+        return total
+
+    def dynamic_discrete(self, left: int, right: int, period: Period) -> float:
+        """``aff_V`` with the discrete ``Gamma`` = number of periods up to ``p``."""
+        n_periods = len(self.timeline.periods_until(period))
+        return self.drift_sum(left, right, period) / n_periods if n_periods else 0.0
+
+    def dynamic_continuous_rate(self, left: int, right: int, period: Period) -> float:
+        """``lambda``: the continuous-model drift rate (per second)."""
+        elapsed = self.timeline.elapsed(period)
+        return self.drift_sum(left, right, period) / elapsed if elapsed else 0.0
+
+
+class DiscreteAffinityModel(AffinityModel):
+    """The paper's discrete dynamic affinity model ``aff_D = aff_S + aff_V``."""
+
+    name = "discrete"
+
+    def __init__(self, computed: ComputedAffinities) -> None:
+        self.computed = computed
+
+    def static_affinity(self, left: int, right: int) -> float:
+        """The normalised static component."""
+        return self.computed.static_normalized(left, right)
+
+    def dynamic_affinity(self, left: int, right: int, period: Period) -> float:
+        """The (possibly negative) dynamic component ``aff_V``."""
+        return self.computed.dynamic_discrete(left, right, period)
+
+    def affinity(self, left: int, right: int, period: Period | None = None) -> float:
+        static = self.computed.static_normalized(left, right)
+        if period is None:
+            return clamp01(static)
+        preceding = self.computed.timeline.periods_until(period)
+        periodic = [self.computed.periodic_normalized(left, right, past) for past in preceding]
+        averages = [self.computed.population_average_normalized(past) for past in preceding]
+        return combine_discrete(static, periodic, averages)
+
+
+class ContinuousAffinityModel(AffinityModel):
+    """The paper's continuous model ``aff_C = aff_S * exp(lambda * (f - s0))``.
+
+    ``lambda * (f - s0)`` equals the cumulative drift sum, so increasing
+    affinity pairs see exponential growth and decreasing ones exponential
+    decay.  The exponent is clamped to avoid numerical overflow and the final
+    value is normalised back into [0, 1].
+    """
+
+    name = "continuous"
+
+    #: Clamp on the exponent so exp() stays finite even for extreme drifts.
+    MAX_EXPONENT = 8.0
+
+    def __init__(self, computed: ComputedAffinities) -> None:
+        self.computed = computed
+
+    def static_affinity(self, left: int, right: int) -> float:
+        """The normalised static component."""
+        return self.computed.static_normalized(left, right)
+
+    def growth_exponent(self, left: int, right: int, period: Period) -> float:
+        """``lambda * (f - s0)``: the cumulative (clamped) growth/decay exponent."""
+        rate = self.computed.dynamic_continuous_rate(left, right, period)
+        elapsed = self.computed.timeline.elapsed(period)
+        exponent = rate * elapsed
+        return max(-self.MAX_EXPONENT, min(self.MAX_EXPONENT, exponent))
+
+    def affinity(self, left: int, right: int, period: Period | None = None) -> float:
+        static = self.computed.static_normalized(left, right)
+        if period is None:
+            return clamp01(static)
+        preceding = self.computed.timeline.periods_until(period)
+        periodic = [self.computed.periodic_normalized(left, right, past) for past in preceding]
+        averages = [self.computed.population_average_normalized(past) for past in preceding]
+        return combine_continuous(static, periodic, averages)
+
+
+class TimeAgnosticAffinityModel(AffinityModel):
+    """Affinity-aware but time-agnostic model (the ablation of Figure 1C / 3B).
+
+    The whole history is treated as a single period: affinity is the static
+    component plus the overall (drift-free) normalised common-like affinity,
+    with no notion of evolution over time.
+    """
+
+    name = "time-agnostic"
+
+    def __init__(self, computed: ComputedAffinities) -> None:
+        self.computed = computed
+        whole = Period(computed.timeline.beginning, computed.timeline.end)
+        self._whole_history = whole
+        self._overall_raw: dict[tuple[int, int], float] = {}
+        users = computed.users
+        for index, left in enumerate(users):
+            for right in users[index + 1 :]:
+                self._overall_raw[pair_key(left, right)] = float(
+                    computed.network.common_category_likes(left, right, whole)
+                )
+        self._overall_max = max(self._overall_raw.values(), default=0.0)
+
+    def affinity(self, left: int, right: int, period: Period | None = None) -> float:
+        static = self.computed.static_normalized(left, right)
+        overall = 0.0
+        if self._overall_max > 0:
+            overall = self._overall_raw.get(pair_key(left, right), 0.0) / self._overall_max
+        return clamp01(0.5 * (static + overall))
+
+
+def build_affinity_model(
+    model: str,
+    network: SocialNetwork,
+    timeline: Timeline,
+    users: Iterable[int] | None = None,
+) -> AffinityModel:
+    """Factory building an affinity model by name.
+
+    Parameters
+    ----------
+    model:
+        ``"discrete"``, ``"continuous"``, ``"time-agnostic"`` or ``"none"``.
+    network, timeline, users:
+        Forwarded to :class:`ComputedAffinities` (ignored for ``"none"``).
+    """
+    if model == "none":
+        return NoAffinityModel()
+    computed = ComputedAffinities(network, timeline, users)
+    if model == "discrete":
+        return DiscreteAffinityModel(computed)
+    if model == "continuous":
+        return ContinuousAffinityModel(computed)
+    if model == "time-agnostic":
+        return TimeAgnosticAffinityModel(computed)
+    raise AffinityError(
+        f"unknown affinity model {model!r}; expected 'discrete', 'continuous', "
+        f"'time-agnostic' or 'none'"
+    )

@@ -1,0 +1,213 @@
+"""Baseline top-k algorithms GRECA is compared against.
+
+The paper measures GRECA's efficiency as the percentage of sequential
+accesses "compared to a naive algorithm which entirely scans all lists"
+(Section 4.2).  Two baselines are provided:
+
+* :class:`NaiveFullScan` — reads every entry of every list (100% SA) and
+  computes exact scores; it is also the correctness oracle used by the test
+  suite.
+* :class:`ThresholdAlgorithmBaseline` — a TA-style variant that scans the
+  preference lists sequentially and, for every newly encountered item,
+  resolves all of its remaining components through random accesses (the
+  access pattern the paper argues against in Section 3.1, where scoring a
+  single item costs ``T * n(n-1)/2`` extra accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.consensus import ConsensusFunction
+from repro.core.greca import GrecaIndex
+from repro.core.lists import AccessCounter, total_entries
+from repro.core.scoring import consensus_scores, preference_matrix
+from repro.exceptions import AlgorithmError
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of a baseline top-k computation."""
+
+    items: tuple[int, ...]
+    scores: Mapping[int, float]
+    sequential_accesses: int
+    random_accesses: int
+    total_entries: int
+    consensus: str
+    k: int
+
+    @property
+    def percent_sequential_accesses(self) -> float:
+        """Percentage of entries read sequentially."""
+        if self.total_entries == 0:
+            return 0.0
+        return 100.0 * self.sequential_accesses / self.total_entries
+
+    @property
+    def percent_total_accesses(self) -> float:
+        """Percentage counting both sequential and random accesses."""
+        if self.total_entries == 0:
+            return 0.0
+        return 100.0 * (self.sequential_accesses + self.random_accesses) / self.total_entries
+
+
+class NaiveFullScan:
+    """Exhaustively scan every list, score every item exactly, return the top-k."""
+
+    def __init__(self, consensus: ConsensusFunction, k: int = 10) -> None:
+        if k <= 0:
+            raise AlgorithmError("k must be positive")
+        self.consensus = consensus
+        self.k = k
+
+    def run(self, index: GrecaIndex) -> BaselineResult:
+        """Scan all lists (counting the accesses) and return the exact top-k."""
+        counter = AccessCounter()
+        preference_lists, static_lists, periodic_lists = index.build_lists(counter)
+        all_lists = list(preference_lists) + list(static_lists)
+        for period_index in index.period_indices:
+            all_lists.extend(periodic_lists[period_index])
+        for access_list in all_lists:
+            while access_list.sequential_access() is not None:
+                pass
+
+        scores = index.exact_scores(self.consensus)
+        k = min(self.k, len(index.items))
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        top = tuple(item for item, _ in ranked[:k])
+        return BaselineResult(
+            items=top,
+            scores={item: scores[item] for item in top},
+            sequential_accesses=counter.sequential,
+            random_accesses=counter.random,
+            total_entries=total_entries(all_lists),
+            consensus=self.consensus.name,
+            k=k,
+        )
+
+    def top_k_scores(self, index: GrecaIndex) -> dict[int, float]:
+        """Exact scores of every item, without access accounting (test oracle)."""
+        return index.exact_scores(self.consensus)
+
+
+class ThresholdAlgorithmBaseline:
+    """TA-style processing: sequential scans plus per-item random accesses.
+
+    The algorithm scans the member preference lists round-robin; every time an
+    item is first encountered it immediately resolves the item's full score by
+    random-accessing the remaining ``n - 1`` preference lists and *all*
+    affinity lists (static and periodic), as described in the paper's Section
+    3.1 discussion of why TA is expensive here.  It stops when the exact
+    scores of the current top-k are at least the threshold (the score of a
+    virtual item placed at the current cursors with maximal affinities).
+    """
+
+    def __init__(self, consensus: ConsensusFunction, k: int = 10) -> None:
+        if k <= 0:
+            raise AlgorithmError("k must be positive")
+        self.consensus = consensus
+        self.k = k
+
+    def run(self, index: GrecaIndex) -> BaselineResult:
+        """Execute the TA-style baseline and return its (exact) top-k."""
+        counter = AccessCounter()
+        preference_lists, static_lists, periodic_lists = index.build_lists(counter)
+        all_lists = list(preference_lists) + list(static_lists)
+        for period_index in index.period_indices:
+            all_lists.extend(periodic_lists[period_index])
+        total = total_entries(all_lists)
+
+        members = index.members
+        n = len(members)
+        k = min(self.k, len(index.items))
+
+        # Pairwise affinities resolved once through random accesses on demand.
+        pair_affinity: dict[tuple[int, int], float] = {}
+
+        def resolve_affinity(left: int, right: int) -> float:
+            pair = index._pair(left, right)
+            if pair in pair_affinity:
+                return pair_affinity[pair]
+            static_list = next(
+                (lst for lst in static_lists if lst.peek(pair) or pair in {e.key for e in lst.entries}),
+                None,
+            )
+            static = static_list.random_access(pair) if static_list is not None else 0.0
+            periodic = []
+            for period_index in index.period_indices:
+                period_list = next(
+                    (
+                        lst
+                        for lst in periodic_lists[period_index]
+                        if pair in {e.key for e in lst.entries}
+                    ),
+                    None,
+                )
+                periodic.append(
+                    period_list.random_access(pair) if period_list is not None else 0.0
+                )
+            value = index.combine(static, periodic)
+            pair_affinity[pair] = value
+            return value
+
+        scores: dict[int, float] = {}
+        aprefs_cache: dict[int, np.ndarray] = {}
+
+        def score_item(item: int) -> float:
+            vector = np.zeros(n)
+            for row, member in enumerate(members):
+                observed = seen.get((member, item))
+                if observed is None:
+                    # Random access into the member's preference list.
+                    observed = preference_lists[row].random_access(item)
+                vector[row] = observed
+            aprefs_cache[item] = vector
+            affinity = np.zeros((n, n))
+            for row in range(n):
+                for col in range(row + 1, n):
+                    value = resolve_affinity(members[row], members[col])
+                    affinity[row, col] = affinity[col, row] = value
+            prefs = preference_matrix(vector[:, None], affinity)
+            return float(consensus_scores(self.consensus, prefs, index.scale)[0])
+
+        seen: dict[tuple[int, int], float] = {}
+        exhausted = False
+        while not exhausted:
+            exhausted = True
+            cursor_values = []
+            for row, access_list in enumerate(preference_lists):
+                entry = access_list.sequential_access()
+                if entry is None:
+                    cursor_values.append(0.0)
+                    continue
+                exhausted = False
+                seen[(members[row], entry.key)] = entry.score
+                cursor_values.append(entry.score)
+                if entry.key not in scores:
+                    scores[entry.key] = score_item(entry.key)
+
+            if len(scores) >= k:
+                # Threshold: virtual item at the cursors with maximal (=1) affinities.
+                cursors = np.array(cursor_values)
+                max_affinity = np.ones((n, n)) - np.eye(n)
+                virtual = preference_matrix(cursors[:, None], max_affinity)
+                threshold = float(consensus_scores(self.consensus, virtual, index.scale)[0])
+                kth = sorted(scores.values(), reverse=True)[k - 1]
+                if kth >= threshold - 1e-9:
+                    break
+
+        ranked = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        top = tuple(item for item, _ in ranked[:k])
+        return BaselineResult(
+            items=top,
+            scores={item: scores[item] for item in top},
+            sequential_accesses=counter.sequential,
+            random_accesses=counter.random,
+            total_entries=total,
+            consensus=self.consensus.name,
+            k=k,
+        )

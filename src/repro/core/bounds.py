@@ -1,0 +1,160 @@
+"""Interval arithmetic for partially known scores.
+
+GRECA maintains, for every encountered item, a lower and an upper bound on
+its final consensus score (Section 3.2).  Those bounds are obtained by
+propagating per-component intervals — "this user's absolute preference for
+the item lies somewhere in [0, cursor value]" — through the preference and
+consensus formulas.  :class:`Interval` implements the small amount of
+interval arithmetic that this requires: addition, multiplication by
+non-negative intervals, min/mean aggregation and the interval of an absolute
+difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import AlgorithmError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[low, high]`` bounding an unknown scalar."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high + 1e-12:
+            raise AlgorithmError(f"invalid interval: low {self.low} > high {self.high}")
+
+    # -- constructors ----------------------------------------------------------------
+
+    @staticmethod
+    def exact(value: float) -> "Interval":
+        """A degenerate interval holding one known value."""
+        return Interval(value, value)
+
+    @staticmethod
+    def between(low: float, high: float) -> "Interval":
+        """An interval after normalising argument order."""
+        return Interval(min(low, high), max(low, high))
+
+    # -- predicates -------------------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """``True`` when the value is fully determined."""
+        return self.low == self.high
+
+    @property
+    def width(self) -> float:
+        """The uncertainty span ``high - low``."""
+        return self.high - self.low
+
+    def contains(self, value: float, tolerance: float = 1e-9) -> bool:
+        """``True`` if ``value`` lies inside the interval (within tolerance)."""
+        return self.low - tolerance <= value <= self.high + tolerance
+
+    # -- arithmetic --------------------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.low + other.low, self.high + other.high)
+
+    def scale(self, factor: float) -> "Interval":
+        """Multiply by a known non-negative scalar."""
+        if factor < 0:
+            raise AlgorithmError("scale() requires a non-negative factor")
+        return Interval(self.low * factor, self.high * factor)
+
+    def multiply_nonnegative(self, other: "Interval") -> "Interval":
+        """Product of two intervals that are both known to be non-negative."""
+        if self.low < -1e-12 or other.low < -1e-12:
+            raise AlgorithmError("multiply_nonnegative() requires non-negative intervals")
+        return Interval(max(0.0, self.low) * max(0.0, other.low), self.high * other.high)
+
+    def shift(self, delta: float) -> "Interval":
+        """Add a known constant."""
+        return Interval(self.low + delta, self.high + delta)
+
+    def clamp(self, low: float, high: float) -> "Interval":
+        """Clamp both bounds into ``[low, high]``."""
+        return Interval(
+            min(high, max(low, self.low)),
+            min(high, max(low, self.high)),
+        )
+
+
+def interval_sum(intervals: Iterable[Interval]) -> Interval:
+    """Sum of a collection of intervals (the empty sum is [0, 0])."""
+    low = 0.0
+    high = 0.0
+    for interval in intervals:
+        low += interval.low
+        high += interval.high
+    return Interval(low, high)
+
+
+def interval_mean(intervals: Sequence[Interval]) -> Interval:
+    """Mean of intervals (errors on an empty sequence)."""
+    if not intervals:
+        raise AlgorithmError("cannot take the mean of zero intervals")
+    total = interval_sum(intervals)
+    return Interval(total.low / len(intervals), total.high / len(intervals))
+
+
+def interval_min(intervals: Sequence[Interval]) -> Interval:
+    """Interval of the minimum of the bounded values."""
+    if not intervals:
+        raise AlgorithmError("cannot take the minimum of zero intervals")
+    return Interval(
+        min(interval.low for interval in intervals),
+        min(interval.high for interval in intervals),
+    )
+
+
+def interval_abs_difference(left: Interval, right: Interval) -> Interval:
+    """Interval of ``|a - b|`` when ``a`` in ``left`` and ``b`` in ``right``."""
+    high = max(left.high - right.low, right.high - left.low, 0.0)
+    if left.high < right.low:
+        low = right.low - left.high
+    elif right.high < left.low:
+        low = left.low - right.high
+    else:
+        low = 0.0  # the intervals overlap, the difference can be zero
+    return Interval(low, high)
+
+
+def interval_variance(intervals: Sequence[Interval]) -> Interval:
+    """Conservative interval of the population variance of the bounded values.
+
+    The exact range of the variance over a box of intervals is expensive to
+    compute; GRECA only needs *sound* bounds, so we use a conservative
+    estimate: the lower bound is 0 unless all intervals are pairwise disjoint
+    around distinct values, and the upper bound is the variance of the most
+    spread-out corner configuration (each value pushed to the extreme farther
+    from the midpoint of the combined range).
+    """
+    if not intervals:
+        raise AlgorithmError("cannot take the variance of zero intervals")
+    overall_low = min(interval.low for interval in intervals)
+    overall_high = max(interval.high for interval in intervals)
+    midpoint = 0.5 * (overall_low + overall_high)
+    extremes = [
+        interval.low if abs(interval.low - midpoint) >= abs(interval.high - midpoint) else interval.high
+        for interval in intervals
+    ]
+    mean = sum(extremes) / len(extremes)
+    upper = sum((value - mean) ** 2 for value in extremes) / len(extremes)
+
+    # Lower bound: if every interval can reach a common value the variance can be 0.
+    common_low = max(interval.low for interval in intervals)
+    common_high = min(interval.high for interval in intervals)
+    if common_low <= common_high:
+        lower = 0.0
+    else:
+        # The intervals cannot all overlap; use the variance of the
+        # "most compressed" configuration as a (still sound) lower bound of 0.
+        lower = 0.0
+    return Interval(lower, max(lower, upper))

@@ -1,0 +1,114 @@
+"""Candidate buffer used by GRECA (Section 3.2, "Buffer Management Strategy").
+
+The buffer holds every item encountered so far together with its current
+lower- and upper-bound consensus scores.  GRECA's novel termination condition
+is expressed purely in terms of the buffer: it can stop as soon as the buffer
+holds at least ``k`` items and the ``k``-th largest lower bound is no smaller
+than the upper bound of every other buffered item (and, to also rule out
+items never encountered, no smaller than the global threshold).
+
+The buffer is deliberately a small, dictionary-backed structure: GRECA
+recomputes bounds in bulk (vectorised over items) and pushes them here, so
+the buffer's job is bookkeeping and the top-k/pruning queries, not incremental
+heap maintenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.exceptions import AlgorithmError
+
+
+@dataclass(frozen=True)
+class BufferedItem:
+    """An item with its current score bounds."""
+
+    item: Hashable
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper + 1e-9:
+            raise AlgorithmError(
+                f"item {self.item!r}: lower bound {self.lower} exceeds upper bound {self.upper}"
+            )
+
+
+class CandidateBuffer:
+    """Items encountered so far with their [lower, upper] consensus bounds."""
+
+    def __init__(self) -> None:
+        self._items: dict[Hashable, BufferedItem] = {}
+
+    # -- container protocol --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[BufferedItem]:
+        return iter(self._items.values())
+
+    # -- updates -------------------------------------------------------------------------
+
+    def update(self, item: Hashable, lower: float, upper: float) -> None:
+        """Insert or refresh the bounds of one item."""
+        self._items[item] = BufferedItem(item, lower, upper)
+
+    def update_many(self, bounds: Mapping[Hashable, tuple[float, float]]) -> None:
+        """Bulk insert/refresh from ``{item: (lower, upper)}``."""
+        for item, (lower, upper) in bounds.items():
+            self.update(item, lower, upper)
+
+    def remove(self, items: Iterable[Hashable]) -> None:
+        """Drop items that have been pruned."""
+        for item in items:
+            self._items.pop(item, None)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def get(self, item: Hashable) -> BufferedItem | None:
+        """The buffered record of ``item`` or ``None``."""
+        return self._items.get(item)
+
+    def ranked_by_lower_bound(self) -> list[BufferedItem]:
+        """All buffered items sorted by decreasing lower bound (ties by item repr)."""
+        return sorted(self._items.values(), key=lambda entry: (-entry.lower, repr(entry.item)))
+
+    def top_k(self, k: int) -> list[BufferedItem]:
+        """The ``k`` buffered items with the highest lower bounds."""
+        if k <= 0:
+            raise AlgorithmError("k must be positive")
+        return self.ranked_by_lower_bound()[:k]
+
+    def kth_lower_bound(self, k: int) -> float | None:
+        """Lower bound of the ``k``-th ranked item (``None`` if fewer than ``k`` items)."""
+        ranked = self.ranked_by_lower_bound()
+        if len(ranked) < k:
+            return None
+        return ranked[k - 1].lower
+
+    def satisfies_buffer_condition(self, k: int, tolerance: float = 1e-9) -> bool:
+        """GRECA's buffer termination test.
+
+        ``True`` when the buffer holds at least ``k`` items and the ``k``-th
+        largest lower bound is no smaller than the upper bound of every item
+        outside that top-k set.  With exactly ``k`` items the condition is
+        vacuously satisfied (there is nothing left to prune).
+        """
+        ranked = self.ranked_by_lower_bound()
+        if len(ranked) < k:
+            return False
+        kth_lower = ranked[k - 1].lower
+        return all(entry.upper <= kth_lower + tolerance for entry in ranked[k:])
+
+    def max_upper_bound_outside_top_k(self, k: int) -> float | None:
+        """Largest upper bound among items not in the current top-k (``None`` if none)."""
+        ranked = self.ranked_by_lower_bound()
+        if len(ranked) <= k:
+            return None
+        return max(entry.upper for entry in ranked[k:])

@@ -1,0 +1,280 @@
+"""Group consensus functions (Section 2.3 of the paper).
+
+A consensus function ``F(G, i, p)`` aggregates the (affinity-aware, time-
+aware) member preferences for an item into a single group score.  It combines
+two aspects:
+
+* **Group preference** ``gpref(G, i, p)`` — how much the members like the
+  item overall.  Two aggregation strategies are supported: *Average
+  Preference* and *Least-Misery Preference* (minimum).
+* **Group disagreement** ``dis(G, i, p)`` — how much the members disagree.
+  Two variants: *average pairwise disagreement* (mean absolute difference of
+  member preferences) and *disagreement variance*.
+
+They are combined as ``F = w1 * gpref + w2 * (1 - dis)`` with
+``w1 + w2 = 1`` (Section 2.3).  The evaluation uses three named functions:
+
+* **AP** — Average Preference only (``w1 = 1``).
+* **MO** — Least-Misery Only (``w1 = 1`` with the minimum aggregation).
+* **PD** — Pairwise Disagreement: average preference combined with pairwise
+  disagreement.  The scalability study additionally uses *PD V1*
+  (``w1 = 0.8``) and *PD V2* (``w1 = 0.2``) — Figure 8.
+
+Scores are computed on preferences normalised by a ``scale`` factor (the
+maximum possible member preference) so that both ``gpref`` and ``dis`` live
+in [0, 1] and the weighted combination is meaningful.  The same functions are
+provided on intervals for GRECA's bound computations; all of them are
+monotone in the member preferences (Lemma 1), which the test-suite verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.bounds import (
+    Interval,
+    interval_abs_difference,
+    interval_mean,
+    interval_min,
+    interval_variance,
+)
+from repro.exceptions import ConsensusError
+
+#: Aggregation strategy names for the group-preference part.
+AGGREGATION_AVERAGE = "average"
+AGGREGATION_LEAST_MISERY = "least-misery"
+
+#: Disagreement computation names.
+DISAGREEMENT_NONE = "none"
+DISAGREEMENT_PAIRWISE = "pairwise"
+DISAGREEMENT_VARIANCE = "variance"
+
+
+def average_preference(prefs: Sequence[float]) -> float:
+    """``gpref`` as the mean of member preferences."""
+    if not prefs:
+        raise ConsensusError("cannot aggregate an empty preference list")
+    return sum(prefs) / len(prefs)
+
+
+def least_misery_preference(prefs: Sequence[float]) -> float:
+    """``gpref`` as the minimum member preference."""
+    if not prefs:
+        raise ConsensusError("cannot aggregate an empty preference list")
+    return min(prefs)
+
+
+def pairwise_disagreement(prefs: Sequence[float]) -> float:
+    """Average pairwise absolute difference of member preferences.
+
+    ``dis(G, i, p) = 2 / (|G| (|G| - 1)) * sum_{u != v} |pref(u) - pref(v)|``
+    (0 for singleton groups).
+    """
+    n = len(prefs)
+    if n == 0:
+        raise ConsensusError("cannot compute disagreement of an empty group")
+    if n == 1:
+        return 0.0
+    total = 0.0
+    for index, left in enumerate(prefs):
+        for right in prefs[index + 1 :]:
+            total += abs(left - right)
+    return 2.0 * total / (n * (n - 1))
+
+
+def variance_disagreement(prefs: Sequence[float]) -> float:
+    """Population variance of member preferences (the paper's second variant)."""
+    n = len(prefs)
+    if n == 0:
+        raise ConsensusError("cannot compute disagreement of an empty group")
+    mean = sum(prefs) / n
+    return sum((value - mean) ** 2 for value in prefs) / n
+
+
+@dataclass(frozen=True)
+class ConsensusFunction:
+    """A named, weighted combination of group preference and disagreement.
+
+    Parameters
+    ----------
+    name:
+        Display name (``"AP"``, ``"MO"``, ``"PD"``...).
+    aggregation:
+        ``"average"`` or ``"least-misery"``.
+    disagreement:
+        ``"none"``, ``"pairwise"`` or ``"variance"``.
+    w1, w2:
+        Relative weights of preference and (1 - disagreement); must sum to 1.
+    """
+
+    name: str
+    aggregation: str = AGGREGATION_AVERAGE
+    disagreement: str = DISAGREEMENT_NONE
+    w1: float = 1.0
+    w2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.aggregation not in (AGGREGATION_AVERAGE, AGGREGATION_LEAST_MISERY):
+            raise ConsensusError(f"unknown aggregation strategy {self.aggregation!r}")
+        if self.disagreement not in (
+            DISAGREEMENT_NONE,
+            DISAGREEMENT_PAIRWISE,
+            DISAGREEMENT_VARIANCE,
+        ):
+            raise ConsensusError(f"unknown disagreement strategy {self.disagreement!r}")
+        if not (0.0 <= self.w1 <= 1.0 and 0.0 <= self.w2 <= 1.0):
+            raise ConsensusError("weights must lie in [0, 1]")
+        if abs(self.w1 + self.w2 - 1.0) > 1e-9:
+            raise ConsensusError(f"weights must sum to 1, got w1={self.w1}, w2={self.w2}")
+        if self.disagreement == DISAGREEMENT_NONE and self.w2 not in (0.0,):
+            raise ConsensusError("w2 must be 0 when no disagreement component is used")
+
+    # -- exact scoring ---------------------------------------------------------------
+
+    def group_preference(self, prefs: Sequence[float]) -> float:
+        """The ``gpref`` part on already-normalised member preferences."""
+        if self.aggregation == AGGREGATION_AVERAGE:
+            return average_preference(prefs)
+        return least_misery_preference(prefs)
+
+    def group_disagreement(self, prefs: Sequence[float]) -> float:
+        """The ``dis`` part on already-normalised member preferences."""
+        if self.disagreement == DISAGREEMENT_PAIRWISE:
+            return pairwise_disagreement(prefs)
+        if self.disagreement == DISAGREEMENT_VARIANCE:
+            return variance_disagreement(prefs)
+        return 0.0
+
+    def score(self, member_prefs: Mapping[int, float] | Sequence[float], scale: float = 1.0) -> float:
+        """The consensus score ``F`` for one item.
+
+        Parameters
+        ----------
+        member_prefs:
+            Either a mapping ``{user: pref}`` or a plain sequence of member
+            preferences.
+        scale:
+            Normalisation constant (the maximum possible member preference);
+            preferences are divided by it before aggregation so that
+            ``gpref`` and ``dis`` are on the same [0, 1] scale.
+        """
+        prefs = list(member_prefs.values()) if isinstance(member_prefs, Mapping) else list(member_prefs)
+        if not prefs:
+            raise ConsensusError("cannot score an item for an empty group")
+        if scale <= 0:
+            raise ConsensusError("scale must be positive")
+        normalised = [value / scale for value in prefs]
+        preference_part = self.group_preference(normalised)
+        if self.w2 == 0.0:
+            return self.w1 * preference_part
+        disagreement_part = self.group_disagreement(normalised)
+        return self.w1 * preference_part + self.w2 * (1.0 - disagreement_part)
+
+    # -- interval scoring (GRECA bounds) -----------------------------------------------
+
+    def score_bounds(
+        self, member_intervals: Sequence[Interval], scale: float = 1.0
+    ) -> Interval:
+        """Sound bounds on ``F`` when member preferences are only known as intervals."""
+        if not member_intervals:
+            raise ConsensusError("cannot bound an item score for an empty group")
+        if scale <= 0:
+            raise ConsensusError("scale must be positive")
+        normalised = [interval.scale(1.0 / scale) for interval in member_intervals]
+
+        if self.aggregation == AGGREGATION_AVERAGE:
+            preference_part = interval_mean(normalised)
+        else:
+            preference_part = interval_min(normalised)
+
+        if self.w2 == 0.0:
+            return preference_part.scale(self.w1)
+
+        if self.disagreement == DISAGREEMENT_PAIRWISE:
+            n = len(normalised)
+            if n == 1:
+                disagreement_part = Interval.exact(0.0)
+            else:
+                pair_intervals = []
+                for index, left in enumerate(normalised):
+                    for right in normalised[index + 1 :]:
+                        pair_intervals.append(interval_abs_difference(left, right))
+                total_low = sum(interval.low for interval in pair_intervals)
+                total_high = sum(interval.high for interval in pair_intervals)
+                factor = 2.0 / (n * (n - 1))
+                disagreement_part = Interval(total_low * factor, total_high * factor)
+        else:
+            disagreement_part = interval_variance(normalised)
+
+        low = self.w1 * preference_part.low + self.w2 * (1.0 - disagreement_part.high)
+        high = self.w1 * preference_part.high + self.w2 * (1.0 - disagreement_part.low)
+        return Interval(low, high)
+
+
+#: The three consensus functions used throughout the paper's evaluation.
+AVERAGE_PREFERENCE = ConsensusFunction(name="AP", aggregation=AGGREGATION_AVERAGE)
+LEAST_MISERY = ConsensusFunction(name="MO", aggregation=AGGREGATION_LEAST_MISERY)
+PAIRWISE_DISAGREEMENT = ConsensusFunction(
+    name="PD", aggregation=AGGREGATION_AVERAGE, disagreement=DISAGREEMENT_PAIRWISE, w1=0.5, w2=0.5
+)
+#: Figure 8 variants: PD with a high preference weight (V1) / high disagreement weight (V2).
+PD_V1 = ConsensusFunction(
+    name="PD V1", aggregation=AGGREGATION_AVERAGE, disagreement=DISAGREEMENT_PAIRWISE, w1=0.8, w2=0.2
+)
+PD_V2 = ConsensusFunction(
+    name="PD V2", aggregation=AGGREGATION_AVERAGE, disagreement=DISAGREEMENT_PAIRWISE, w1=0.2, w2=0.8
+)
+
+_NAMED_FUNCTIONS = {
+    "AP": AVERAGE_PREFERENCE,
+    "AR": AVERAGE_PREFERENCE,  # the paper's Figure 8 labels AP as "AR" (average rating)
+    "MO": LEAST_MISERY,
+    "PD": PAIRWISE_DISAGREEMENT,
+    "PD V1": PD_V1,
+    "PD_V1": PD_V1,
+    "PD V2": PD_V2,
+    "PD_V2": PD_V2,
+}
+
+
+def make_consensus(name: str, w1: float | None = None, disagreement: str | None = None) -> ConsensusFunction:
+    """Build a consensus function by name, optionally overriding its weights.
+
+    Parameters
+    ----------
+    name:
+        ``"AP"`` (or ``"AR"``), ``"MO"``, ``"PD"``, ``"PD V1"`` or ``"PD V2"``.
+    w1:
+        Optional preference weight override for PD-style functions
+        (``w2 = 1 - w1``).
+    disagreement:
+        Optional disagreement strategy override (``"pairwise"`` / ``"variance"``).
+    """
+    key = name.strip().upper()
+    if key not in _NAMED_FUNCTIONS:
+        raise ConsensusError(
+            f"unknown consensus function {name!r}; expected one of {sorted(set(_NAMED_FUNCTIONS))}"
+        )
+    base = _NAMED_FUNCTIONS[key]
+    if w1 is None and disagreement is None:
+        return base
+    if base.disagreement == DISAGREEMENT_NONE and (w1 is not None or disagreement is not None):
+        # Adding a disagreement component turns AP/MO into a PD-style function.
+        disagreement = disagreement or DISAGREEMENT_PAIRWISE
+        w1 = w1 if w1 is not None else 0.5
+        return ConsensusFunction(
+            name=f"{base.name}+{disagreement}",
+            aggregation=base.aggregation,
+            disagreement=disagreement,
+            w1=w1,
+            w2=1.0 - w1,
+        )
+    w1 = w1 if w1 is not None else base.w1
+    return ConsensusFunction(
+        name=base.name,
+        aggregation=base.aggregation,
+        disagreement=disagreement or base.disagreement,
+        w1=w1,
+        w2=1.0 - w1,
+    )

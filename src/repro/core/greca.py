@@ -1,0 +1,591 @@
+"""GRECA — Group Recommendation with Temporal Affinities (Section 3 of the paper).
+
+GRECA adapts the NRA flavour of Fagin-style threshold algorithms to compute
+the top-k itemset for an ad-hoc group under a temporal-affinity-aware
+consensus function, using *sequential accesses only* over:
+
+* one preference list ``PL_u`` per group member (items sorted by ``apref``),
+* ``n - 1`` static affinity lists (pairs sorted by ``aff_S``), and
+* ``n - 1`` periodic affinity lists per time period (pairs sorted by
+  ``aff_P``).
+
+It maintains, for every encountered item, lower and upper bounds on its
+consensus score and stops as soon as either
+
+* the **threshold condition** holds — the best possible score of any unseen
+  item (the global threshold) cannot beat the ``k``-th best lower bound and
+  exactly ``k`` items are buffered — or
+* the **buffer condition** holds — the ``k``-th best lower bound is no
+  smaller than the upper bound of every other buffered item (Theorem 1 shows
+  this implies the threshold condition).
+
+The implementation below follows the paper's structure but performs the bound
+maintenance in bulk with numpy (the round-robin accesses and their accounting
+are exactly per the paper; only the bookkeeping of the subroutines
+``ComputeUB`` / ``ComputeLB`` / ``ComputeTh`` is vectorised over items, which
+does not change which accesses are made).
+
+The main entry points are :class:`GrecaIndex` (the pre-computed lists for a
+group and a query period) and :class:`Greca` (the algorithm itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.affinity import ComputedAffinities, combine_continuous, combine_discrete
+from repro.core.buffer import CandidateBuffer
+from repro.core.consensus import ConsensusFunction
+from repro.core.lists import (
+    KIND_PERIODIC_AFFINITY,
+    KIND_PREFERENCE,
+    KIND_STATIC_AFFINITY,
+    AccessCounter,
+    SortedAccessList,
+    build_affinity_lists,
+    build_preference_list,
+    total_entries,
+)
+from repro.core.scoring import consensus_bounds, consensus_scores, default_scale, preference_matrix
+from repro.core.timeline import Period, Timeline
+from repro.exceptions import AlgorithmError, GroupError
+
+#: Time-model names accepted by :class:`GrecaIndex`.
+TIME_MODEL_DISCRETE = "discrete"
+TIME_MODEL_CONTINUOUS = "continuous"
+
+#: Stopping reasons reported in :class:`GrecaResult`.
+STOP_THRESHOLD = "threshold"
+STOP_BUFFER = "buffer"
+STOP_EXHAUSTED = "exhausted"
+
+
+class GrecaIndex:
+    """Pre-computed preference and affinity lists for one group and period.
+
+    The index is the data structure described in Section 3.1: absolute
+    preference lists for every member, static affinity values for every pair
+    and periodic affinity values for every pair and period up to the query
+    period, together with the per-period population averages needed by the
+    drift computation (Equation 1).
+
+    Parameters
+    ----------
+    members:
+        Group members, in a fixed order.
+    aprefs:
+        ``{user: {item: apref}}`` absolute preferences.  Every member must
+        cover the same item universe (missing entries default to 0).
+    static:
+        ``{(u, v): aff_S}`` normalised static affinities.
+    periodic:
+        ``{period_index: {(u, v): aff_P}}`` normalised periodic affinities
+        for each period up to (and including) the query period, indexed by
+        their chronological position (0 = oldest).
+    averages:
+        ``{period_index: Avg_aff_P}`` population averages on the same
+        normalised scale.
+    time_model:
+        ``"discrete"`` or ``"continuous"`` — selects how the components are
+        combined into the pairwise affinity.
+    max_apref:
+        Upper bound on absolute preference values (used for the score
+        normalisation constant); defaults to the observed maximum.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[int],
+        aprefs: Mapping[int, Mapping[int, float]],
+        static: Mapping[tuple[int, int], float],
+        periodic: Mapping[int, Mapping[tuple[int, int], float]] | None = None,
+        averages: Mapping[int, float] | None = None,
+        time_model: str = TIME_MODEL_DISCRETE,
+        max_apref: float | None = None,
+    ) -> None:
+        members = list(members)
+        if len(members) < 2:
+            raise GroupError("GRECA requires a group of at least two members")
+        if len(set(members)) != len(members):
+            raise GroupError("the group contains duplicate members")
+        for member in members:
+            if member not in aprefs:
+                raise GroupError(f"no absolute preferences supplied for member {member}")
+        if time_model not in (TIME_MODEL_DISCRETE, TIME_MODEL_CONTINUOUS):
+            raise AlgorithmError(f"unknown time model {time_model!r}")
+
+        self.members: tuple[int, ...] = tuple(members)
+        self.time_model = time_model
+
+        item_universe: set[int] = set()
+        for member in members:
+            item_universe.update(aprefs[member])
+        self.items: tuple[int, ...] = tuple(sorted(item_universe))
+        if not self.items:
+            raise AlgorithmError("the preference lists contain no items")
+
+        self._aprefs: dict[int, dict[int, float]] = {
+            member: {item: float(aprefs[member].get(item, 0.0)) for item in self.items}
+            for member in members
+        }
+        for member, prefs in self._aprefs.items():
+            for item, value in prefs.items():
+                if value < 0:
+                    raise AlgorithmError(
+                        f"negative absolute preference for user {member}, item {item}"
+                    )
+
+        self._static = {self._pair(*pair): float(value) for pair, value in static.items()}
+        self._periodic: dict[int, dict[tuple[int, int], float]] = {}
+        for period_index, values in (periodic or {}).items():
+            self._periodic[int(period_index)] = {
+                self._pair(*pair): float(value) for pair, value in values.items()
+            }
+        self.period_indices: tuple[int, ...] = tuple(sorted(self._periodic))
+        self._averages = {int(index): float(value) for index, value in (averages or {}).items()}
+        for period_index in self.period_indices:
+            self._averages.setdefault(period_index, 0.0)
+
+        observed_max = max(
+            (value for prefs in self._aprefs.values() for value in prefs.values()),
+            default=0.0,
+        )
+        self.max_apref = float(max_apref) if max_apref is not None else max(observed_max, 1e-9)
+        self.scale = default_scale(self.max_apref, len(self.members))
+
+    # -- constructors --------------------------------------------------------------------
+
+    @classmethod
+    def from_computed(
+        cls,
+        members: Sequence[int],
+        aprefs: Mapping[int, Mapping[int, float]],
+        computed: ComputedAffinities,
+        period: Period,
+        time_model: str = TIME_MODEL_DISCRETE,
+        max_apref: float | None = None,
+    ) -> "GrecaIndex":
+        """Build the index from pre-computed social-network affinities.
+
+        The static component is normalised per Section 4.1.2 and the periodic
+        components (and their population averages) cover every period of the
+        timeline up to ``period``.
+        """
+        members = list(members)
+        static = {}
+        for index, left in enumerate(members):
+            for right in members[index + 1 :]:
+                static[(left, right)] = computed.static_normalized(left, right)
+        periodic: dict[int, dict[tuple[int, int], float]] = {}
+        averages: dict[int, float] = {}
+        for period_index, past in enumerate(computed.timeline.periods_until(period)):
+            values = {}
+            for index, left in enumerate(members):
+                for right in members[index + 1 :]:
+                    values[(left, right)] = computed.periodic_normalized(left, right, past)
+            periodic[period_index] = values
+            averages[period_index] = computed.population_average_normalized(past)
+        return cls(
+            members=members,
+            aprefs=aprefs,
+            static=static,
+            periodic=periodic,
+            averages=averages,
+            time_model=time_model,
+            max_apref=max_apref,
+        )
+
+    # -- helpers --------------------------------------------------------------------------
+
+    @staticmethod
+    def _pair(left: int, right: int) -> tuple[int, int]:
+        if left == right:
+            raise AlgorithmError("affinity pairs must involve two distinct users")
+        return (left, right) if left < right else (right, left)
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """Every unordered member pair, in member order."""
+        result = []
+        for index, left in enumerate(self.members):
+            for right in self.members[index + 1 :]:
+                result.append(self._pair(left, right))
+        return result
+
+    def static_value(self, left: int, right: int) -> float:
+        """Normalised static affinity of a pair (0 when absent)."""
+        return self._static.get(self._pair(left, right), 0.0)
+
+    def periodic_value(self, left: int, right: int, period_index: int) -> float:
+        """Normalised periodic affinity of a pair during one period."""
+        return self._periodic.get(period_index, {}).get(self._pair(left, right), 0.0)
+
+    def average_value(self, period_index: int) -> float:
+        """Population average for one period."""
+        return self._averages.get(period_index, 0.0)
+
+    def combine(self, static: float, periodic: Sequence[float]) -> float:
+        """Combine component values into a pairwise affinity (model-dependent)."""
+        averages = [self._averages.get(index, 0.0) for index in self.period_indices]
+        if self.time_model == TIME_MODEL_DISCRETE:
+            return combine_discrete(static, list(periodic), averages)
+        return combine_continuous(static, list(periodic), averages)
+
+    def affinity(self, left: int, right: int) -> float:
+        """The exact combined affinity of a pair at the query period."""
+        periodic = [self.periodic_value(left, right, index) for index in self.period_indices]
+        return self.combine(self.static_value(left, right), periodic)
+
+    # -- dense views (used by the exact scorers and by GRECA's bound maintenance) ---------
+
+    def apref_matrix(self) -> np.ndarray:
+        """``(n_members, n_items)`` matrix of absolute preferences."""
+        matrix = np.zeros((len(self.members), len(self.items)))
+        for row, member in enumerate(self.members):
+            prefs = self._aprefs[member]
+            for col, item in enumerate(self.items):
+                matrix[row, col] = prefs[item]
+        return matrix
+
+    def affinity_matrix(self) -> np.ndarray:
+        """``(n_members, n_members)`` exact combined affinity matrix (zero diagonal)."""
+        n = len(self.members)
+        matrix = np.zeros((n, n))
+        for row in range(n):
+            for col in range(row + 1, n):
+                value = self.affinity(self.members[row], self.members[col])
+                matrix[row, col] = value
+                matrix[col, row] = value
+        return matrix
+
+    def exact_scores(self, consensus: ConsensusFunction) -> dict[int, float]:
+        """Exact consensus scores of every item (no access accounting)."""
+        prefs = preference_matrix(self.apref_matrix(), self.affinity_matrix())
+        scores = consensus_scores(consensus, prefs, self.scale)
+        return {item: float(scores[col]) for col, item in enumerate(self.items)}
+
+    # -- list construction ------------------------------------------------------------------
+
+    def build_lists(
+        self, counter: AccessCounter
+    ) -> tuple[
+        list[SortedAccessList[int]],
+        list[SortedAccessList[tuple[int, int]]],
+        dict[int, list[SortedAccessList[tuple[int, int]]]],
+    ]:
+        """Materialise the sorted lists GRECA scans (preference, static, periodic)."""
+        preference_lists = [
+            build_preference_list(member, self._aprefs[member], counter)
+            for member in self.members
+        ]
+        static_lists = build_affinity_lists(
+            self.members, self._static, KIND_STATIC_AFFINITY, "affS", counter
+        )
+        periodic_lists = {
+            period_index: build_affinity_lists(
+                self.members,
+                self._periodic.get(period_index, {}),
+                KIND_PERIODIC_AFFINITY,
+                f"affV[p{period_index}]",
+                counter,
+            )
+            for period_index in self.period_indices
+        }
+        return preference_lists, static_lists, periodic_lists
+
+    def total_index_entries(self) -> int:
+        """Total number of entries across every list (the naive scan cost)."""
+        n = len(self.members)
+        n_pairs = n * (n - 1) // 2
+        return n * len(self.items) + n_pairs * (1 + len(self.period_indices))
+
+
+@dataclass(frozen=True)
+class GrecaResult:
+    """Outcome of one GRECA execution."""
+
+    items: tuple[int, ...]
+    bounds: Mapping[int, tuple[float, float]]
+    exact_scores: Mapping[int, float]
+    sequential_accesses: int
+    random_accesses: int
+    total_entries: int
+    rounds: int
+    stopping: str
+    consensus: str
+    k: int
+
+    @property
+    def percent_sequential_accesses(self) -> float:
+        """Percentage of list entries read sequentially (the paper's ``%SA``)."""
+        if self.total_entries == 0:
+            return 0.0
+        return 100.0 * self.sequential_accesses / self.total_entries
+
+    @property
+    def saveup(self) -> float:
+        """Percentage of accesses avoided compared to a full scan."""
+        return 100.0 - self.percent_sequential_accesses
+
+
+class Greca:
+    """The GRECA top-k algorithm.
+
+    Parameters
+    ----------
+    consensus:
+        The (monotone) consensus function ``F``.
+    k:
+        Size of the itemset to recommend.
+    check_interval:
+        Number of round-robin cycles between two evaluations of the stopping
+        conditions.  ``None`` selects an adaptive default that keeps the
+        bookkeeping overhead negligible while bounding the overshoot to a
+        small fraction of the lists.
+    """
+
+    def __init__(
+        self,
+        consensus: ConsensusFunction,
+        k: int = 10,
+        check_interval: int | None = None,
+    ) -> None:
+        if k <= 0:
+            raise AlgorithmError("k must be positive")
+        if check_interval is not None and check_interval <= 0:
+            raise AlgorithmError("check_interval must be positive")
+        self.consensus = consensus
+        self.k = k
+        self.check_interval = check_interval
+
+    # -- public API ---------------------------------------------------------------------------
+
+    def run(self, index: GrecaIndex) -> GrecaResult:
+        """Execute GRECA over a pre-built index and return the top-k itemset."""
+        counter = AccessCounter()
+        preference_lists, static_lists, periodic_lists = index.build_lists(counter)
+        all_lists: list[SortedAccessList] = list(preference_lists) + list(static_lists)
+        for period_index in index.period_indices:
+            all_lists.extend(periodic_lists[period_index])
+        total = total_entries(all_lists)
+
+        n_members = len(index.members)
+        n_items = len(index.items)
+        member_row = {member: row for row, member in enumerate(index.members)}
+        item_col = {item: col for col, item in enumerate(index.items)}
+
+        k = min(self.k, n_items)
+        check_interval = self.check_interval or max(1, n_items // 200)
+
+        # Partial knowledge gathered from sequential accesses.
+        seen_apref = np.full((n_members, n_items), np.nan)
+        static_seen: dict[tuple[int, int], float] = {}
+        periodic_seen: dict[tuple[int, tuple[int, int]], float] = {}
+
+        # Resolve which member / period each list feeds, by list identity.
+        list_member = {id(pl): member for pl, member in zip(preference_lists, index.members)}
+        list_period: dict[int, int] = {}
+        for period_index in index.period_indices:
+            for access_list in periodic_lists[period_index]:
+                list_period[id(access_list)] = period_index
+
+        # Map each pair to the list that will eventually deliver it, so that
+        # unseen pair components can be bounded by that list's cursor value.
+        pair_static_list = self._pair_list_map(index, static_lists)
+        pair_periodic_list = {
+            period_index: self._pair_list_map(index, periodic_lists[period_index])
+            for period_index in index.period_indices
+        }
+
+        buffer = CandidateBuffer()
+        rounds = 0
+        stopping = STOP_EXHAUSTED
+        finished = False
+
+        while not finished:
+            progressed = False
+            for access_list in all_lists:
+                entry = access_list.sequential_access()
+                if entry is None:
+                    continue
+                progressed = True
+                if access_list.kind == KIND_PREFERENCE:
+                    member = list_member[id(access_list)]
+                    seen_apref[member_row[member], item_col[entry.key]] = entry.score
+                elif access_list.kind == KIND_STATIC_AFFINITY:
+                    static_seen[entry.key] = entry.score
+                else:
+                    periodic_seen[(list_period[id(access_list)], entry.key)] = entry.score
+            rounds += 1
+
+            exhausted = not progressed or all(access_list.exhausted for access_list in all_lists)
+            if not exhausted and rounds % check_interval != 0:
+                continue
+
+            lower, upper, threshold, buffered = self._compute_bounds(
+                index,
+                preference_lists,
+                seen_apref,
+                static_seen,
+                periodic_seen,
+                pair_static_list,
+                pair_periodic_list,
+            )
+            buffer.update_many(
+                {
+                    index.items[col]: (float(lower[col]), float(upper[col]))
+                    for col in np.flatnonzero(buffered)
+                }
+            )
+
+            decision = self._check_stop(lower, upper, threshold, buffered, k, exhausted)
+            if decision is not None:
+                stopping = decision
+                finished = True
+            elif exhausted:
+                stopping = STOP_EXHAUSTED
+                finished = True
+
+        ranked = buffer.ranked_by_lower_bound()
+        top_items = tuple(entry.item for entry in ranked[:k])
+        exact = index.exact_scores(self.consensus)
+        return GrecaResult(
+            items=top_items,
+            bounds={entry.item: (entry.lower, entry.upper) for entry in ranked[:k]},
+            exact_scores={item: exact[item] for item in top_items},
+            sequential_accesses=counter.sequential,
+            random_accesses=counter.random,
+            total_entries=total,
+            rounds=rounds,
+            stopping=stopping,
+            consensus=self.consensus.name,
+            k=k,
+        )
+
+    # -- internals ------------------------------------------------------------------------------
+
+    @staticmethod
+    def _pair_list_map(
+        index: GrecaIndex, lists: Sequence[SortedAccessList[tuple[int, int]]]
+    ) -> dict[tuple[int, int], SortedAccessList[tuple[int, int]]]:
+        """Map every member pair to the affinity list that contains it."""
+        mapping: dict[tuple[int, int], SortedAccessList[tuple[int, int]]] = {}
+        for access_list in lists:
+            for entry in access_list.entries:
+                mapping[entry.key] = access_list
+        # Pairs entirely absent from the lists (e.g. empty periodic lists) are
+        # treated as exactly 0 by _pair_bounds.
+        return mapping
+
+    @staticmethod
+    def _period_of(list_name: str) -> int:
+        """Extract the period index from a periodic list name ``LaffV[p{i}](u...)``."""
+        start = list_name.index("[p") + 2
+        end = list_name.index("]", start)
+        return int(list_name[start:end])
+
+    def _pair_bounds(
+        self,
+        index: GrecaIndex,
+        static_seen: Mapping[tuple[int, int], float],
+        periodic_seen: Mapping[tuple[int, tuple[int, int]], float],
+        pair_static_list: Mapping[tuple[int, int], SortedAccessList],
+        pair_periodic_list: Mapping[int, Mapping[tuple[int, int], SortedAccessList]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper bounds on the combined pairwise affinity matrix."""
+        n = len(index.members)
+        aff_low = np.zeros((n, n))
+        aff_high = np.zeros((n, n))
+        for row in range(n):
+            for col in range(row + 1, n):
+                pair = index._pair(index.members[row], index.members[col])
+                if pair in static_seen:
+                    static_low = static_high = static_seen[pair]
+                else:
+                    static_low = 0.0
+                    owner = pair_static_list.get(pair)
+                    static_high = owner.cursor_score if owner is not None else 0.0
+                periodic_low: list[float] = []
+                periodic_high: list[float] = []
+                for period_index in index.period_indices:
+                    key = (period_index, pair)
+                    if key in periodic_seen:
+                        periodic_low.append(periodic_seen[key])
+                        periodic_high.append(periodic_seen[key])
+                    else:
+                        periodic_low.append(0.0)
+                        owner = pair_periodic_list[period_index].get(pair)
+                        periodic_high.append(owner.cursor_score if owner is not None else 0.0)
+                low = index.combine(static_low, periodic_low)
+                high = index.combine(static_high, periodic_high)
+                aff_low[row, col] = aff_low[col, row] = low
+                aff_high[row, col] = aff_high[col, row] = high
+        return aff_low, aff_high
+
+    def _compute_bounds(
+        self,
+        index: GrecaIndex,
+        preference_lists: Sequence[SortedAccessList[int]],
+        seen_apref: np.ndarray,
+        static_seen: Mapping[tuple[int, int], float],
+        periodic_seen: Mapping[tuple[int, tuple[int, int]], float],
+        pair_static_list: Mapping[tuple[int, int], SortedAccessList],
+        pair_periodic_list: Mapping[int, Mapping[tuple[int, int], SortedAccessList]],
+    ) -> tuple[np.ndarray, np.ndarray, float, np.ndarray]:
+        """Per-item consensus bounds, the global threshold and the buffered mask."""
+        aff_low, aff_high = self._pair_bounds(
+            index, static_seen, periodic_seen, pair_static_list, pair_periodic_list
+        )
+        cursor_values = np.array([access_list.cursor_score for access_list in preference_lists])
+
+        unseen = np.isnan(seen_apref)
+        apref_low = np.where(unseen, 0.0, seen_apref)
+        apref_high = np.where(unseen, cursor_values[:, None], seen_apref)
+
+        pref_low = apref_low + aff_low @ apref_low
+        pref_high = apref_high + aff_high @ apref_high
+        lower, upper = consensus_bounds(self.consensus, pref_low, pref_high, index.scale)
+
+        # Global threshold: the best score a completely unseen item could reach.
+        virtual_low = np.zeros((len(index.members), 1))
+        virtual_high = (cursor_values + aff_high @ cursor_values)[:, None]
+        _, threshold_arr = consensus_bounds(self.consensus, virtual_low, virtual_high, index.scale)
+        threshold = float(threshold_arr[0])
+
+        buffered = ~np.all(unseen, axis=0)
+        return lower, upper, threshold, buffered
+
+    @staticmethod
+    def _check_stop(
+        lower: np.ndarray,
+        upper: np.ndarray,
+        threshold: float,
+        buffered: np.ndarray,
+        k: int,
+        exhausted: bool,
+        tolerance: float = 1e-9,
+    ) -> str | None:
+        """Evaluate GRECA's stopping conditions; return the reason or ``None``."""
+        buffered_indices = np.flatnonzero(buffered)
+        if buffered_indices.size < k:
+            return None
+
+        buffered_lower = lower[buffered_indices]
+        order = np.argsort(-buffered_lower)
+        kth_lower = float(buffered_lower[order[k - 1]])
+
+        # Threshold condition: no unseen item can beat the k-th lower bound.
+        any_unseen = bool((~buffered).any())
+        threshold_ok = (not any_unseen) or threshold <= kth_lower + tolerance
+
+        # Buffer condition: no other buffered item can beat the k-th lower bound.
+        rest = buffered_indices[order[k:]]
+        buffer_ok = rest.size == 0 or float(upper[rest].max()) <= kth_lower + tolerance
+
+        if threshold_ok and buffer_ok:
+            if exhausted:
+                return STOP_EXHAUSTED
+            return STOP_BUFFER if rest.size > 0 else STOP_THRESHOLD
+        return None

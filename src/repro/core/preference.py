@@ -1,0 +1,184 @@
+"""User-item preference models (Section 2.2 of the paper).
+
+A group member's preference for an item combines two components:
+
+* **Absolute preference** ``apref(u, i)`` — how much ``u`` likes ``i``
+  regardless of company, produced by any single-user recommender (the
+  collaborative-filtering substrate in :mod:`repro.cf`).
+* **Relative preference** ``rpref(u, i, G, p)`` — how much the *company*
+  makes ``u`` like ``i``: the affinity-weighted sum of the other members'
+  absolute preferences,
+
+  ``rpref(u, i, G, p) = sum_{u' != u in G} aff(u, u', p) * apref(u', i)``.
+
+The overall (time-aware) preference is ``pref = apref + rpref``.
+
+:class:`PreferenceModel` binds an ``apref`` source and an affinity model
+together and exposes the three quantities.  It caches absolute preferences
+per user because GRECA, the consensus functions and the quality experiments
+all query them repeatedly for the same group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.cf.predictors import RatingPredictor
+from repro.core.affinity import AffinityModel, NoAffinityModel
+from repro.core.timeline import Period
+from repro.exceptions import GroupError
+
+
+class AbsolutePreferenceSource:
+    """Adapter exposing ``apref(u, i)`` from different backends.
+
+    Accepted backends:
+
+    * a fitted :class:`~repro.cf.predictors.RatingPredictor`,
+    * a mapping ``{user_id: {item_id: score}}``,
+    * a callable ``(user_id, item_id) -> float``.
+    """
+
+    def __init__(
+        self,
+        source: RatingPredictor | Mapping[int, Mapping[int, float]] | Callable[[int, int], float],
+        items: Iterable[int] | None = None,
+    ) -> None:
+        self._predictor: RatingPredictor | None = None
+        self._table: dict[int, dict[int, float]] | None = None
+        self._function: Callable[[int, int], float] | None = None
+        self._items = tuple(items) if items is not None else None
+
+        if isinstance(source, RatingPredictor):
+            self._predictor = source
+        elif callable(source):
+            self._function = source  # type: ignore[assignment]
+        else:
+            self._table = {user: dict(prefs) for user, prefs in source.items()}
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """The item universe, if it can be derived from the backend."""
+        if self._items is not None:
+            return self._items
+        if self._predictor is not None:
+            return self._predictor.matrix.items
+        if self._table is not None:
+            all_items: set[int] = set()
+            for prefs in self._table.values():
+                all_items.update(prefs)
+            return tuple(sorted(all_items))
+        raise GroupError("item universe unknown: pass items= explicitly for callable sources")
+
+    def apref(self, user_id: int, item_id: int) -> float:
+        """Absolute preference of ``user_id`` for ``item_id`` (0 when unknown)."""
+        if self._predictor is not None:
+            return self._predictor.predict(user_id, item_id)
+        if self._table is not None:
+            return self._table.get(user_id, {}).get(item_id, 0.0)
+        assert self._function is not None
+        return float(self._function(user_id, item_id))
+
+    def all_aprefs(self, user_id: int) -> dict[int, float]:
+        """Absolute preferences of ``user_id`` for every item."""
+        if self._predictor is not None:
+            return self._predictor.predict_all(user_id)
+        return {item: self.apref(user_id, item) for item in self.items}
+
+
+class PreferenceModel:
+    """Time-aware, affinity-aware user-item preferences for a group.
+
+    Parameters
+    ----------
+    absolute:
+        The ``apref`` source (see :class:`AbsolutePreferenceSource`).
+    affinity:
+        The affinity model; defaults to the affinity-agnostic model, in which
+        case ``pref == apref``.
+    """
+
+    def __init__(
+        self,
+        absolute: AbsolutePreferenceSource | RatingPredictor | Mapping[int, Mapping[int, float]],
+        affinity: AffinityModel | None = None,
+    ) -> None:
+        if isinstance(absolute, AbsolutePreferenceSource):
+            self.absolute = absolute
+        else:
+            self.absolute = AbsolutePreferenceSource(absolute)
+        self.affinity = affinity if affinity is not None else NoAffinityModel()
+        self._apref_cache: dict[int, dict[int, float]] = {}
+
+    # -- component accessors --------------------------------------------------------
+
+    def apref(self, user_id: int, item_id: int) -> float:
+        """Absolute preference ``apref(u, i)``."""
+        cached = self._apref_cache.get(user_id)
+        if cached is not None and item_id in cached:
+            return cached[item_id]
+        return self.absolute.apref(user_id, item_id)
+
+    def aprefs_of(self, user_id: int) -> dict[int, float]:
+        """All absolute preferences of a user (cached)."""
+        if user_id not in self._apref_cache:
+            self._apref_cache[user_id] = self.absolute.all_aprefs(user_id)
+        return self._apref_cache[user_id]
+
+    def rpref(
+        self,
+        user_id: int,
+        item_id: int,
+        group: Sequence[int],
+        period: Period | None = None,
+    ) -> float:
+        """Relative preference ``rpref(u, i, G, p)``."""
+        _validate_group(group, user_id)
+        total = 0.0
+        for other in group:
+            if other == user_id:
+                continue
+            total += self.affinity.affinity(user_id, other, period) * self.apref(other, item_id)
+        return total
+
+    def pref(
+        self,
+        user_id: int,
+        item_id: int,
+        group: Sequence[int],
+        period: Period | None = None,
+    ) -> float:
+        """Overall preference ``pref(u, i, G, p) = apref + rpref``."""
+        return self.apref(user_id, item_id) + self.rpref(user_id, item_id, group, period)
+
+    # -- group-level helpers ----------------------------------------------------------
+
+    def group_prefs(
+        self,
+        item_id: int,
+        group: Sequence[int],
+        period: Period | None = None,
+    ) -> dict[int, float]:
+        """``{user: pref(u, i, G, p)}`` for every member of the group."""
+        _validate_group(group)
+        return {user: self.pref(user, item_id, group, period) for user in group}
+
+    def max_possible_pref(self, group: Sequence[int], max_apref: float = 5.0) -> float:
+        """Upper bound on any member preference given the group size.
+
+        With affinities in [0, 1] and ``apref`` bounded by ``max_apref``, a
+        member's preference cannot exceed ``max_apref * |G|``.  Consensus
+        functions use this to map scores onto a [0, 1] scale.
+        """
+        _validate_group(group)
+        return max_apref * len(group)
+
+
+def _validate_group(group: Sequence[int], member: int | None = None) -> None:
+    """Common group validation: non-empty, no duplicates, membership check."""
+    if not group:
+        raise GroupError("the group is empty")
+    if len(set(group)) != len(group):
+        raise GroupError(f"the group contains duplicate members: {list(group)}")
+    if member is not None and member not in group:
+        raise GroupError(f"user {member} is not a member of the group {list(group)}")

@@ -1,0 +1,266 @@
+"""Time periods and timeline discretisation.
+
+The paper (Section 2) models time as a sequence of consecutive timestamps
+segmented into *periods* ``p = [s, f]``.  Dynamic affinity is computed per
+period, and the evaluation (Section 4.2.1, Figure 4) explores discretising a
+one-year page-like history into periods of different granularities: week,
+month, two-month, season (three months) and half-year.
+
+This module provides:
+
+* :class:`Period` — an immutable, half-open-ish inclusive time interval.
+* :class:`Timeline` — an ordered, non-overlapping sequence of periods covering
+  ``[beginning_of_time, end_of_time]``.
+* :func:`discretize` — build a timeline from a granularity name, reproducing
+  the period counts of Figure 4 (53 weeks, 12 months, 6 two-month periods,
+  4 seasons, 2 half-years for a one-year history).
+
+Timestamps are plain integers (seconds since an arbitrary epoch), which keeps
+the library independent from wall-clock / timezone concerns and matches how
+rating datasets such as MovieLens store time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import TimelineError
+
+#: Number of seconds in one day; used by the granularity helpers.
+SECONDS_PER_DAY = 86_400
+
+#: Granularity name -> approximate period length in days.
+GRANULARITY_DAYS = {
+    "week": 7,
+    "month": 31,
+    "two-month": 61,
+    "season": 92,
+    "half-year": 183,
+}
+
+#: Canonical ordering of granularities from finest to coarsest (Figure 4).
+GRANULARITIES = ("week", "month", "two-month", "season", "half-year")
+
+
+@dataclass(frozen=True, order=True)
+class Period:
+    """A time period ``[start, end]`` (both inclusive, in seconds).
+
+    Periods compare by ``(start, end)`` which yields chronological ordering
+    for the non-overlapping periods produced by :class:`Timeline`.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise TimelineError(
+                f"period end ({self.end}) precedes its start ({self.start})"
+            )
+
+    @property
+    def length(self) -> int:
+        """Duration of the period in seconds (at least 1)."""
+        return max(1, self.end - self.start)
+
+    def contains(self, timestamp: int) -> bool:
+        """Return ``True`` if ``timestamp`` falls inside this period."""
+        return self.start <= timestamp <= self.end
+
+    def precedes(self, other: "Period") -> bool:
+        """Paper's ``p_i <= p_j`` relation: starts and ends no later."""
+        return self.start <= other.start and self.end <= other.end
+
+    def overlaps(self, other: "Period") -> bool:
+        """Return ``True`` if the two periods share at least one timestamp."""
+        return self.start <= other.end and other.start <= self.end
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}, {self.end}]"
+
+
+class Timeline:
+    """An ordered sequence of consecutive, non-overlapping periods.
+
+    The timeline starts at the *beginning of time* ``s0`` (the start of its
+    first period) — the anchor used by both the discrete and the continuous
+    dynamic-affinity models.
+
+    Parameters
+    ----------
+    periods:
+        Chronologically ordered periods.  They must not overlap; gaps are
+        allowed (a gap simply means no activity is attributed to it).
+    """
+
+    def __init__(self, periods: Sequence[Period]) -> None:
+        periods = list(periods)
+        if not periods:
+            raise TimelineError("a timeline requires at least one period")
+        for earlier, later in zip(periods, periods[1:]):
+            if later.start <= earlier.end:
+                raise TimelineError(
+                    f"periods must be ordered and non-overlapping: "
+                    f"{earlier} followed by {later}"
+                )
+        self._periods: tuple[Period, ...] = tuple(periods)
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._periods)
+
+    def __iter__(self) -> Iterator[Period]:
+        return iter(self._periods)
+
+    def __getitem__(self, index: int) -> Period:
+        return self._periods[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timeline):
+            return NotImplemented
+        return self._periods == other._periods
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timeline({len(self._periods)} periods, [{self.beginning}, {self.end}])"
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def periods(self) -> tuple[Period, ...]:
+        """The periods of this timeline, in chronological order."""
+        return self._periods
+
+    @property
+    def beginning(self) -> int:
+        """The beginning of time ``s0`` (start of the first period)."""
+        return self._periods[0].start
+
+    @property
+    def end(self) -> int:
+        """The end of the last period."""
+        return self._periods[-1].end
+
+    @property
+    def current(self) -> Period:
+        """The most recent period ``p_now``."""
+        return self._periods[-1]
+
+    # -- queries ------------------------------------------------------------------
+
+    def index_of(self, period: Period) -> int:
+        """Return the index of ``period`` in the timeline.
+
+        Raises
+        ------
+        TimelineError
+            If the period does not belong to the timeline.
+        """
+        try:
+            return self._periods.index(period)
+        except ValueError as exc:
+            raise TimelineError(f"period {period} is not part of the timeline") from exc
+
+        return -1  # unreachable; single exit kept for clarity
+
+    def period_of(self, timestamp: int) -> Period | None:
+        """Return the period containing ``timestamp`` or ``None`` if in a gap."""
+        found = None
+        for period in self._periods:
+            if period.contains(timestamp):
+                found = period
+                break
+        return found
+
+    def periods_until(self, period: Period) -> tuple[Period, ...]:
+        """All periods ``p'`` with ``p' <= period`` (the drift-sum range in Eq. 1)."""
+        idx = self.index_of(period)
+        return self._periods[: idx + 1]
+
+    def elapsed(self, period: Period) -> int:
+        """``f - s0``: seconds between the beginning of time and the end of ``period``."""
+        self.index_of(period)  # validates membership
+        return max(1, period.end - self.beginning)
+
+
+def discretize(
+    start: int,
+    end: int,
+    granularity: str = "two-month",
+) -> Timeline:
+    """Discretise ``[start, end]`` into equal-length periods of ``granularity``.
+
+    The final period is truncated at ``end`` so that the timeline exactly
+    covers the requested span.
+
+    Parameters
+    ----------
+    start, end:
+        Bounds of the observed history (seconds).
+    granularity:
+        One of :data:`GRANULARITIES`.
+
+    Returns
+    -------
+    Timeline
+        A timeline whose period count matches the paper's Figure 4 for a
+        one-year history (e.g. 6 two-month periods, 53 week periods).
+    """
+    if granularity not in GRANULARITY_DAYS:
+        raise TimelineError(
+            f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}"
+        )
+    if end <= start:
+        raise TimelineError("timeline end must be after its start")
+
+    step = GRANULARITY_DAYS[granularity] * SECONDS_PER_DAY
+    periods = []
+    cursor = start
+    while cursor <= end:
+        period_end = min(cursor + step - 1, end)
+        periods.append(Period(cursor, period_end))
+        cursor = period_end + 1
+    return Timeline(periods)
+
+
+def uniform_timeline(start: int, n_periods: int, period_length: int) -> Timeline:
+    """Build a timeline of ``n_periods`` consecutive periods of equal length.
+
+    This is the convenience constructor used throughout tests and synthetic
+    experiments (e.g. "6 two-month periods covering one year").
+    """
+    if n_periods <= 0:
+        raise TimelineError("n_periods must be positive")
+    if period_length <= 0:
+        raise TimelineError("period_length must be positive")
+    periods = []
+    cursor = start
+    for _ in range(n_periods):
+        periods.append(Period(cursor, cursor + period_length - 1))
+        cursor += period_length
+    return Timeline(periods)
+
+
+def one_year_timeline(start: int = 0, granularity: str = "two-month") -> Timeline:
+    """A one-year history discretised at ``granularity`` (the paper's setup)."""
+    return discretize(start, start + 365 * SECONDS_PER_DAY - 1, granularity)
+
+
+def count_periods(granularity: str, span_days: int = 365) -> int:
+    """Number of periods obtained when discretising ``span_days`` of history."""
+    if granularity not in GRANULARITY_DAYS:
+        raise TimelineError(
+            f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}"
+        )
+    days = GRANULARITY_DAYS[granularity]
+    return -(-span_days // days)  # ceiling division
+
+
+def merge_timelines(timelines: Iterable[Timeline]) -> Timeline:
+    """Concatenate chronologically ordered, non-overlapping timelines."""
+    periods: list[Period] = []
+    for timeline in timelines:
+        periods.extend(timeline.periods)
+    return Timeline(periods)

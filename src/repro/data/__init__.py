@@ -1,0 +1,51 @@
+"""Data substrates: ratings, MovieLens, social graph and study cohort."""
+
+from repro.data.movielens import (
+    MovieLensConfig,
+    generate_movielens_like,
+    load_movielens,
+    movielens_1m_config,
+)
+from repro.data.ratings import (
+    MAX_RATING,
+    MIN_RATING,
+    DatasetStats,
+    Rating,
+    RatingsDataset,
+    dataset_from_tuples,
+)
+from repro.data.social import (
+    N_PAGE_CATEGORIES,
+    PageLike,
+    SocialConfig,
+    SocialNetwork,
+    SocialNetworkGenerator,
+)
+from repro.data.study_cohort import (
+    StudyCohort,
+    StudyConfig,
+    build_movie_sets,
+    build_study_cohort,
+)
+
+__all__ = [
+    "MAX_RATING",
+    "MIN_RATING",
+    "N_PAGE_CATEGORIES",
+    "DatasetStats",
+    "MovieLensConfig",
+    "PageLike",
+    "Rating",
+    "RatingsDataset",
+    "SocialConfig",
+    "SocialNetwork",
+    "SocialNetworkGenerator",
+    "StudyCohort",
+    "StudyConfig",
+    "build_movie_sets",
+    "build_study_cohort",
+    "dataset_from_tuples",
+    "generate_movielens_like",
+    "load_movielens",
+    "movielens_1m_config",
+]

@@ -1,0 +1,283 @@
+"""Collaborative rating dataset.
+
+The paper evaluates on the MovieLens 1M dataset (Table 5): users rate movies
+on a 1-5 scale and every rating carries a timestamp.  :class:`RatingsDataset`
+is the in-memory representation used by every other subsystem: the
+collaborative-filtering substrate (:mod:`repro.cf`), group formation
+(:mod:`repro.groups`) and the experiment drivers.
+
+The class is intentionally simple — a list of :class:`Rating` records plus a
+set of dictionary indexes — so that its behaviour is easy to reason about and
+so that synthetic generators can build datasets cheaply.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import DataError, UnknownItemError, UnknownUserError
+
+#: The rating scale used by MovieLens and by the paper's user study.
+MIN_RATING = 1.0
+MAX_RATING = 5.0
+
+
+@dataclass(frozen=True)
+class Rating:
+    """A single ``(user, item, rating, timestamp)`` record."""
+
+    user_id: int
+    item_id: int
+    value: float
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        if not (MIN_RATING <= self.value <= MAX_RATING):
+            raise DataError(
+                f"rating {self.value} for user {self.user_id} / item {self.item_id} "
+                f"is outside the [{MIN_RATING}, {MAX_RATING}] scale"
+            )
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics in the shape of the paper's Table 5."""
+
+    n_users: int
+    n_items: int
+    n_ratings: int
+    mean_rating: float
+    min_timestamp: int
+    max_timestamp: int
+
+    def as_table_row(self) -> dict[str, int]:
+        """The three columns reported in Table 5 of the paper."""
+        return {
+            "# users": self.n_users,
+            "# movies": self.n_items,
+            "# ratings": self.n_ratings,
+        }
+
+
+class RatingsDataset:
+    """An immutable collection of ratings with fast per-user/per-item access.
+
+    Parameters
+    ----------
+    ratings:
+        The rating records.  A user may rate an item at most once; duplicates
+        raise :class:`~repro.exceptions.DataError`.
+    name:
+        Optional human-readable name (e.g. ``"movielens-1m-synthetic"``).
+    """
+
+    def __init__(self, ratings: Iterable[Rating], name: str = "ratings") -> None:
+        self.name = name
+        self._ratings: list[Rating] = []
+        self._by_user: dict[int, dict[int, Rating]] = defaultdict(dict)
+        self._by_item: dict[int, dict[int, Rating]] = defaultdict(dict)
+        for rating in ratings:
+            if rating.item_id in self._by_user[rating.user_id]:
+                raise DataError(
+                    f"duplicate rating for user {rating.user_id}, item {rating.item_id}"
+                )
+            self._ratings.append(rating)
+            self._by_user[rating.user_id][rating.item_id] = rating
+            self._by_item[rating.item_id][rating.user_id] = rating
+        self._users = tuple(sorted(self._by_user))
+        self._items = tuple(sorted(self._by_item))
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ratings)
+
+    def __iter__(self) -> Iterator[Rating]:
+        return iter(self._ratings)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RatingsDataset(name={self.name!r}, users={len(self._users)}, "
+            f"items={len(self._items)}, ratings={len(self._ratings)})"
+        )
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def users(self) -> tuple[int, ...]:
+        """All user ids, sorted."""
+        return self._users
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """All item ids, sorted."""
+        return self._items
+
+    @property
+    def ratings(self) -> tuple[Rating, ...]:
+        """All rating records."""
+        return tuple(self._ratings)
+
+    def has_user(self, user_id: int) -> bool:
+        """Return ``True`` if the user appears in the dataset."""
+        return user_id in self._by_user
+
+    def has_item(self, item_id: int) -> bool:
+        """Return ``True`` if the item appears in the dataset."""
+        return item_id in self._by_item
+
+    def user_ratings(self, user_id: int) -> Mapping[int, Rating]:
+        """All ratings of ``user_id`` keyed by item id."""
+        if user_id not in self._by_user:
+            raise UnknownUserError(user_id)
+        return dict(self._by_user[user_id])
+
+    def item_ratings(self, item_id: int) -> Mapping[int, Rating]:
+        """All ratings of ``item_id`` keyed by user id."""
+        if item_id not in self._by_item:
+            raise UnknownItemError(item_id)
+        return dict(self._by_item[item_id])
+
+    def rating_value(self, user_id: int, item_id: int) -> float | None:
+        """The rating of ``user_id`` for ``item_id`` or ``None`` if unrated."""
+        return (
+            self._by_user.get(user_id, {}).get(item_id).value
+            if self._by_user.get(user_id, {}).get(item_id) is not None
+            else None
+        )
+
+    def user_vector(self, user_id: int) -> dict[int, float]:
+        """A sparse vector ``{item_id: rating}`` for ``user_id``."""
+        if user_id not in self._by_user:
+            raise UnknownUserError(user_id)
+        return {item: rating.value for item, rating in self._by_user[user_id].items()}
+
+    def user_mean(self, user_id: int) -> float:
+        """Mean rating of a user (0 if the user rated nothing)."""
+        vector = self.user_vector(user_id)
+        return sum(vector.values()) / len(vector) if vector else 0.0
+
+    def item_mean(self, item_id: int) -> float:
+        """Mean rating of an item (0 if no one rated it)."""
+        if item_id not in self._by_item:
+            raise UnknownItemError(item_id)
+        values = [rating.value for rating in self._by_item[item_id].values()]
+        return sum(values) / len(values)
+
+    def item_popularity(self, item_id: int) -> int:
+        """Number of users who rated ``item_id``."""
+        if item_id not in self._by_item:
+            raise UnknownItemError(item_id)
+        return len(self._by_item[item_id])
+
+    def item_rating_variance(self, item_id: int) -> float:
+        """Population variance of the ratings of ``item_id``."""
+        if item_id not in self._by_item:
+            raise UnknownItemError(item_id)
+        values = [rating.value for rating in self._by_item[item_id].values()]
+        mean = sum(values) / len(values)
+        return sum((value - mean) ** 2 for value in values) / len(values)
+
+    # -- derived views ------------------------------------------------------------
+
+    def stats(self) -> DatasetStats:
+        """Summary statistics (the content of the paper's Table 5)."""
+        if not self._ratings:
+            return DatasetStats(0, 0, 0, 0.0, 0, 0)
+        timestamps = [rating.timestamp for rating in self._ratings]
+        mean = sum(rating.value for rating in self._ratings) / len(self._ratings)
+        return DatasetStats(
+            n_users=len(self._users),
+            n_items=len(self._items),
+            n_ratings=len(self._ratings),
+            mean_rating=mean,
+            min_timestamp=min(timestamps),
+            max_timestamp=max(timestamps),
+        )
+
+    def filter(
+        self,
+        predicate: Callable[[Rating], bool],
+        name: str | None = None,
+    ) -> "RatingsDataset":
+        """A new dataset containing only the ratings satisfying ``predicate``."""
+        return RatingsDataset(
+            (rating for rating in self._ratings if predicate(rating)),
+            name=name or f"{self.name}-filtered",
+        )
+
+    def restrict_users(self, user_ids: Iterable[int]) -> "RatingsDataset":
+        """A new dataset with only the ratings of the given users."""
+        keep = set(user_ids)
+        return self.filter(lambda rating: rating.user_id in keep, name=f"{self.name}-users")
+
+    def restrict_items(self, item_ids: Iterable[int]) -> "RatingsDataset":
+        """A new dataset with only the ratings of the given items."""
+        keep = set(item_ids)
+        return self.filter(lambda rating: rating.item_id in keep, name=f"{self.name}-items")
+
+    def top_popular_items(self, n: int) -> list[int]:
+        """The ``n`` most-rated items (the paper's *popular set* builder)."""
+        ranked = sorted(
+            self._items,
+            key=lambda item: (-self.item_popularity(item), item),
+        )
+        return ranked[:n]
+
+    def most_controversial_items(self, n: int, within_top_popular: int | None = None) -> list[int]:
+        """The ``n`` items with the highest rating variance.
+
+        When ``within_top_popular`` is given, candidates are restricted to the
+        that many most popular items — this is exactly how the paper builds
+        its *diversity set* (25 highest-variance movies within the top-200
+        popular ones).
+        """
+        candidates: Sequence[int] = self._items
+        if within_top_popular is not None:
+            candidates = self.top_popular_items(within_top_popular)
+        ranked = sorted(
+            candidates,
+            key=lambda item: (-self.item_rating_variance(item), item),
+        )
+        return ranked[:n]
+
+    def leave_out_split(
+        self, holdout_fraction: float, seed: int = 0
+    ) -> tuple["RatingsDataset", "RatingsDataset"]:
+        """Randomly split into (train, holdout) by rating.
+
+        Used by the user-study simulator to hide "true" preferences from the
+        recommender while keeping them available to the satisfaction oracle.
+        """
+        if not (0.0 < holdout_fraction < 1.0):
+            raise DataError("holdout_fraction must be strictly between 0 and 1")
+        import random
+
+        rng = random.Random(seed)
+        shuffled = list(self._ratings)
+        rng.shuffle(shuffled)
+        cut = int(len(shuffled) * holdout_fraction)
+        holdout = shuffled[:cut]
+        train = shuffled[cut:]
+        return (
+            RatingsDataset(train, name=f"{self.name}-train"),
+            RatingsDataset(holdout, name=f"{self.name}-holdout"),
+        )
+
+
+def dataset_from_tuples(
+    rows: Iterable[tuple[int, int, float] | tuple[int, int, float, int]],
+    name: str = "ratings",
+) -> RatingsDataset:
+    """Build a dataset from ``(user, item, rating[, timestamp])`` tuples."""
+    ratings = []
+    for row in rows:
+        if len(row) == 3:
+            user_id, item_id, value = row  # type: ignore[misc]
+            timestamp = 0
+        else:
+            user_id, item_id, value, timestamp = row  # type: ignore[misc]
+        ratings.append(Rating(int(user_id), int(item_id), float(value), int(timestamp)))
+    return RatingsDataset(ratings, name=name)

@@ -1,0 +1,287 @@
+"""Social-graph substrate: friendships and timestamped page likes.
+
+The paper computes affinities from a Facebook application (Section 4.1.2):
+
+* **Static affinity** uses friendship, which is "relatively stable over
+  time": ``aff_S(u, u') = |friends(u) ∩ friends(u')|`` (normalised per group).
+* **Dynamic affinity** uses page likes: for every liked page the application
+  records *when* it was liked and its *category* (197 categories exist on
+  Facebook).  The periodic affinity of a pair in period ``p`` is the number of
+  common liked categories during ``p``.
+
+This module provides the data structures holding that information
+(:class:`SocialNetwork`) and a configurable generator
+(:class:`SocialNetworkGenerator`) that synthesises community-structured
+friendship graphs and per-period like behaviour with controllable affinity
+strength and drift — the substitution for the real Facebook data documented
+in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.timeline import Period, Timeline
+from repro.exceptions import ConfigurationError, DataError
+
+#: Facebook exposes 197 page categories (paper, Section 4.1.2).
+N_PAGE_CATEGORIES = 197
+
+
+@dataclass(frozen=True)
+class PageLike:
+    """A user liking a page of some category at a point in time."""
+
+    user_id: int
+    category: int
+    timestamp: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.category < N_PAGE_CATEGORIES):
+            raise DataError(
+                f"page category {self.category} outside [0, {N_PAGE_CATEGORIES})"
+            )
+
+
+class SocialNetwork:
+    """Friendship graph plus timestamped page-like history.
+
+    Parameters
+    ----------
+    users:
+        The user ids covered by the network.
+    friendships:
+        Unordered user-id pairs.  Self-friendships are rejected; duplicate
+        pairs are collapsed.
+    page_likes:
+        The page-like events.
+    """
+
+    def __init__(
+        self,
+        users: Iterable[int],
+        friendships: Iterable[tuple[int, int]] = (),
+        page_likes: Iterable[PageLike] = (),
+    ) -> None:
+        self._users = tuple(sorted(set(users)))
+        user_set = set(self._users)
+        self._friends: dict[int, set[int]] = {user: set() for user in self._users}
+        for left, right in friendships:
+            if left == right:
+                raise DataError(f"user {left} cannot be friends with themselves")
+            if left not in user_set or right not in user_set:
+                raise DataError(f"friendship ({left}, {right}) references unknown users")
+            self._friends[left].add(right)
+            self._friends[right].add(left)
+        self._likes: list[PageLike] = []
+        self._likes_by_user: dict[int, list[PageLike]] = defaultdict(list)
+        for like in page_likes:
+            if like.user_id not in user_set:
+                raise DataError(f"page like references unknown user {like.user_id}")
+            self._likes.append(like)
+            self._likes_by_user[like.user_id].append(like)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def users(self) -> tuple[int, ...]:
+        """All user ids in the network."""
+        return self._users
+
+    @property
+    def page_likes(self) -> tuple[PageLike, ...]:
+        """All page-like events."""
+        return tuple(self._likes)
+
+    def friends(self, user_id: int) -> frozenset[int]:
+        """The friends of ``user_id``."""
+        if user_id not in self._friends:
+            raise DataError(f"unknown user {user_id}")
+        return frozenset(self._friends[user_id])
+
+    def are_friends(self, left: int, right: int) -> bool:
+        """Return ``True`` if the two users are friends."""
+        return right in self._friends.get(left, set())
+
+    def common_friends(self, left: int, right: int) -> int:
+        """``|friends(left) ∩ friends(right)|`` — the raw static affinity."""
+        return len(self.friends(left) & self.friends(right))
+
+    def likes_of(self, user_id: int, period: Period | None = None) -> list[PageLike]:
+        """Page likes of a user, optionally restricted to a period."""
+        likes = self._likes_by_user.get(user_id, [])
+        if period is None:
+            return list(likes)
+        return [like for like in likes if period.contains(like.timestamp)]
+
+    def liked_categories(self, user_id: int, period: Period) -> frozenset[int]:
+        """``page_likes(u, p)``: categories liked by ``user_id`` during ``period``."""
+        return frozenset(like.category for like in self.likes_of(user_id, period))
+
+    def common_category_likes(self, left: int, right: int, period: Period) -> int:
+        """The paper's periodic affinity ``aff_P``: common liked categories in ``period``."""
+        return len(self.liked_categories(left, period) & self.liked_categories(right, period))
+
+    def non_empty_period_fraction(self, timeline: Timeline) -> float:
+        """Fraction of (user, period) cells that contain at least one like.
+
+        This is the quantity plotted in Figure 4 ("% of non-empty periods"):
+        finer discretisations leave more periods without any like activity.
+        """
+        if not self._users:
+            return 0.0
+        non_empty = 0
+        total = 0
+        for user in self._users:
+            for period in timeline:
+                total += 1
+                if self.liked_categories(user, period):
+                    non_empty += 1
+        return non_empty / total if total else 0.0
+
+    def restrict(self, user_ids: Iterable[int]) -> "SocialNetwork":
+        """A sub-network containing only ``user_ids`` and their internal edges."""
+        keep = set(user_ids)
+        friendships = [
+            (left, right)
+            for left in keep
+            for right in self._friends.get(left, set())
+            if right in keep and left < right
+        ]
+        likes = [like for like in self._likes if like.user_id in keep]
+        return SocialNetwork(keep & set(self._users), friendships, likes)
+
+
+@dataclass(frozen=True)
+class SocialConfig:
+    """Configuration of :class:`SocialNetworkGenerator`.
+
+    Attributes
+    ----------
+    n_communities:
+        Users are partitioned into communities; within-community friendship
+        and co-liking probabilities are much higher than across communities,
+        which creates the high/low-affinity structure the paper's group
+        formation relies on.
+    intra_friend_prob / inter_friend_prob:
+        Probability of a friendship edge within / across communities.
+    likes_per_period:
+        Expected number of page likes per user per period.
+    like_activity_drop:
+        Probability that a user is silent in a given period (creates the
+        empty periods of Figure 4).
+    drift_strength:
+        Controls how strongly a pair's common-like behaviour trends up or
+        down over the timeline, producing increasing/decreasing affinities.
+    """
+
+    n_communities: int = 4
+    intra_friend_prob: float = 0.6
+    inter_friend_prob: float = 0.05
+    likes_per_period: float = 6.0
+    like_activity_drop: float = 0.2
+    n_categories: int = N_PAGE_CATEGORIES
+    categories_per_community: int = 25
+    drift_strength: float = 0.5
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.n_communities <= 0:
+            raise ConfigurationError("n_communities must be positive")
+        for name in ("intra_friend_prob", "inter_friend_prob", "like_activity_drop"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{name} must be a probability, got {value}")
+        if self.likes_per_period < 0:
+            raise ConfigurationError("likes_per_period must be non-negative")
+        if not (0 < self.categories_per_community <= self.n_categories):
+            raise ConfigurationError(
+                "categories_per_community must be in (0, n_categories]"
+            )
+
+
+class SocialNetworkGenerator:
+    """Generate community-structured social networks with temporal like drift."""
+
+    def __init__(self, config: SocialConfig | None = None) -> None:
+        self.config = config or SocialConfig()
+
+    def generate(self, users: Sequence[int], timeline: Timeline) -> SocialNetwork:
+        """Generate a network over ``users`` with likes spread across ``timeline``.
+
+        Users are assigned round-robin to communities.  Each community owns a
+        pool of preferred page categories; members like mostly from that pool,
+        which makes within-community periodic affinities high.  A per-pair
+        drift factor makes some pairs' co-liking increase over periods and
+        others' decrease, exercising both signs of the affinity drift.
+        """
+        config = self.config
+        rng = random.Random(config.seed)
+        users = list(users)
+        if len(users) < 2:
+            raise ConfigurationError("need at least two users to build a social network")
+
+        community_of = {user: index % config.n_communities for index, user in enumerate(users)}
+
+        friendships: list[tuple[int, int]] = []
+        for i, left in enumerate(users):
+            for right in users[i + 1 :]:
+                same = community_of[left] == community_of[right]
+                prob = config.intra_friend_prob if same else config.inter_friend_prob
+                if rng.random() < prob:
+                    friendships.append((left, right))
+
+        category_pools = self._category_pools(rng)
+
+        # Per-user drift slope in [-1, 1]: positive means the user becomes more
+        # active/aligned with its community pool over time, negative less.
+        drift_of = {user: rng.uniform(-1.0, 1.0) * config.drift_strength for user in users}
+
+        likes: list[PageLike] = []
+        n_periods = len(timeline)
+        for user in users:
+            pool = category_pools[community_of[user]]
+            for index, period in enumerate(timeline):
+                progress = index / max(1, n_periods - 1)
+                activity = config.likes_per_period * (1.0 + drift_of[user] * (progress - 0.5))
+                activity = max(0.0, activity)
+                if rng.random() < config.like_activity_drop:
+                    continue
+                count = self._poisson(rng, activity)
+                for _ in range(count):
+                    if rng.random() < 0.75:
+                        category = rng.choice(pool)
+                    else:
+                        category = rng.randrange(config.n_categories)
+                    timestamp = rng.randint(period.start, period.end)
+                    likes.append(PageLike(user, category, timestamp))
+
+        return SocialNetwork(users, friendships, likes)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _category_pools(self, rng: random.Random) -> list[list[int]]:
+        """One preferred-category pool per community (pools may overlap)."""
+        pools = []
+        for _ in range(self.config.n_communities):
+            pool = rng.sample(range(self.config.n_categories), self.config.categories_per_community)
+            pools.append(pool)
+        return pools
+
+    @staticmethod
+    def _poisson(rng: random.Random, lam: float) -> int:
+        """Sample a Poisson variate with the Knuth method (small lambda only)."""
+        if lam <= 0.0:
+            return 0
+        import math
+
+        threshold = math.exp(-lam)
+        count = 0
+        product = rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count

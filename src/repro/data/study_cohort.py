@@ -1,0 +1,253 @@
+"""Synthetic reproduction of the paper's Facebook user-study cohort.
+
+Section 4.1.1 of the paper describes the recruitment protocol:
+
+* 13 *seed* users are recruited; each must rate at least 30 movies and invite
+  10-20 friends (friends of seeds never overlap with the seed set, and the
+  study stops at depth 1 of the social graph).
+* Overall 72 users participate and provide 1,981 ratings.
+* Two movie sets are prepared from MovieLens: the *popular set* (top-50 most
+  rated movies) and the *diversity set* (25 highest-variance movies ranked in
+  the top-200 by popularity).  Each participant rates either the *Similar
+  Set* (50 popular movies) or the *Dissimilar Set* (top-25 popular + the 25
+  diversity movies).
+
+Since the original Facebook participants are not available offline, this
+module synthesises a cohort that follows the same protocol, producing a
+ratings dataset, a social network and the popular/diversity movie sets.  The
+participants' ratings are drawn from taste profiles correlated with their
+community so that "similar" and "dissimilar" groups genuinely differ in
+cohesiveness, as required by the group-formation experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.timeline import Timeline
+from repro.data.ratings import MAX_RATING, MIN_RATING, Rating, RatingsDataset
+from repro.data.social import SocialConfig, SocialNetwork, SocialNetworkGenerator
+from repro.exceptions import ConfigurationError
+
+#: Headline numbers from the paper's study (Section 4.1).
+PAPER_N_SEEDS = 13
+PAPER_N_PARTICIPANTS = 72
+PAPER_N_STUDY_RATINGS = 1_981
+PAPER_POPULAR_SET_SIZE = 50
+PAPER_DIVERSITY_SET_SIZE = 25
+PAPER_DIVERSITY_POPULARITY_RANK = 200
+PAPER_MIN_RATINGS_PER_USER = 30
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Configuration of the synthetic study cohort."""
+
+    n_seeds: int = PAPER_N_SEEDS
+    min_invitees: int = 3
+    max_invitees: int = 6
+    min_ratings_per_user: int = PAPER_MIN_RATINGS_PER_USER
+    popular_set_size: int = PAPER_POPULAR_SET_SIZE
+    diversity_set_size: int = PAPER_DIVERSITY_SET_SIZE
+    diversity_popularity_rank: int = PAPER_DIVERSITY_POPULARITY_RANK
+    taste_noise: float = 0.6
+    seed: int = 23
+    social: SocialConfig = field(default_factory=SocialConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_seeds <= 0:
+            raise ConfigurationError("n_seeds must be positive")
+        if self.min_invitees < 0 or self.max_invitees < self.min_invitees:
+            raise ConfigurationError("invitee bounds must satisfy 0 <= min <= max")
+        if self.min_ratings_per_user <= 0:
+            raise ConfigurationError("min_ratings_per_user must be positive")
+        if self.popular_set_size <= 0 or self.diversity_set_size <= 0:
+            raise ConfigurationError("movie-set sizes must be positive")
+
+    def paper_scale(self) -> "StudyConfig":
+        """The configuration matching the paper's 13-seed, 10-20-invitee study."""
+        return StudyConfig(
+            n_seeds=PAPER_N_SEEDS,
+            min_invitees=10,
+            max_invitees=20,
+            min_ratings_per_user=self.min_ratings_per_user,
+            popular_set_size=self.popular_set_size,
+            diversity_set_size=self.diversity_set_size,
+            diversity_popularity_rank=self.diversity_popularity_rank,
+            taste_noise=self.taste_noise,
+            seed=self.seed,
+            social=self.social,
+        )
+
+
+@dataclass(frozen=True)
+class StudyCohort:
+    """The output of :func:`build_study_cohort`.
+
+    Attributes
+    ----------
+    ratings:
+        Ratings provided by the participants (their "study" ratings).
+    social:
+        Friendship graph + page likes of the participants.
+    seeds:
+        Ids of the seed participants.
+    participants:
+        All participant ids (seeds first).
+    popular_set / diversity_set:
+        Item ids of the two movie sets described in the paper.
+    similar_set / dissimilar_set:
+        The two rating questionnaires: ``similar_set`` is the popular set,
+        ``dissimilar_set`` is the top half of the popular set plus the
+        diversity set.
+    """
+
+    ratings: RatingsDataset
+    social: SocialNetwork
+    seeds: tuple[int, ...]
+    participants: tuple[int, ...]
+    popular_set: tuple[int, ...]
+    diversity_set: tuple[int, ...]
+    similar_set: tuple[int, ...]
+    dissimilar_set: tuple[int, ...]
+
+    @property
+    def n_participants(self) -> int:
+        """Number of participants in the cohort."""
+        return len(self.participants)
+
+
+def build_movie_sets(
+    base: RatingsDataset, config: StudyConfig | None = None
+) -> tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+    """Build the popular / diversity / Similar / Dissimilar movie sets.
+
+    Mirrors Section 4.1.1: the popular set holds the ``popular_set_size`` most
+    rated movies, the diversity set holds the ``diversity_set_size`` movies
+    with the highest rating variance among the ``diversity_popularity_rank``
+    most popular ones.
+    """
+    config = config or StudyConfig()
+    popular = tuple(base.top_popular_items(config.popular_set_size))
+    diversity = tuple(
+        item
+        for item in base.most_controversial_items(
+            config.diversity_set_size + config.popular_set_size,
+            within_top_popular=config.diversity_popularity_rank,
+        )
+        if item not in popular[: config.popular_set_size // 2]
+    )[: config.diversity_set_size]
+    similar_set = popular
+    dissimilar_set = tuple(popular[: config.popular_set_size // 2]) + diversity
+    return popular, diversity, similar_set, dissimilar_set
+
+
+def build_study_cohort(
+    base: RatingsDataset,
+    timeline: Timeline,
+    config: StudyConfig | None = None,
+) -> StudyCohort:
+    """Simulate the recruitment protocol on top of a base ratings dataset.
+
+    Parameters
+    ----------
+    base:
+        The MovieLens(-like) dataset the study movies are selected from.
+    timeline:
+        Timeline over which participants' page likes are generated.
+    config:
+        Study configuration (defaults to a small, fast cohort; use
+        ``StudyConfig().paper_scale()`` for the 72-participant scale).
+    """
+    config = config or StudyConfig()
+    rng = random.Random(config.seed)
+
+    popular, diversity, similar_set, dissimilar_set = build_movie_sets(base, config)
+
+    # Recruit participants: seeds use ids above the base dataset's range so
+    # that study participants never collide with base users.
+    first_id = (max(base.users) if base.users else 0) + 1
+    next_id = first_id
+    seeds: list[int] = []
+    participants: list[int] = []
+    invited_by: dict[int, int] = {}
+    for _ in range(config.n_seeds):
+        seed_id = next_id
+        next_id += 1
+        seeds.append(seed_id)
+        participants.append(seed_id)
+    for seed_id in seeds:
+        n_invitees = rng.randint(config.min_invitees, config.max_invitees)
+        for _ in range(n_invitees):
+            friend_id = next_id
+            next_id += 1
+            participants.append(friend_id)
+            invited_by[friend_id] = seed_id
+
+    # Taste profiles: each seed's "circle" shares a taste vector over the two
+    # movie sets, so ratings inside a circle are correlated (similar groups)
+    # while ratings across circles diverge (dissimilar groups).
+    circle_of = {user: user for user in seeds}
+    circle_of.update({user: invited_by[user] for user in invited_by})
+    item_pool = tuple(dict.fromkeys(similar_set + dissimilar_set))
+    circle_taste: dict[int, dict[int, float]] = {}
+    for seed_id in seeds:
+        circle_taste[seed_id] = {
+            item: rng.uniform(MIN_RATING, MAX_RATING) for item in item_pool
+        }
+
+    ratings: list[Rating] = []
+    for user in participants:
+        questionnaire = similar_set if rng.random() < 0.5 else dissimilar_set
+        questionnaire = list(questionnaire)
+        rng.shuffle(questionnaire)
+        count = min(len(questionnaire), config.min_ratings_per_user + rng.randint(0, 10))
+        taste = circle_taste[circle_of[user]]
+        personal_shift = rng.uniform(-0.5, 0.5)
+        for item in questionnaire[:count]:
+            value = taste[item] + personal_shift + rng.gauss(0.0, config.taste_noise)
+            value = float(min(MAX_RATING, max(MIN_RATING, round(value))))
+            timestamp = rng.randint(timeline.beginning, timeline.end)
+            ratings.append(Rating(user, item, value, timestamp))
+
+    study_ratings = RatingsDataset(ratings, name="study-cohort")
+
+    # Social network: the seed circles double as communities, friendships are
+    # dense within a circle (everyone knows their seed and most co-invitees).
+    social_config = SocialConfig(
+        n_communities=config.n_seeds,
+        intra_friend_prob=config.social.intra_friend_prob,
+        inter_friend_prob=config.social.inter_friend_prob,
+        likes_per_period=config.social.likes_per_period,
+        like_activity_drop=config.social.like_activity_drop,
+        n_categories=config.social.n_categories,
+        categories_per_community=config.social.categories_per_community,
+        drift_strength=config.social.drift_strength,
+        seed=config.seed,
+    )
+    # Order users by circle so the generator's round-robin community assignment
+    # maps each circle to one community.
+    ordered_users = sorted(participants, key=lambda user: (circle_of[user], user))
+    communities: dict[int, list[int]] = {}
+    for user in ordered_users:
+        communities.setdefault(circle_of[user], []).append(user)
+    interleaved: list[int] = []
+    circles = list(communities.values())
+    longest = max(len(circle) for circle in circles)
+    for position in range(longest):
+        for circle in circles:
+            if position < len(circle):
+                interleaved.append(circle[position])
+    social = SocialNetworkGenerator(social_config).generate(interleaved, timeline)
+
+    return StudyCohort(
+        ratings=study_ratings,
+        social=social,
+        seeds=tuple(seeds),
+        participants=tuple(participants),
+        popular_set=popular,
+        diversity_set=diversity,
+        similar_set=similar_set,
+        dissimilar_set=dissimilar_set,
+    )

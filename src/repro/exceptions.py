@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class DataError(ReproError):
+    """Raised when an input dataset is malformed or inconsistent."""
+
+
+class UnknownUserError(DataError):
+    """Raised when a user id is not present in the dataset."""
+
+    def __init__(self, user_id: object) -> None:
+        super().__init__(f"unknown user: {user_id!r}")
+        self.user_id = user_id
+
+
+class UnknownItemError(DataError):
+    """Raised when an item id is not present in the dataset."""
+
+    def __init__(self, item_id: object) -> None:
+        super().__init__(f"unknown item: {item_id!r}")
+        self.item_id = item_id
+
+
+class TimelineError(ReproError):
+    """Raised for invalid time periods or timeline configurations."""
+
+
+class AffinityError(ReproError):
+    """Raised when affinity values cannot be computed or are invalid."""
+
+
+class GroupError(ReproError):
+    """Raised for invalid group specifications (empty groups, duplicates...)."""
+
+
+class ConsensusError(ReproError):
+    """Raised for invalid consensus-function configurations."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when a top-k algorithm is invoked with invalid arguments."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or generator configuration is invalid."""

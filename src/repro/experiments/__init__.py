@@ -1,0 +1,35 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table5,
+)
+from repro.experiments.scalability import (
+    AccessStats,
+    ScalabilityConfig,
+    ScalabilityEnvironment,
+    summarize_percent_sa,
+)
+
+__all__ = [
+    "AccessStats",
+    "ScalabilityConfig",
+    "ScalabilityEnvironment",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "summarize_percent_sa",
+    "table5",
+]

@@ -1,0 +1,72 @@
+"""Figure 1 — independent evaluation of group recommendation quality.
+
+Six configurations (default temporal-affinity AP, affinity-agnostic,
+time-agnostic, continuous time model, MO and PD) are scored per group
+characteristic using the satisfaction oracle.  The paper's qualitative
+findings that the reproduction should exhibit:
+
+* the default temporal-affinity configuration scores highly (>= 80% in the
+  paper) for every characteristic;
+* dropping affinity (chart B) or time (chart C) costs a large margin
+  (~20 points in the paper), with affinity mattering most for small, similar
+  and high-affinity groups and time mattering most for dissimilar and large
+  groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.study.environment import CHARACTERISTICS, StudyEnvironment, build_study_environment
+from repro.study.independent import FIGURE1_CONFIGURATIONS, IndependentChart, IndependentEvaluation
+
+#: Selected values reported in the paper's discussion of Figure 1.
+PAPER_REFERENCE = {
+    "A (Default)": {"Diss": 90.66, "overall_at_least": 80.0},
+    "B (Affinity-agnostic)": {"Small": 30.08, "High Aff": 36.66, "Sim": 40.0, "overall_at_most": 55.0},
+    "C (Time-agnostic)": {"Diss": 50.19, "Large": 50.19, "overall_at_most": 60.0},
+}
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """The six charts of Figure 1."""
+
+    charts: Mapping[str, IndependentChart]
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat rows: chart, characteristic, measured preference percentage."""
+        rows = []
+        for label, chart in self.charts.items():
+            for characteristic in CHARACTERISTICS:
+                rows.append(
+                    {
+                        "chart": label,
+                        "characteristic": characteristic,
+                        "preference_percent": round(chart.preference_percent[characteristic], 2),
+                    }
+                )
+        return rows
+
+    def format_table(self) -> str:
+        """Human-readable rendering (one line per chart)."""
+        lines = ["Figure 1 — independent evaluation (preference %)"]
+        header = f"{'chart':<26}" + "".join(f"{c:>10}" for c in CHARACTERISTICS)
+        lines.append(header)
+        for label, chart in self.charts.items():
+            values = "".join(
+                f"{chart.preference_percent[c]:>10.1f}" for c in CHARACTERISTICS
+            )
+            lines.append(f"{label:<26}{values}")
+        return "\n".join(lines)
+
+
+def run(
+    environment: StudyEnvironment | None = None,
+    k: int = 5,
+) -> Figure1Result:
+    """Regenerate Figure 1 (all six charts)."""
+    environment = environment or build_study_environment()
+    evaluation = IndependentEvaluation(environment, k=k)
+    return Figure1Result(charts=evaluation.run())

@@ -1,0 +1,74 @@
+"""Figure 2 — qualitative comparison of the consensus functions.
+
+Participants compare the AP, MO and PD recommendation lists (all computed
+with temporal affinities) and pick the one they prefer; the paper reports the
+share of votes per function and group characteristic.  The paper's exact
+percentages are embedded in its source and reproduced below as the reference.
+
+Qualitative shape to reproduce: PD is the overall method of choice,
+especially for loosely connected groups (dissimilar, low affinity); AP is
+strong for small and high-affinity groups; MO does comparatively better for
+large groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.study.comparative import ComparativeEvaluation, ConsensusComparison, FIGURE2_FUNCTIONS
+from repro.study.environment import CHARACTERISTICS, StudyEnvironment, build_study_environment
+
+#: The paper's reported vote shares (percent), per consensus function and characteristic.
+PAPER_REFERENCE: dict[str, dict[str, float]] = {
+    "AP": {"Sim": 27.78, "Diss": 22.22, "Small": 44.44, "Large": 16.67, "High Aff": 38.89, "Low Aff": 22.22},
+    "MO": {"Sim": 22.22, "Diss": 33.33, "Small": 16.67, "Large": 44.44, "High Aff": 16.67, "Low Aff": 33.33},
+    "PD": {"Sim": 50.0, "Diss": 44.44, "Small": 38.89, "Large": 38.89, "High Aff": 44.44, "Low Aff": 44.44},
+}
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Measured vote shares next to the paper's values."""
+
+    comparison: ConsensusComparison
+    reference: Mapping[str, Mapping[str, float]]
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat rows: characteristic, function, measured share, paper share."""
+        rows = []
+        for characteristic in CHARACTERISTICS:
+            shares = self.comparison.preference_percent[characteristic]
+            for name in FIGURE2_FUNCTIONS:
+                rows.append(
+                    {
+                        "characteristic": characteristic,
+                        "consensus": name,
+                        "preference_percent": round(shares[name], 2),
+                        "paper_percent": self.reference[name][characteristic],
+                    }
+                )
+        return rows
+
+    def format_table(self) -> str:
+        """Human-readable rendering."""
+        lines = ["Figure 2 — consensus-function preference shares (%)"]
+        lines.append(f"{'characteristic':<14}" + "".join(f"{n:>10}" for n in FIGURE2_FUNCTIONS))
+        for characteristic in CHARACTERISTICS:
+            shares = self.comparison.preference_percent[characteristic]
+            values = "".join(f"{shares[n]:>10.1f}" for n in FIGURE2_FUNCTIONS)
+            lines.append(f"{characteristic:<14}{values}")
+        return "\n".join(lines)
+
+
+def run(
+    environment: StudyEnvironment | None = None,
+    k: int = 5,
+) -> Figure2Result:
+    """Regenerate Figure 2."""
+    environment = environment or build_study_environment()
+    evaluation = ComparativeEvaluation(environment, k=k)
+    return Figure2Result(
+        comparison=evaluation.compare_consensus_functions(),
+        reference=PAPER_REFERENCE,
+    )

@@ -1,0 +1,117 @@
+"""Command-line driver regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments.runner                 # everything (scaled down)
+    python -m repro.experiments.runner figure5 figure8 # selected experiments
+    python -m repro.experiments.runner --list          # show available names
+
+Each experiment prints the same rows/series the paper reports (with the
+paper's own values alongside where they are known).  Quality experiments
+(figures 1-3) share one study environment, scalability experiments (figures
+5-8) share one scalability environment, so running everything stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Iterable
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table5,
+)
+from repro.experiments.scalability import ScalabilityEnvironment
+from repro.study.environment import build_study_environment
+
+#: Experiment names in the order they appear in the paper.
+EXPERIMENTS = (
+    "table5",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+)
+
+
+def run_all(names: Iterable[str] | None = None, print_fn: Callable[[str], None] = print) -> dict[str, object]:
+    """Run the selected experiments (all of them by default) and print their tables.
+
+    Returns a mapping from experiment name to its result object, so that the
+    function is also usable programmatically (EXPERIMENTS.md was produced from
+    these results).
+    """
+    selected = list(names) if names else list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+
+    results: dict[str, object] = {}
+    study_env = None
+    scalability_env = None
+
+    def study_environment():
+        nonlocal study_env
+        if study_env is None:
+            print_fn("[setup] building the study environment (cohort, recommender, oracle)...")
+            study_env = build_study_environment()
+        return study_env
+
+    def scalability_environment():
+        nonlocal scalability_env
+        if scalability_env is None:
+            print_fn("[setup] building the scalability environment (dataset, recommender)...")
+            scalability_env = ScalabilityEnvironment()
+        return scalability_env
+
+    for name in selected:
+        print_fn(f"\n=== {name} ===")
+        if name == "table5":
+            result = table5.run()
+        elif name == "figure1":
+            result = figure1.run(environment=study_environment())
+        elif name == "figure2":
+            result = figure2.run(environment=study_environment())
+        elif name == "figure3":
+            result = figure3.run(environment=study_environment())
+        elif name == "figure4":
+            result = figure4.run()
+        elif name == "figure5":
+            result = figure5.run(environment=scalability_environment())
+        elif name == "figure6":
+            result = figure6.run(environment=scalability_environment())
+        elif name == "figure7":
+            result = figure7.run(environment=scalability_environment())
+        else:
+            result = figure8.run(environment=scalability_environment())
+        results[name] = result
+        print_fn(result.format_table())
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(EXPERIMENTS))
+        return 0
+    run_all(args.experiments or None)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Shared harness for the scalability experiments (Section 4.2, Figures 5-8).
+
+The paper's setup: 20 random groups drawn from the quality-study
+participants, default group size 6, ``k = 10``, 3,900 candidate items, AP
+consensus, discrete time model over 6 two-month periods.  Every figure varies
+exactly one of those knobs and reports the *average percentage of sequential
+accesses* (%SA) GRECA needs, compared to a naive algorithm that scans every
+list entirely (lower is better; the paper reports savings of 75% or more).
+
+:class:`ScalabilityEnvironment` builds the shared substrate once (dataset,
+social network, fitted recommender, participant pool) so that the individual
+figure drivers only loop over their parameter of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, stdev
+from typing import Sequence
+
+from repro.core.consensus import ConsensusFunction, make_consensus
+from repro.core.greca import Greca
+from repro.core.recommender import GroupRecommender
+from repro.core.timeline import Period, Timeline, one_year_timeline
+from repro.data.movielens import MovieLensConfig, generate_movielens_like
+from repro.data.ratings import RatingsDataset
+from repro.data.social import SocialConfig, SocialNetwork, SocialNetworkGenerator
+from repro.exceptions import ConfigurationError
+from repro.groups.formation import GroupFormer
+
+#: Paper defaults (Section 4.2, "Experiment Settings").
+DEFAULT_N_GROUPS = 20
+DEFAULT_GROUP_SIZE = 6
+DEFAULT_K = 10
+DEFAULT_N_ITEMS = 3_900
+DEFAULT_CONSENSUS = "AP"
+
+
+@dataclass(frozen=True)
+class ScalabilityConfig:
+    """Configuration of the shared scalability substrate.
+
+    The defaults are scaled down from the paper (which uses the full
+    MovieLens 1M catalogue) so that the benchmark suite runs in seconds; the
+    paper-scale values can be requested explicitly.
+    """
+
+    n_users: int = 150
+    n_items: int = 3_900
+    n_ratings: int = 80_000
+    n_participants: int = 48
+    n_groups: int = 8
+    group_size: int = DEFAULT_GROUP_SIZE
+    k: int = DEFAULT_K
+    consensus: str = DEFAULT_CONSENSUS
+    granularity: str = "two-month"
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.n_participants < self.group_size:
+            raise ConfigurationError("need at least group_size participants")
+        if self.n_groups <= 0 or self.group_size < 2:
+            raise ConfigurationError("n_groups must be positive and group_size >= 2")
+
+
+@dataclass(frozen=True)
+class AccessStats:
+    """Average %SA over a set of runs, with the spread reported by the paper's error bars."""
+
+    mean_percent_sa: float
+    std_error: float
+    n_runs: int
+
+    @property
+    def mean_saveup(self) -> float:
+        """Average percentage of accesses avoided."""
+        return 100.0 - self.mean_percent_sa
+
+
+def summarize_percent_sa(values: Sequence[float]) -> AccessStats:
+    """Aggregate per-run %SA values into mean and standard error."""
+    if not values:
+        raise ConfigurationError("no %SA values to summarise")
+    spread = stdev(values) / (len(values) ** 0.5) if len(values) > 1 else 0.0
+    return AccessStats(mean_percent_sa=mean(values), std_error=spread, n_runs=len(values))
+
+
+class ScalabilityEnvironment:
+    """Shared substrate for Figures 5-8: data, recommender and group pool."""
+
+    def __init__(self, config: ScalabilityConfig | None = None) -> None:
+        self.config = config or ScalabilityConfig()
+        config = self.config
+
+        self.ratings: RatingsDataset = generate_movielens_like(
+            MovieLensConfig(
+                n_users=config.n_users,
+                n_items=config.n_items,
+                n_ratings=config.n_ratings,
+                seed=config.seed,
+            )
+        )
+        self.timeline: Timeline = one_year_timeline(granularity=config.granularity)
+        self.participants: tuple[int, ...] = tuple(self.ratings.users[: config.n_participants])
+        self.social: SocialNetwork = SocialNetworkGenerator(
+            SocialConfig(seed=config.seed)
+        ).generate(self.participants, self.timeline)
+        self.recommender = GroupRecommender(
+            ratings=self.ratings,
+            social=self.social,
+            timeline=self.timeline,
+            affinity_universe=self.participants,
+        ).fit()
+        self.former = GroupFormer(self.ratings, candidates=self.participants, seed=config.seed)
+
+    # -- groups ----------------------------------------------------------------------------------
+
+    def random_groups(self, n_groups: int | None = None, group_size: int | None = None) -> list[list[int]]:
+        """The paper's "20 different random groups" (counts from the config by default)."""
+        return self.former.random_groups(
+            n_groups or self.config.n_groups, group_size or self.config.group_size
+        )
+
+    # -- measurement ------------------------------------------------------------------------------
+
+    def percent_sa(
+        self,
+        group: Sequence[int],
+        k: int | None = None,
+        consensus: str | ConsensusFunction | None = None,
+        affinity: str = "discrete",
+        period: Period | None = None,
+        n_items: int | None = None,
+    ) -> float:
+        """%SA of one GRECA run for one group."""
+        consensus_fn = (
+            consensus
+            if isinstance(consensus, ConsensusFunction)
+            else make_consensus(consensus or self.config.consensus)
+        )
+        items = None
+        if n_items is not None:
+            items = list(self.ratings.items[:n_items])
+        index = self.recommender.build_index(
+            list(group),
+            period=period,
+            affinity=affinity,
+            exclude_rated=False,
+            items=items,
+        )
+        result = Greca(consensus_fn, k=k or self.config.k).run(index)
+        return result.percent_sequential_accesses
+
+    def average_percent_sa(
+        self,
+        groups: Sequence[Sequence[int]],
+        k: int | None = None,
+        consensus: str | ConsensusFunction | None = None,
+        affinity: str = "discrete",
+        period: Period | None = None,
+        n_items: int | None = None,
+    ) -> AccessStats:
+        """Average %SA over a collection of groups (one GRECA run each)."""
+        values = [
+            self.percent_sa(
+                group, k=k, consensus=consensus, affinity=affinity, period=period, n_items=n_items
+            )
+            for group in groups
+        ]
+        return summarize_percent_sa(values)

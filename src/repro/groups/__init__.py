@@ -1,0 +1,31 @@
+"""Ad-hoc group formation and cohesiveness metrics."""
+
+from repro.groups.cohesion import (
+    group_cohesiveness,
+    is_high_affinity,
+    mean_pairwise_similarity,
+    minimum_pairwise_affinity,
+    pairwise_similarities,
+    summed_pairwise_similarity,
+)
+from repro.groups.formation import (
+    HIGH_AFFINITY_THRESHOLD,
+    LARGE_GROUP_SIZE,
+    SMALL_GROUP_SIZE,
+    GroupFormer,
+    GroupProfile,
+)
+
+__all__ = [
+    "GroupFormer",
+    "GroupProfile",
+    "HIGH_AFFINITY_THRESHOLD",
+    "LARGE_GROUP_SIZE",
+    "SMALL_GROUP_SIZE",
+    "group_cohesiveness",
+    "is_high_affinity",
+    "mean_pairwise_similarity",
+    "minimum_pairwise_affinity",
+    "pairwise_similarities",
+    "summed_pairwise_similarity",
+]

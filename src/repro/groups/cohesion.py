@@ -1,0 +1,92 @@
+"""Group cohesiveness metrics.
+
+The paper forms groups along three axes (Section 4.1.3): size, cohesiveness
+(how similar the members' movie tastes are) and affinity strength.  This
+module provides the cohesiveness side: pairwise rating similarity between
+members, the summed pairwise similarity used to pick the most/least similar
+groups, and simple descriptive helpers used by the experiments and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cf.matrix import RatingMatrix
+from repro.cf.similarity import pairwise_user_similarity, similarity_matrix
+from repro.core.affinity import AffinityModel
+from repro.core.timeline import Period
+from repro.data.ratings import RatingsDataset
+from repro.exceptions import GroupError
+
+
+def pairwise_similarities(
+    dataset: RatingsDataset, group: Sequence[int], metric: str = "cosine"
+) -> dict[tuple[int, int], float]:
+    """Rating similarity of every unordered pair within the group."""
+    _validate(group)
+    matrix = RatingMatrix(dataset.restrict_users(group))
+    values: dict[tuple[int, int], float] = {}
+    for index, left in enumerate(group):
+        for right in group[index + 1 :]:
+            values[(min(left, right), max(left, right))] = pairwise_user_similarity(
+                matrix, left, right, metric=metric
+            )
+    return values
+
+
+def summed_pairwise_similarity(
+    dataset: RatingsDataset, group: Sequence[int], metric: str = "cosine"
+) -> float:
+    """Sum of pairwise similarities — the quantity the paper maximises/minimises."""
+    return sum(pairwise_similarities(dataset, group, metric).values())
+
+
+def mean_pairwise_similarity(
+    dataset: RatingsDataset, group: Sequence[int], metric: str = "cosine"
+) -> float:
+    """Average pairwise similarity within the group."""
+    values = pairwise_similarities(dataset, group, metric)
+    return sum(values.values()) / len(values) if values else 0.0
+
+
+def group_cohesiveness(
+    dataset: RatingsDataset, group: Sequence[int], metric: str = "cosine"
+) -> float:
+    """Alias for :func:`mean_pairwise_similarity` (the paper's "cohesiveness")."""
+    return mean_pairwise_similarity(dataset, group, metric)
+
+
+def minimum_pairwise_affinity(
+    affinity: AffinityModel, group: Sequence[int], period: Period | None = None
+) -> float:
+    """Smallest pairwise affinity within the group.
+
+    The paper calls a group *high affinity* "if each pair-wise affinity in a
+    group is equal to 0.4 or higher", i.e. if this minimum is at least 0.4.
+    """
+    _validate(group)
+    values = affinity.pairwise(list(group), period)
+    return min(values.values()) if values else 0.0
+
+
+def is_high_affinity(
+    affinity: AffinityModel,
+    group: Sequence[int],
+    period: Period | None = None,
+    threshold: float = 0.4,
+) -> bool:
+    """The paper's high-affinity predicate (every pair >= ``threshold``)."""
+    return minimum_pairwise_affinity(affinity, group, period) >= threshold
+
+
+def full_similarity_matrix(dataset: RatingsDataset, metric: str = "cosine"):
+    """User-by-user similarity matrix plus the user ordering (for group search)."""
+    matrix = RatingMatrix(dataset)
+    return similarity_matrix(matrix, metric=metric, axis="user"), matrix.users
+
+
+def _validate(group: Sequence[int]) -> None:
+    if len(group) < 2:
+        raise GroupError("cohesion metrics require at least two members")
+    if len(set(group)) != len(group):
+        raise GroupError("the group contains duplicate members")

@@ -1,0 +1,268 @@
+"""Ad-hoc group formation (Section 4.1.3 of the paper).
+
+Groups are characterised along three axes:
+
+* **Size** — small (3) vs large (6) in the quality study, 3-12 in the
+  scalability study.
+* **Cohesiveness** — *similar* groups maximise the summed pairwise rating
+  similarity of their members (and are drawn from users who rated the
+  Similar movie set); *dissimilar* groups minimise it.
+* **Affinity strength** — *high-affinity* groups have every pairwise affinity
+  at or above 0.4; *low-affinity* groups do not.
+
+Exhaustively searching for the exact extremal group is combinatorial, so the
+builders below use the standard greedy construction (seed with the extremal
+pair, then repeatedly add the user that keeps the objective extremal), which
+is how such study groups are formed in practice and preserves the intended
+contrast between the group classes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.affinity import AffinityModel
+from repro.core.timeline import Period
+from repro.data.ratings import RatingsDataset
+from repro.exceptions import GroupError
+from repro.groups.cohesion import full_similarity_matrix, minimum_pairwise_affinity
+
+#: Group sizes used by the paper's quality study.
+SMALL_GROUP_SIZE = 3
+LARGE_GROUP_SIZE = 6
+
+#: The paper's high-affinity threshold.
+HIGH_AFFINITY_THRESHOLD = 0.4
+
+
+@dataclass(frozen=True)
+class GroupProfile:
+    """A formed group together with the characteristics it was built for."""
+
+    members: tuple[int, ...]
+    size_label: str
+    cohesiveness_label: str
+    affinity_label: str
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.members)
+
+    def describe(self) -> str:
+        """Human-readable description, e.g. ``"large / dissimilar / high-affinity"``."""
+        return f"{self.size_label} / {self.cohesiveness_label} / {self.affinity_label}"
+
+
+class GroupFormer:
+    """Build similar/dissimilar and high/low-affinity groups from a user pool.
+
+    Parameters
+    ----------
+    dataset:
+        Ratings used to measure cohesiveness.
+    candidates:
+        The pool of users groups are drawn from (e.g. the study participants).
+    metric:
+        Rating-similarity metric.
+    seed:
+        Seed for the random group builder.
+    """
+
+    def __init__(
+        self,
+        dataset: RatingsDataset,
+        candidates: Sequence[int] | None = None,
+        metric: str = "cosine",
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        pool = list(candidates) if candidates is not None else list(dataset.users)
+        pool = [user for user in pool if dataset.has_user(user)]
+        if len(pool) < 2:
+            raise GroupError("need at least two candidate users to form groups")
+        self.candidates = tuple(pool)
+        self.metric = metric
+        self._rng = random.Random(seed)
+        restricted = dataset.restrict_users(pool)
+        self._similarity, self._users = full_similarity_matrix(restricted, metric=metric)
+        self._position = {user: index for index, user in enumerate(self._users)}
+
+    # -- similarity-driven groups -------------------------------------------------------------
+
+    def similar_group(self, size: int) -> list[int]:
+        """Greedy group maximising the summed pairwise rating similarity."""
+        return self._extremal_group(size, maximise=True)
+
+    def dissimilar_group(self, size: int) -> list[int]:
+        """Greedy group minimising the summed pairwise rating similarity."""
+        return self._extremal_group(size, maximise=False)
+
+    def _extremal_group(self, size: int, maximise: bool) -> list[int]:
+        self._check_size(size)
+        sign = 1.0 if maximise else -1.0
+        best_pair = None
+        best_value = -np.inf
+        for left, right in itertools.combinations(range(len(self._users)), 2):
+            value = sign * self._similarity[left, right]
+            if value > best_value:
+                best_value = value
+                best_pair = (left, right)
+        assert best_pair is not None
+        chosen = list(best_pair)
+        while len(chosen) < size:
+            best_candidate = None
+            best_gain = -np.inf
+            for candidate in range(len(self._users)):
+                if candidate in chosen:
+                    continue
+                gain = sign * float(sum(self._similarity[candidate, member] for member in chosen))
+                if gain > best_gain:
+                    best_gain = gain
+                    best_candidate = candidate
+            chosen.append(best_candidate)
+        return [self._users[index] for index in chosen]
+
+    # -- affinity-driven groups ----------------------------------------------------------------
+
+    def high_affinity_group(
+        self,
+        size: int,
+        affinity: AffinityModel,
+        period: Period | None = None,
+        threshold: float = HIGH_AFFINITY_THRESHOLD,
+    ) -> list[int]:
+        """Greedy group whose minimum pairwise affinity is as high as possible.
+
+        Falls back to the best achievable group if no group reaches the
+        requested threshold (the caller can check with
+        :func:`~repro.groups.cohesion.is_high_affinity`).
+        """
+        return self._affinity_extremal_group(size, affinity, period, maximise=True)
+
+    def low_affinity_group(
+        self,
+        size: int,
+        affinity: AffinityModel,
+        period: Period | None = None,
+    ) -> list[int]:
+        """Greedy group whose pairwise affinities are as low as possible."""
+        return self._affinity_extremal_group(size, affinity, period, maximise=False)
+
+    def _affinity_extremal_group(
+        self,
+        size: int,
+        affinity: AffinityModel,
+        period: Period | None,
+        maximise: bool,
+    ) -> list[int]:
+        self._check_size(size)
+        sign = 1.0 if maximise else -1.0
+        users = list(self.candidates)
+        best_pair = None
+        best_value = -np.inf
+        for left, right in itertools.combinations(users, 2):
+            value = sign * affinity.affinity(left, right, period)
+            if value > best_value:
+                best_value = value
+                best_pair = (left, right)
+        assert best_pair is not None
+        chosen = list(best_pair)
+        while len(chosen) < size:
+            best_candidate = None
+            best_gain = -np.inf
+            for candidate in users:
+                if candidate in chosen:
+                    continue
+                pairwise = [affinity.affinity(candidate, member, period) for member in chosen]
+                gain = sign * (min(pairwise) if maximise else -max(pairwise))
+                # When maximising we protect the *minimum* pairwise affinity
+                # (the paper's criterion); when minimising we avoid adding
+                # anybody strongly tied to the current members.
+                if not maximise:
+                    gain = sign * (-max(pairwise))
+                if gain > best_gain:
+                    best_gain = gain
+                    best_candidate = candidate
+            chosen.append(best_candidate)
+        return chosen
+
+    # -- random groups ----------------------------------------------------------------------------
+
+    def random_group(self, size: int) -> list[int]:
+        """A uniformly random group (the scalability study's default)."""
+        self._check_size(size)
+        return self._rng.sample(list(self.candidates), size)
+
+    def random_groups(self, count: int, size: int) -> list[list[int]]:
+        """``count`` independent random groups (e.g. the paper's 20 groups)."""
+        if count <= 0:
+            raise GroupError("count must be positive")
+        return [self.random_group(size) for _ in range(count)]
+
+    # -- the paper's 8 study groups -----------------------------------------------------------------
+
+    def study_groups(
+        self,
+        affinity: AffinityModel,
+        period: Period | None = None,
+        small: int = SMALL_GROUP_SIZE,
+        large: int = LARGE_GROUP_SIZE,
+    ) -> list[GroupProfile]:
+        """The eight group profiles of the quality study.
+
+        The paper forms 8 groups "by considering different combinations of
+        group size, group cohesiveness and affinity strength".  We build one
+        group per (size, cohesiveness) and (size, affinity-strength)
+        combination, labelled accordingly.
+        """
+        profiles = []
+        for size, size_label in ((small, "small"), (large, "large")):
+            profiles.append(
+                GroupProfile(
+                    members=tuple(self.similar_group(size)),
+                    size_label=size_label,
+                    cohesiveness_label="similar",
+                    affinity_label="mixed",
+                )
+            )
+            profiles.append(
+                GroupProfile(
+                    members=tuple(self.dissimilar_group(size)),
+                    size_label=size_label,
+                    cohesiveness_label="dissimilar",
+                    affinity_label="mixed",
+                )
+            )
+            profiles.append(
+                GroupProfile(
+                    members=tuple(self.high_affinity_group(size, affinity, period)),
+                    size_label=size_label,
+                    cohesiveness_label="mixed",
+                    affinity_label="high-affinity",
+                )
+            )
+            profiles.append(
+                GroupProfile(
+                    members=tuple(self.low_affinity_group(size, affinity, period)),
+                    size_label=size_label,
+                    cohesiveness_label="mixed",
+                    affinity_label="low-affinity",
+                )
+            )
+        return profiles
+
+    # -- helpers ----------------------------------------------------------------------------------------
+
+    def _check_size(self, size: int) -> None:
+        if size < 2:
+            raise GroupError("group size must be at least 2")
+        if size > len(self.candidates):
+            raise GroupError(
+                f"cannot form a group of {size} from {len(self.candidates)} candidates"
+            )

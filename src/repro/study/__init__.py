@@ -1,0 +1,38 @@
+"""User-study (quality) simulator: satisfaction oracle and evaluation protocols."""
+
+from repro.study.comparative import (
+    FIGURE2_FUNCTIONS,
+    FIGURE3_COMPARISONS,
+    ComparativeChart,
+    ComparativeEvaluation,
+    ConsensusComparison,
+)
+from repro.study.environment import (
+    CHARACTERISTICS,
+    StudyEnvironment,
+    StudyGroup,
+    build_study_environment,
+)
+from repro.study.independent import (
+    FIGURE1_CONFIGURATIONS,
+    IndependentChart,
+    IndependentEvaluation,
+)
+from repro.study.satisfaction import OracleConfig, SatisfactionOracle
+
+__all__ = [
+    "CHARACTERISTICS",
+    "ComparativeChart",
+    "ComparativeEvaluation",
+    "ConsensusComparison",
+    "FIGURE1_CONFIGURATIONS",
+    "FIGURE2_FUNCTIONS",
+    "FIGURE3_COMPARISONS",
+    "IndependentChart",
+    "IndependentEvaluation",
+    "OracleConfig",
+    "SatisfactionOracle",
+    "StudyEnvironment",
+    "StudyGroup",
+    "build_study_environment",
+]

@@ -1,0 +1,167 @@
+"""Comparative evaluation protocol (Section 4.1.4, Figures 2 and 3).
+
+In the comparative evaluation participants are shown two (or three) lists at
+a time and must pick exactly one (closed-world assumption).  The paper
+reports three pairwise comparisons (Figure 3):
+
+* **A** — affinity-aware vs affinity-agnostic recommendations,
+* **B** — time-aware vs time-agnostic recommendations,
+* **C** — continuous vs discrete time model,
+
+and one three-way comparison between the consensus functions AP, MO and PD
+(Figure 2).  Each participant's forced choice is simulated with the
+satisfaction oracle; results are reported per group characteristic as the
+percentage of choices won by the first list (Figure 3) or by each consensus
+function (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.study.environment import CHARACTERISTICS, StudyEnvironment, StudyGroup
+
+#: The two configurations compared in each chart of Figure 3.
+FIGURE3_COMPARISONS: dict[str, tuple[dict[str, str], dict[str, str]]] = {
+    "A (Affinity-aware vs Affinity-agnostic)": (
+        {"affinity": "discrete", "consensus": "AP"},
+        {"affinity": "none", "consensus": "AP"},
+    ),
+    "B (Time-aware vs Time-agnostic)": (
+        {"affinity": "discrete", "consensus": "AP"},
+        {"affinity": "time-agnostic", "consensus": "AP"},
+    ),
+    "C (Continuous vs Discrete)": (
+        {"affinity": "continuous", "consensus": "AP"},
+        {"affinity": "discrete", "consensus": "AP"},
+    ),
+}
+
+#: The consensus functions compared in Figure 2.
+FIGURE2_FUNCTIONS = ("AP", "MO", "PD")
+
+
+@dataclass(frozen=True)
+class ComparativeChart:
+    """One chart of Figure 3: per-characteristic win percentage of the first list."""
+
+    label: str
+    first: Mapping[str, str]
+    second: Mapping[str, str]
+    preference_percent: Mapping[str, float]
+
+    def overall(self) -> float:
+        """Mean win percentage across characteristics."""
+        values = list(self.preference_percent.values())
+        return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class ConsensusComparison:
+    """Figure 2: per-characteristic share of votes won by each consensus function."""
+
+    preference_percent: Mapping[str, Mapping[str, float]]
+
+    def winner(self, characteristic: str) -> str:
+        """The consensus function preferred for one characteristic."""
+        shares = self.preference_percent[characteristic]
+        return max(shares, key=lambda name: shares[name])
+
+
+class ComparativeEvaluation:
+    """Run the comparative evaluations over the study environment."""
+
+    def __init__(self, environment: StudyEnvironment, k: int = 5) -> None:
+        self.environment = environment
+        self.k = k
+        self._list_cache: dict[tuple[tuple[int, ...], str, str], tuple[int, ...]] = {}
+
+    # -- helpers --------------------------------------------------------------------------------
+
+    def _recommend(self, group: StudyGroup, affinity: str, consensus: str) -> tuple[int, ...]:
+        key = (group.members, affinity, consensus)
+        if key not in self._list_cache:
+            env = self.environment
+            recommendation = env.recommender.recommend(
+                list(group.members),
+                k=self.k,
+                period=env.period,
+                consensus=consensus,
+                affinity=affinity,
+                algorithm="naive",
+                exclude_rated=False,
+            )
+            self._list_cache[key] = recommendation.items
+        return self._list_cache[key]
+
+    # -- Figure 3 --------------------------------------------------------------------------------
+
+    def compare_pair(
+        self,
+        first: Mapping[str, str],
+        second: Mapping[str, str],
+        label: str = "",
+    ) -> ComparativeChart:
+        """Pairwise forced-choice comparison of two configurations."""
+        env = self.environment
+        per_characteristic: dict[str, float] = {}
+        for characteristic in CHARACTERISTICS:
+            wins = 0
+            votes = 0
+            for group in env.groups_with(characteristic):
+                first_list = self._recommend(group, first["affinity"], first["consensus"])
+                second_list = self._recommend(group, second["affinity"], second["consensus"])
+                for member in group.members:
+                    votes += 1
+                    if first_list == second_list:
+                        # Identical lists: the choice carries no signal; split the vote.
+                        wins += 0.5
+                    elif env.oracle.member_prefers(
+                        member, first_list, second_list, list(group.members), env.period
+                    ):
+                        wins += 1
+            per_characteristic[characteristic] = 100.0 * wins / votes if votes else 0.0
+        return ComparativeChart(
+            label=label or "comparison",
+            first=dict(first),
+            second=dict(second),
+            preference_percent=per_characteristic,
+        )
+
+    def run_figure3(self) -> dict[str, ComparativeChart]:
+        """All three pairwise comparisons of Figure 3."""
+        charts = {}
+        for label, (first, second) in FIGURE3_COMPARISONS.items():
+            charts[label] = self.compare_pair(first, second, label=label)
+        return charts
+
+    # -- Figure 2 --------------------------------------------------------------------------------
+
+    def compare_consensus_functions(
+        self, functions: Sequence[str] = FIGURE2_FUNCTIONS, affinity: str = "discrete"
+    ) -> ConsensusComparison:
+        """Three-way comparison of consensus functions under temporal affinities."""
+        env = self.environment
+        results: dict[str, dict[str, float]] = {}
+        for characteristic in CHARACTERISTICS:
+            votes = {name: 0.0 for name in functions}
+            total = 0
+            for group in env.groups_with(characteristic):
+                lists = {
+                    name: self._recommend(group, affinity, name) for name in functions
+                }
+                for member in group.members:
+                    total += 1
+                    utilities = {
+                        name: env.oracle.list_utility(
+                            member, items, list(group.members), env.period
+                        )
+                        for name, items in lists.items()
+                    }
+                    best = max(utilities, key=lambda name: utilities[name])
+                    votes[best] += 1
+            results[characteristic] = {
+                name: (100.0 * count / total if total else 0.0) for name, count in votes.items()
+            }
+        return ConsensusComparison(preference_percent=results)

@@ -1,0 +1,174 @@
+"""Assembled environment for the quality (user-study) experiments.
+
+Pulls together everything the Figures 1-3 reproductions need: the study
+cohort (participants, ratings, social graph), a fitted
+:class:`~repro.core.recommender.GroupRecommender` trained on the *visible*
+part of the ratings, the satisfaction oracle built on the *full* ratings, and
+the eight study groups labelled by size, cohesiveness and affinity strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.recommender import GroupRecommender
+from repro.core.timeline import Period, Timeline, one_year_timeline
+from repro.data.movielens import MovieLensConfig, generate_movielens_like
+from repro.data.ratings import RatingsDataset
+from repro.data.study_cohort import StudyCohort, StudyConfig, build_study_cohort
+from repro.exceptions import ConfigurationError
+from repro.groups.formation import GroupFormer, GroupProfile
+from repro.study.satisfaction import OracleConfig, SatisfactionOracle
+
+#: The six group characteristics reported on the x-axis of Figures 1-3.
+CHARACTERISTICS = ("Sim", "Diss", "Small", "Large", "High Aff", "Low Aff")
+
+
+@dataclass(frozen=True)
+class StudyGroup:
+    """A study group together with the characteristics it contributes to."""
+
+    members: tuple[int, ...]
+    characteristics: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.members)
+
+
+@dataclass
+class StudyEnvironment:
+    """Everything needed to run the quality experiments."""
+
+    cohort: StudyCohort
+    timeline: Timeline
+    recommender: GroupRecommender
+    oracle: SatisfactionOracle
+    groups: tuple[StudyGroup, ...]
+
+    @property
+    def period(self) -> Period:
+        """The query period (the most recent period of the timeline)."""
+        return self.timeline.current
+
+    def groups_with(self, characteristic: str) -> list[StudyGroup]:
+        """All study groups contributing to one characteristic."""
+        if characteristic not in CHARACTERISTICS:
+            raise ConfigurationError(
+                f"unknown characteristic {characteristic!r}; expected one of {CHARACTERISTICS}"
+            )
+        return [group for group in self.groups if characteristic in group.characteristics]
+
+
+def _profile_characteristics(profile: GroupProfile, small: int) -> tuple[str, ...]:
+    """Map a :class:`GroupProfile` onto the paper's characteristic labels."""
+    labels = ["Small" if profile.size <= small else "Large"]
+    if profile.cohesiveness_label == "similar":
+        labels.append("Sim")
+    elif profile.cohesiveness_label == "dissimilar":
+        labels.append("Diss")
+    if profile.affinity_label == "high-affinity":
+        labels.append("High Aff")
+    elif profile.affinity_label == "low-affinity":
+        labels.append("Low Aff")
+    return tuple(labels)
+
+
+def build_study_environment(
+    base_ratings: RatingsDataset | None = None,
+    timeline: Timeline | None = None,
+    study_config: StudyConfig | None = None,
+    oracle_config: OracleConfig | None = None,
+    holdout_fraction: float = 0.2,
+    small_size: int = 3,
+    large_size: int = 6,
+    seed: int = 5,
+) -> StudyEnvironment:
+    """Build the full quality-experiment environment.
+
+    Parameters
+    ----------
+    base_ratings:
+        The MovieLens(-like) dataset the study movies are drawn from; a small
+        synthetic dataset is generated when omitted.
+    timeline:
+        Observation timeline; defaults to one year of two-month periods (the
+        paper's choice after Figure 4).
+    study_config:
+        Cohort-generation configuration.
+    oracle_config:
+        Satisfaction-oracle configuration.
+    holdout_fraction:
+        Fraction of each participant's ratings hidden from the recommender
+        but visible to the oracle (the "ground truth" the methods compete to
+        anticipate).
+    small_size / large_size:
+        Group sizes for the small/large study groups.
+    seed:
+        Seed for dataset generation and group formation.
+    """
+    if base_ratings is None:
+        base_ratings = generate_movielens_like(
+            MovieLensConfig(n_users=300, n_items=400, n_ratings=15000, seed=seed)
+        )
+    if timeline is None:
+        timeline = one_year_timeline(granularity="two-month")
+    if study_config is None:
+        # Defaults tuned so that the synthetic cohort exhibits the contrasts
+        # the paper's study relies on: distinct taste circles, a wide enough
+        # questionnaire for recommendation lists to differ, and page-like
+        # behaviour that actually drifts over the year (see DESIGN.md §5).
+        from repro.data.social import SocialConfig
+
+        study_config = StudyConfig(
+            popular_set_size=90,
+            diversity_set_size=45,
+            diversity_popularity_rank=250,
+            min_ratings_per_user=55,
+            taste_noise=0.5,
+            social=SocialConfig(
+                intra_friend_prob=0.75,
+                inter_friend_prob=0.02,
+                likes_per_period=8.0,
+                like_activity_drop=0.25,
+                categories_per_community=15,
+                drift_strength=1.4,
+            ),
+        )
+    if oracle_config is None:
+        oracle_config = OracleConfig(personal_weight=0.5, social_weight=0.5, noise=0.15)
+
+    cohort = build_study_cohort(base_ratings, timeline, study_config)
+
+    visible, _held_out = cohort.ratings.leave_out_split(holdout_fraction, seed=seed)
+    recommender = GroupRecommender(
+        ratings=visible,
+        social=cohort.social,
+        timeline=timeline,
+        affinity_universe=cohort.participants,
+    ).fit()
+
+    # Ground-truth affinity for the oracle: the discrete temporal model over
+    # the real (synthetic) social data — i.e. what actually drives who enjoys
+    # what in whose company.
+    truth_affinity = recommender.affinity_model("discrete")
+    oracle = SatisfactionOracle(cohort.ratings, truth_affinity, oracle_config)
+
+    former = GroupFormer(cohort.ratings, candidates=cohort.participants, seed=seed)
+    profiles = former.study_groups(
+        truth_affinity, period=timeline.current, small=small_size, large=large_size
+    )
+    groups = tuple(
+        StudyGroup(members=profile.members, characteristics=_profile_characteristics(profile, small_size))
+        for profile in profiles
+    )
+
+    return StudyEnvironment(
+        cohort=cohort,
+        timeline=timeline,
+        recommender=recommender,
+        oracle=oracle,
+        groups=groups,
+    )

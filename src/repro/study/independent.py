@@ -1,0 +1,102 @@
+"""Independent evaluation protocol (Section 4.1.4, Figure 1).
+
+In the independent evaluation each participant observes one recommendation
+list at a time and scores how satisfied they would be watching those movies
+with the other group members (0-5, reported as a percentage).  Six
+recommendation configurations are evaluated, one per chart of Figure 1:
+
+==== ==========================================================
+A    default: affinity-aware, discrete time model, AP consensus
+B    affinity-agnostic
+C    time-agnostic (affinity without its temporal component)
+D    continuous time model
+E    MO (least-misery) consensus
+F    PD (pairwise-disagreement) consensus
+==== ==========================================================
+
+The reproduction replaces the human score with the satisfaction oracle and
+reports, per group characteristic (Sim / Diss / Small / Large / High Aff /
+Low Aff), the mean satisfaction percentage over the study groups exhibiting
+that characteristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.study.environment import CHARACTERISTICS, StudyEnvironment
+
+#: The recommendation configuration behind each chart of Figure 1.
+FIGURE1_CONFIGURATIONS: dict[str, dict[str, str]] = {
+    "A (Default)": {"affinity": "discrete", "consensus": "AP"},
+    "B (Affinity-agnostic)": {"affinity": "none", "consensus": "AP"},
+    "C (Time-agnostic)": {"affinity": "time-agnostic", "consensus": "AP"},
+    "D (Continuous)": {"affinity": "continuous", "consensus": "AP"},
+    "E (MO)": {"affinity": "discrete", "consensus": "MO"},
+    "F (PD)": {"affinity": "discrete", "consensus": "PD"},
+}
+
+
+@dataclass(frozen=True)
+class IndependentChart:
+    """One chart of Figure 1: a configuration and its per-characteristic scores."""
+
+    label: str
+    affinity: str
+    consensus: str
+    preference_percent: Mapping[str, float]
+
+    def overall(self) -> float:
+        """Mean preference percentage across characteristics."""
+        values = list(self.preference_percent.values())
+        return sum(values) / len(values) if values else 0.0
+
+
+class IndependentEvaluation:
+    """Run the independent evaluation over the study environment."""
+
+    def __init__(self, environment: StudyEnvironment, k: int = 5) -> None:
+        self.environment = environment
+        self.k = k
+
+    def evaluate_configuration(self, affinity: str, consensus: str, label: str = "") -> IndependentChart:
+        """Score one recommendation configuration on every group characteristic."""
+        env = self.environment
+        per_characteristic: dict[str, float] = {}
+        cache: dict[tuple[int, ...], float] = {}
+        for characteristic in CHARACTERISTICS:
+            scores = []
+            for group in env.groups_with(characteristic):
+                if group.members not in cache:
+                    recommendation = env.recommender.recommend(
+                        list(group.members),
+                        k=self.k,
+                        period=env.period,
+                        consensus=consensus,
+                        affinity=affinity,
+                        algorithm="naive",
+                        exclude_rated=False,
+                    )
+                    cache[group.members] = env.oracle.satisfaction_percent(
+                        recommendation.items, list(group.members), env.period
+                    )
+                scores.append(cache[group.members])
+            per_characteristic[characteristic] = (
+                sum(scores) / len(scores) if scores else 0.0
+            )
+        return IndependentChart(
+            label=label or f"{consensus}/{affinity}",
+            affinity=affinity,
+            consensus=consensus,
+            preference_percent=per_characteristic,
+        )
+
+    def run(self) -> dict[str, IndependentChart]:
+        """Evaluate all six Figure 1 configurations."""
+        charts = {}
+        for label, config in FIGURE1_CONFIGURATIONS.items():
+            charts[label] = self.evaluate_configuration(
+                affinity=config["affinity"], consensus=config["consensus"], label=label
+            )
+        return charts

@@ -1,0 +1,11 @@
+"""Generic Fagin-style top-k substrate (TA and NRA)."""
+
+from repro.topk.nra import AggregationFn, NoRandomAccessAlgorithm, TopKResult
+from repro.topk.ta import ThresholdAlgorithm
+
+__all__ = [
+    "AggregationFn",
+    "NoRandomAccessAlgorithm",
+    "ThresholdAlgorithm",
+    "TopKResult",
+]

@@ -1,0 +1,89 @@
+"""Generic Threshold Algorithm (TA) of Fagin, Lotem and Naor.
+
+TA scans the sorted lists round-robin like NRA but resolves the *exact*
+score of every newly encountered object immediately through random accesses
+to the other lists.  It stops when the ``k``-th best exact score reaches the
+threshold (the aggregation of the current cursor values).
+
+In the reproduction TA plays the role of the "expensive" reference point the
+paper discusses in Section 3.1: computing the complete score of a single
+item requires touching every list, which is exactly what GRECA avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.lists import SortedAccessList, total_entries
+from repro.exceptions import AlgorithmError
+from repro.topk.nra import AggregationFn, TopKResult
+
+
+class ThresholdAlgorithm:
+    """Classic TA over sorted lists sharing a single access counter."""
+
+    def __init__(self, aggregation: AggregationFn, k: int) -> None:
+        if k <= 0:
+            raise AlgorithmError("k must be positive")
+        self.aggregation = aggregation
+        self.k = k
+
+    def run(self, lists: Sequence[SortedAccessList[Hashable]]) -> TopKResult:
+        """Execute TA until the threshold condition holds or lists are exhausted."""
+        if not lists:
+            raise AlgorithmError("TA requires at least one input list")
+        counter = lists[0].counter
+        for access_list in lists:
+            if access_list.counter is not counter:
+                raise AlgorithmError("all lists must share one AccessCounter")
+
+        scores: dict[Hashable, float] = {}
+        rounds = 0
+
+        while True:
+            progressed = False
+            for position, access_list in enumerate(lists):
+                entry = access_list.sequential_access()
+                if entry is None:
+                    continue
+                progressed = True
+                if entry.key not in scores:
+                    components = []
+                    for other_position, other_list in enumerate(lists):
+                        if other_position == position:
+                            components.append(entry.score)
+                        else:
+                            components.append(other_list.random_access(entry.key))
+                    scores[entry.key] = self.aggregation(components)
+            rounds += 1
+            exhausted = not progressed or all(access_list.exhausted for access_list in lists)
+
+            if len(scores) >= self.k:
+                threshold = self.aggregation(
+                    [access_list.cursor_score for access_list in lists]
+                )
+                ranked = sorted(scores, key=lambda key: (-scores[key], repr(key)))
+                kth_score = scores[ranked[self.k - 1]]
+                if kth_score >= threshold - 1e-12 or exhausted:
+                    top = tuple(ranked[: self.k])
+                    return TopKResult(
+                        items=top,
+                        lower_bounds={key: scores[key] for key in top},
+                        upper_bounds={key: scores[key] for key in top},
+                        sequential_accesses=counter.sequential,
+                        random_accesses=counter.random,
+                        total_entries=total_entries(lists),
+                        rounds=rounds,
+                    )
+            if exhausted:
+                ranked = sorted(scores, key=lambda key: (-scores[key], repr(key)))
+                top = tuple(ranked[: self.k])
+                return TopKResult(
+                    items=top,
+                    lower_bounds={key: scores[key] for key in top},
+                    upper_bounds={key: scores[key] for key in top},
+                    sequential_accesses=counter.sequential,
+                    random_accesses=counter.random,
+                    total_entries=total_entries(lists),
+                    rounds=rounds,
+                )

@@ -1,0 +1,113 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build one small, deterministic world reused across many tests:
+a MovieLens-like ratings dataset, a one-year two-month timeline, a social
+network over a subset of users and a fitted group recommender.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout even when the package has
+# not been pip-installed (e.g. on a machine without editable-install support).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.recommender import GroupRecommender  # noqa: E402
+from repro.core.timeline import one_year_timeline, uniform_timeline  # noqa: E402
+from repro.data.movielens import MovieLensConfig, generate_movielens_like  # noqa: E402
+from repro.data.ratings import Rating, RatingsDataset  # noqa: E402
+from repro.data.social import PageLike, SocialConfig, SocialNetwork, SocialNetworkGenerator  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def small_ratings() -> RatingsDataset:
+    """A small synthetic MovieLens-like dataset (80 users x 120 items)."""
+    return generate_movielens_like(
+        MovieLensConfig(n_users=80, n_items=120, n_ratings=2_600, seed=1)
+    )
+
+
+@pytest.fixture(scope="session")
+def timeline():
+    """One year discretised into two-month periods (the paper's default)."""
+    return one_year_timeline(granularity="two-month")
+
+
+@pytest.fixture(scope="session")
+def short_timeline():
+    """A tiny 3-period timeline for hand-computed tests."""
+    return uniform_timeline(start=0, n_periods=3, period_length=100)
+
+
+@pytest.fixture(scope="session")
+def social_users(small_ratings) -> tuple[int, ...]:
+    """The users participating in the social network."""
+    return tuple(small_ratings.users[:30])
+
+
+@pytest.fixture(scope="session")
+def social(small_ratings, timeline, social_users) -> SocialNetwork:
+    """A community-structured social network over 30 users."""
+    return SocialNetworkGenerator(SocialConfig(seed=3)).generate(list(social_users), timeline)
+
+
+@pytest.fixture(scope="session")
+def recommender(small_ratings, social, timeline, social_users) -> GroupRecommender:
+    """A fitted group recommender over the shared world."""
+    return GroupRecommender(
+        ratings=small_ratings,
+        social=social,
+        timeline=timeline,
+        affinity_universe=social_users,
+    ).fit()
+
+
+@pytest.fixture()
+def toy_ratings() -> RatingsDataset:
+    """A tiny hand-written dataset used where exact values matter."""
+    rows = [
+        Rating(1, 10, 5.0, 100),
+        Rating(1, 11, 3.0, 200),
+        Rating(1, 12, 1.0, 300),
+        Rating(2, 10, 5.0, 150),
+        Rating(2, 11, 3.0, 250),
+        Rating(2, 13, 4.0, 350),
+        Rating(3, 10, 1.0, 120),
+        Rating(3, 12, 5.0, 220),
+        Rating(3, 13, 2.0, 320),
+        Rating(4, 11, 4.0, 130),
+        Rating(4, 12, 4.0, 230),
+        Rating(4, 13, 4.0, 330),
+    ]
+    return RatingsDataset(rows, name="toy")
+
+
+@pytest.fixture()
+def tiny_social(short_timeline) -> SocialNetwork:
+    """A hand-written social network of four users over three periods."""
+    users = [1, 2, 3, 4]
+    friendships = [(1, 2), (1, 3), (2, 3), (3, 4)]
+    likes = [
+        # Period 0 ([0, 99]): users 1 and 2 share categories 5 and 6.
+        PageLike(1, 5, 10),
+        PageLike(1, 6, 20),
+        PageLike(2, 5, 30),
+        PageLike(2, 6, 40),
+        PageLike(3, 7, 50),
+        # Period 1 ([100, 199]): 1 and 2 share one category; 3 and 4 share one.
+        PageLike(1, 5, 110),
+        PageLike(2, 5, 120),
+        PageLike(3, 8, 130),
+        PageLike(4, 8, 140),
+        # Period 2 ([200, 299]): only 3 and 4 share a category.
+        PageLike(3, 9, 210),
+        PageLike(4, 9, 220),
+        PageLike(1, 2, 230),
+    ]
+    return SocialNetwork(users, friendships, likes)

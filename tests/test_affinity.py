@@ -1,0 +1,235 @@
+"""Tests for repro.core.affinity (temporal affinity models)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.affinity import (
+    ComputedAffinities,
+    ContinuousAffinityModel,
+    DiscreteAffinityModel,
+    ExplicitAffinityModel,
+    NoAffinityModel,
+    TimeAgnosticAffinityModel,
+    build_affinity_model,
+    clamp01,
+    combine_continuous,
+    combine_discrete,
+    pair_key,
+)
+from repro.core.timeline import uniform_timeline
+from repro.exceptions import AffinityError
+
+
+class TestHelpers:
+    def test_pair_key_is_canonical(self):
+        assert pair_key(3, 1) == (1, 3)
+        assert pair_key(1, 3) == (1, 3)
+
+    def test_pair_key_rejects_self_pair(self):
+        with pytest.raises(AffinityError):
+            pair_key(2, 2)
+
+    def test_clamp01(self):
+        assert clamp01(-0.5) == 0.0
+        assert clamp01(0.25) == 0.25
+        assert clamp01(1.7) == 1.0
+
+    def test_combine_discrete_matches_equation_one(self):
+        # drift = (0.6 - 0.2) + (0.2 - 0.4) = 0.2, Gamma = 2 periods -> aff_V = 0.1
+        value = combine_discrete(0.3, [0.6, 0.2], [0.2, 0.4])
+        assert value == pytest.approx(0.4)
+
+    def test_combine_discrete_without_periods_is_static(self):
+        assert combine_discrete(0.7, [], []) == pytest.approx(0.7)
+
+    def test_combine_continuous_growth_and_decay(self):
+        growth = combine_continuous(0.3, [0.9], [0.1])
+        decay = combine_continuous(0.3, [0.1], [0.9])
+        assert growth == pytest.approx(min(1.0, 0.3 * math.exp(0.8)))
+        assert decay == pytest.approx(0.3 * math.exp(-0.8))
+
+    def test_combine_continuous_zero_static_stays_zero(self):
+        assert combine_continuous(0.0, [1.0, 1.0], [0.0, 0.0]) == 0.0
+
+    @given(
+        static=st.floats(min_value=0, max_value=1),
+        periodic=st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=6),
+        averages=st.lists(st.floats(min_value=0, max_value=1), min_size=6, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_combinations_stay_normalised(self, static, periodic, averages):
+        averages = averages[: len(periodic)]
+        for combine in (combine_discrete, combine_continuous):
+            value = combine(static, periodic, averages)
+            assert 0.0 <= value <= 1.0
+
+    @given(
+        static=st.floats(min_value=0, max_value=1),
+        low=st.lists(st.floats(min_value=0, max_value=0.5), min_size=2, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_combinations_are_monotone_in_periodic_values(self, static, low):
+        """Raising any periodic affinity never lowers the combined affinity (Lemma 1)."""
+        averages = [0.3] * len(low)
+        high = [value + 0.5 for value in low]
+        for combine in (combine_discrete, combine_continuous):
+            assert combine(static, high, averages) >= combine(static, low, averages) - 1e-12
+
+
+class TestNoAffinityModel:
+    def test_always_zero(self):
+        model = NoAffinityModel()
+        assert model.affinity(1, 2) == 0.0
+        assert model.mean_pairwise([1, 2, 3]) == 0.0
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(AffinityError):
+            NoAffinityModel().affinity(4, 4)
+
+
+class TestExplicitAffinityModel:
+    def test_static_only(self):
+        model = ExplicitAffinityModel({(1, 2): 0.8, (2, 3): 0.3})
+        assert model.affinity(2, 1) == pytest.approx(0.8)
+        assert model.affinity(1, 3) == 0.0
+
+    def test_periodic_requires_timeline(self):
+        with pytest.raises(AffinityError):
+            ExplicitAffinityModel({}, periodic={None: {}})
+
+    def test_periodic_average_up_to_period(self, short_timeline):
+        model = ExplicitAffinityModel(
+            {(1, 2): 0.2},
+            periodic={
+                short_timeline[0]: {(1, 2): 0.4},
+                short_timeline[1]: {(1, 2): 0.2},
+            },
+            timeline=short_timeline,
+        )
+        assert model.affinity(1, 2, short_timeline[0]) == pytest.approx(0.6)
+        assert model.affinity(1, 2, short_timeline[1]) == pytest.approx(0.2 + 0.3)
+
+    def test_pairwise_helper(self):
+        model = ExplicitAffinityModel({(1, 2): 0.5, (1, 3): 0.1, (2, 3): 0.9})
+        values = model.pairwise([1, 2, 3])
+        assert values == {(1, 2): 0.5, (1, 3): 0.1, (2, 3): 0.9}
+        assert model.mean_pairwise([1, 2, 3]) == pytest.approx(0.5)
+
+
+class TestComputedAffinities:
+    @pytest.fixture()
+    def computed(self, tiny_social, short_timeline):
+        return ComputedAffinities(tiny_social, short_timeline)
+
+    def test_requires_two_users(self, tiny_social, short_timeline):
+        with pytest.raises(AffinityError):
+            ComputedAffinities(tiny_social, short_timeline, users=[1])
+
+    def test_static_normalisation_by_max_pair(self, computed):
+        """The paper normalises static affinity by the maximum pairwise value."""
+        raw_max = max(
+            computed.static_raw(a, b) for a, b in [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        )
+        assert raw_max > 0
+        values = [
+            computed.static_normalized(a, b)
+            for a, b in [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        ]
+        assert max(values) == pytest.approx(1.0)
+        assert all(0.0 <= value <= 1.0 for value in values)
+
+    def test_periodic_raw_counts_common_category_likes(self, computed, short_timeline):
+        assert computed.periodic_raw(1, 2, short_timeline[0]) == 2.0
+        assert computed.periodic_raw(1, 2, short_timeline[2]) == 0.0
+        assert computed.periodic_raw(3, 4, short_timeline[2]) == 1.0
+
+    def test_population_average(self, computed, short_timeline):
+        # Period 0: only the (1,2) pair shares 2 categories among 6 pairs.
+        assert computed.population_average(short_timeline[0]) == pytest.approx(2.0 / 6.0)
+
+    def test_unknown_period_rejected(self, computed):
+        from repro.core.timeline import Period
+
+        with pytest.raises(AffinityError):
+            computed.periodic_raw(1, 2, Period(5_000, 6_000))
+        with pytest.raises(AffinityError):
+            computed.population_average(Period(5_000, 6_000))
+
+    def test_drift_sign_tracks_population(self, computed, short_timeline):
+        """Pairs liking more than average drift positively, others negatively."""
+        assert computed.drift_sum(1, 2, short_timeline[0]) > 0
+        assert computed.drift_sum(1, 4, short_timeline[0]) < 0
+
+    def test_dynamic_discrete_normalises_by_period_count(self, computed, short_timeline):
+        drift = computed.drift_sum(1, 2, short_timeline[1])
+        assert computed.dynamic_discrete(1, 2, short_timeline[1]) == pytest.approx(drift / 2)
+
+    def test_dynamic_continuous_rate_uses_elapsed_time(self, computed, short_timeline):
+        drift = computed.drift_sum(1, 2, short_timeline[1])
+        assert computed.dynamic_continuous_rate(1, 2, short_timeline[1]) == pytest.approx(drift / 199)
+
+
+class TestModels:
+    @pytest.fixture()
+    def computed(self, tiny_social, short_timeline):
+        return ComputedAffinities(tiny_social, short_timeline)
+
+    def test_discrete_combines_static_and_drift(self, computed, short_timeline):
+        model = DiscreteAffinityModel(computed)
+        period = short_timeline[0]
+        expected = clamp01(
+            computed.static_normalized(1, 2) + computed.dynamic_discrete(1, 2, period)
+        )
+        assert model.affinity(1, 2, period) == pytest.approx(expected)
+
+    def test_discrete_without_period_is_static(self, computed):
+        model = DiscreteAffinityModel(computed)
+        assert model.affinity(1, 2) == pytest.approx(computed.static_normalized(1, 2))
+
+    def test_continuous_grows_with_positive_drift(self, computed, short_timeline):
+        model = ContinuousAffinityModel(computed)
+        period = short_timeline[0]
+        static = computed.static_normalized(1, 2)
+        assert model.affinity(1, 2, period) >= static  # (1,2) drift positively in p0
+
+    def test_continuous_decays_with_negative_drift(self, computed, short_timeline):
+        model = ContinuousAffinityModel(computed)
+        static = computed.static_normalized(1, 4)
+        if static > 0:
+            assert model.affinity(1, 4, short_timeline[0]) < static
+
+    def test_time_agnostic_ignores_period(self, computed, short_timeline):
+        model = TimeAgnosticAffinityModel(computed)
+        assert model.affinity(1, 2, short_timeline[0]) == model.affinity(1, 2, short_timeline[2])
+
+    def test_all_models_symmetric_and_normalised(self, computed, short_timeline):
+        models = [
+            DiscreteAffinityModel(computed),
+            ContinuousAffinityModel(computed),
+            TimeAgnosticAffinityModel(computed),
+        ]
+        pairs = [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        for model in models:
+            for period in list(short_timeline) + [None]:
+                for left, right in pairs:
+                    value = model.affinity(left, right, period)
+                    assert value == pytest.approx(model.affinity(right, left, period))
+                    assert 0.0 <= value <= 1.0
+
+    def test_factory(self, tiny_social, short_timeline):
+        for name, cls in [
+            ("discrete", DiscreteAffinityModel),
+            ("continuous", ContinuousAffinityModel),
+            ("time-agnostic", TimeAgnosticAffinityModel),
+            ("none", NoAffinityModel),
+        ]:
+            model = build_affinity_model(name, tiny_social, short_timeline)
+            assert isinstance(model, cls)
+
+    def test_factory_rejects_unknown_model(self, tiny_social, short_timeline):
+        with pytest.raises(AffinityError):
+            build_affinity_model("quantum", tiny_social, short_timeline)

@@ -1,0 +1,85 @@
+"""Tests for repro.core.baseline (naive full scan and TA-style baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import NaiveFullScan, ThresholdAlgorithmBaseline
+from repro.core.consensus import AVERAGE_PREFERENCE, LEAST_MISERY, make_consensus
+from repro.core.greca import Greca, GrecaIndex
+from repro.exceptions import AlgorithmError
+
+APREFS = {
+    1: {item: float(5 - (item % 5)) for item in range(20)},
+    2: {item: float(1 + (item % 5)) for item in range(20)},
+    3: {item: float(1 + ((item * 3) % 5)) for item in range(20)},
+}
+STATIC = {(1, 2): 0.6, (1, 3): 0.2, (2, 3): 0.8}
+PERIODIC = {0: {(1, 2): 0.4, (1, 3): 0.1, (2, 3): 0.5}}
+
+
+@pytest.fixture()
+def index() -> GrecaIndex:
+    return GrecaIndex(
+        members=[1, 2, 3],
+        aprefs=APREFS,
+        static=STATIC,
+        periodic=PERIODIC,
+        max_apref=5.0,
+    )
+
+
+class TestNaiveFullScan:
+    def test_invalid_k(self):
+        with pytest.raises(AlgorithmError):
+            NaiveFullScan(AVERAGE_PREFERENCE, k=0)
+
+    def test_scans_every_entry(self, index):
+        result = NaiveFullScan(AVERAGE_PREFERENCE, k=5).run(index)
+        assert result.sequential_accesses == index.total_index_entries()
+        assert result.random_accesses == 0
+        assert result.percent_sequential_accesses == pytest.approx(100.0)
+        assert result.percent_total_accesses == pytest.approx(100.0)
+
+    def test_returns_exact_top_k(self, index):
+        result = NaiveFullScan(AVERAGE_PREFERENCE, k=4).run(index)
+        exact = index.exact_scores(AVERAGE_PREFERENCE)
+        expected = sorted(exact.values(), reverse=True)[:4]
+        assert sorted(result.scores.values(), reverse=True) == pytest.approx(expected)
+
+    def test_k_capped_at_catalogue(self, index):
+        result = NaiveFullScan(AVERAGE_PREFERENCE, k=100).run(index)
+        assert result.k == len(index.items)
+
+    def test_top_k_scores_oracle(self, index):
+        scores = NaiveFullScan(LEAST_MISERY, k=1).top_k_scores(index)
+        assert set(scores) == set(index.items)
+
+
+class TestThresholdAlgorithmBaseline:
+    def test_invalid_k(self):
+        with pytest.raises(AlgorithmError):
+            ThresholdAlgorithmBaseline(AVERAGE_PREFERENCE, k=0)
+
+    def test_matches_exact_top_k(self, index):
+        for name in ("AP", "MO", "PD"):
+            consensus = make_consensus(name)
+            result = ThresholdAlgorithmBaseline(consensus, k=3).run(index)
+            exact = index.exact_scores(consensus)
+            expected = sorted(exact.values(), reverse=True)[:3]
+            assert sorted(result.scores.values(), reverse=True) == pytest.approx(expected, abs=1e-9)
+
+    def test_uses_random_accesses(self, index):
+        result = ThresholdAlgorithmBaseline(AVERAGE_PREFERENCE, k=3).run(index)
+        assert result.random_accesses > 0
+
+    def test_greca_needs_no_random_accesses_unlike_ta(self, index):
+        """Section 3.1: GRECA avoids the RAs that a TA-style approach incurs."""
+        ta = ThresholdAlgorithmBaseline(AVERAGE_PREFERENCE, k=3).run(index)
+        greca = Greca(AVERAGE_PREFERENCE, k=3, check_interval=1).run(index)
+        assert greca.random_accesses == 0
+        assert ta.random_accesses > 0
+        exact = index.exact_scores(AVERAGE_PREFERENCE)
+        assert sorted(exact[item] for item in greca.items) == pytest.approx(
+            sorted(ta.scores.values()), abs=1e-9
+        )

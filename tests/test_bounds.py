@@ -1,0 +1,116 @@
+"""Tests for repro.core.bounds (interval arithmetic)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    Interval,
+    interval_abs_difference,
+    interval_mean,
+    interval_min,
+    interval_sum,
+    interval_variance,
+)
+from repro.exceptions import AlgorithmError
+
+
+class TestInterval:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Interval(2.0, 1.0)
+
+    def test_exact_and_between(self):
+        assert Interval.exact(3.0) == Interval(3.0, 3.0)
+        assert Interval.between(4.0, 1.0) == Interval(1.0, 4.0)
+
+    def test_predicates(self):
+        interval = Interval(1.0, 3.0)
+        assert not interval.is_exact
+        assert Interval.exact(2.0).is_exact
+        assert interval.width == 2.0
+        assert interval.contains(1.0) and interval.contains(3.0)
+        assert not interval.contains(3.1)
+
+    def test_addition(self):
+        assert Interval(1, 2) + Interval(3, 5) == Interval(4, 7)
+
+    def test_scale(self):
+        assert Interval(1, 2).scale(3.0) == Interval(3, 6)
+        with pytest.raises(AlgorithmError):
+            Interval(1, 2).scale(-1.0)
+
+    def test_multiply_nonnegative(self):
+        assert Interval(1, 2).multiply_nonnegative(Interval(3, 4)) == Interval(3, 8)
+        assert Interval(0, 2).multiply_nonnegative(Interval(0, 4)) == Interval(0, 8)
+        with pytest.raises(AlgorithmError):
+            Interval(-1, 2).multiply_nonnegative(Interval(0, 1))
+
+    def test_shift_and_clamp(self):
+        assert Interval(1, 2).shift(0.5) == Interval(1.5, 2.5)
+        assert Interval(-1, 7).clamp(0, 5) == Interval(0, 5)
+
+
+class TestAggregates:
+    def test_interval_sum(self):
+        assert interval_sum([Interval(1, 2), Interval(0, 3)]) == Interval(1, 5)
+        assert interval_sum([]) == Interval(0, 0)
+
+    def test_interval_mean_and_min(self):
+        intervals = [Interval(1, 3), Interval(2, 4)]
+        assert interval_mean(intervals) == Interval(1.5, 3.5)
+        assert interval_min(intervals) == Interval(1, 3)
+        with pytest.raises(AlgorithmError):
+            interval_mean([])
+        with pytest.raises(AlgorithmError):
+            interval_min([])
+
+    def test_abs_difference_overlapping(self):
+        result = interval_abs_difference(Interval(1, 3), Interval(2, 5))
+        assert result.low == 0.0
+        assert result.high == 4.0
+
+    def test_abs_difference_disjoint(self):
+        result = interval_abs_difference(Interval(0, 1), Interval(3, 4))
+        assert result.low == 2.0
+        assert result.high == 4.0
+
+    def test_variance_bounds_are_sound(self):
+        intervals = [Interval(0, 1), Interval(2, 3), Interval(0, 3)]
+        result = interval_variance(intervals)
+        import statistics
+
+        for values in ([0, 2, 0], [1, 3, 3], [0.5, 2.5, 1.5], [1, 2, 0]):
+            assert result.low - 1e-9 <= statistics.pvariance(values) <= result.high + 1e-9
+
+    def test_variance_rejects_empty(self):
+        with pytest.raises(AlgorithmError):
+            interval_variance([])
+
+
+@given(
+    boxes=st.lists(
+        st.tuples(st.floats(min_value=-5, max_value=5), st.floats(min_value=-5, max_value=5)),
+        min_size=1,
+        max_size=6,
+    ),
+    fractions=st.lists(st.floats(min_value=0, max_value=1), min_size=6, max_size=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_aggregate_soundness(boxes, fractions):
+    """Sum, mean, min and |difference| of points inside boxes stay inside the bounds."""
+    intervals = [Interval.between(a, b) for a, b in boxes]
+    points = [
+        interval.low + fraction * (interval.high - interval.low)
+        for interval, fraction in zip(intervals, fractions)
+    ]
+    total = interval_sum(intervals)
+    assert total.low - 1e-9 <= sum(points) <= total.high + 1e-9
+    mean = interval_mean(intervals)
+    assert mean.low - 1e-9 <= sum(points) / len(points) <= mean.high + 1e-9
+    minimum = interval_min(intervals)
+    assert minimum.low - 1e-9 <= min(points) <= minimum.high + 1e-9
+    if len(points) >= 2:
+        diff = interval_abs_difference(intervals[0], intervals[1])
+        assert diff.low - 1e-9 <= abs(points[0] - points[1]) <= diff.high + 1e-9

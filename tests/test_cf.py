@@ -1,0 +1,196 @@
+"""Tests for the collaborative-filtering substrate (repro.cf)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cf.matrix import RatingMatrix
+from repro.cf.predictors import ItemBasedCF, MeanPredictor, UserBasedCF
+from repro.cf.similarity import (
+    cosine_similarity_matrix,
+    jaccard_similarity_matrix,
+    pairwise_user_similarity,
+    pearson_similarity_matrix,
+    similarity_matrix,
+)
+from repro.data.ratings import MAX_RATING, MIN_RATING, dataset_from_tuples
+from repro.exceptions import AlgorithmError, ConfigurationError, UnknownItemError, UnknownUserError
+
+
+class TestRatingMatrix:
+    def test_shape_and_values(self, toy_ratings):
+        matrix = RatingMatrix(toy_ratings)
+        assert matrix.shape == (4, 4)
+        assert matrix.rating(1, 10) == 5.0
+        assert matrix.rating(1, 13) == 0.0  # unrated
+
+    def test_rows_and_columns(self, toy_ratings):
+        matrix = RatingMatrix(toy_ratings)
+        np.testing.assert_allclose(matrix.user_row(1), [5.0, 3.0, 1.0, 0.0])
+        np.testing.assert_allclose(matrix.item_column(10), [5.0, 5.0, 1.0, 0.0])
+
+    def test_unknown_lookups(self, toy_ratings):
+        matrix = RatingMatrix(toy_ratings)
+        with pytest.raises(UnknownUserError):
+            matrix.user_row(99)
+        with pytest.raises(UnknownItemError):
+            matrix.item_column(99)
+
+    def test_user_means_ignore_unrated(self, toy_ratings):
+        matrix = RatingMatrix(toy_ratings)
+        means = matrix.user_means()
+        assert means[matrix.user_position(1)] == pytest.approx(3.0)
+        assert means[matrix.user_position(4)] == pytest.approx(4.0)
+
+    def test_item_means(self, toy_ratings):
+        matrix = RatingMatrix(toy_ratings)
+        means = matrix.item_means()
+        assert means[matrix.item_position(13)] == pytest.approx((4 + 2 + 4) / 3)
+
+
+class TestSimilarity:
+    def test_cosine_identical_vectors(self):
+        vectors = np.array([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0]])
+        sims = cosine_similarity_matrix(vectors)
+        assert sims[0, 1] == pytest.approx(1.0)
+
+    def test_cosine_orthogonal_vectors(self):
+        vectors = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cosine_similarity_matrix(vectors)[0, 1] == pytest.approx(0.0)
+
+    def test_cosine_zero_vector_gets_zero_similarity(self):
+        vectors = np.array([[0.0, 0.0], [1.0, 2.0]])
+        sims = cosine_similarity_matrix(vectors)
+        assert sims[0, 1] == 0.0 and sims[0, 0] == 0.0
+
+    def test_pearson_perfect_anticorrelation(self):
+        vectors = np.array([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]])
+        assert pearson_similarity_matrix(vectors)[0, 1] == pytest.approx(-1.0)
+
+    def test_pearson_requires_two_corated(self):
+        vectors = np.array([[1.0, 0.0, 0.0], [1.0, 2.0, 0.0]])
+        assert pearson_similarity_matrix(vectors)[0, 1] == 0.0
+
+    def test_jaccard_overlap(self):
+        vectors = np.array([[1.0, 2.0, 0.0], [0.0, 3.0, 4.0]])
+        assert jaccard_similarity_matrix(vectors)[0, 1] == pytest.approx(1 / 3)
+
+    def test_similarity_matrix_axes(self, toy_ratings):
+        matrix = RatingMatrix(toy_ratings)
+        users = similarity_matrix(matrix, axis="user")
+        items = similarity_matrix(matrix, axis="item")
+        assert users.shape == (4, 4)
+        assert items.shape == (4, 4)
+
+    def test_unknown_metric_or_axis(self, toy_ratings):
+        matrix = RatingMatrix(toy_ratings)
+        with pytest.raises(ConfigurationError):
+            similarity_matrix(matrix, metric="nope")
+        with pytest.raises(ConfigurationError):
+            similarity_matrix(matrix, axis="nope")
+
+    def test_pairwise_user_similarity_symmetric(self, toy_ratings):
+        matrix = RatingMatrix(toy_ratings)
+        assert pairwise_user_similarity(matrix, 1, 2) == pytest.approx(
+            pairwise_user_similarity(matrix, 2, 1)
+        )
+
+    @given(
+        vectors=st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=4, max_size=4),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cosine_properties(self, vectors):
+        """Cosine similarities are symmetric and bounded by [-1, 1]."""
+        array = np.array(vectors)
+        sims = cosine_similarity_matrix(array)
+        assert np.allclose(sims, sims.T)
+        assert np.all(sims <= 1.0 + 1e-9) and np.all(sims >= -1.0 - 1e-9)
+
+
+class TestMeanPredictor:
+    def test_predicts_observed_rating(self, toy_ratings):
+        predictor = MeanPredictor().fit(toy_ratings)
+        assert predictor.predict(1, 10) == 5.0
+
+    def test_falls_back_to_item_mean(self, toy_ratings):
+        predictor = MeanPredictor().fit(toy_ratings)
+        assert predictor.predict(1, 13) == pytest.approx(toy_ratings.item_mean(13))
+
+    def test_unfitted_predictor_raises(self):
+        with pytest.raises(AlgorithmError):
+            MeanPredictor().predict(1, 10)
+        assert not MeanPredictor().is_fitted
+
+
+class TestUserBasedCF:
+    def test_invalid_neighbourhood(self):
+        with pytest.raises(ConfigurationError):
+            UserBasedCF(k_neighbors=0)
+
+    def test_predictions_in_valid_range(self, small_ratings):
+        predictor = UserBasedCF(k_neighbors=20).fit(small_ratings)
+        user = small_ratings.users[0]
+        predictions = predictor.predict_all(user)
+        assert set(predictions) == set(small_ratings.items)
+        assert all(MIN_RATING <= value <= MAX_RATING for value in predictions.values())
+
+    def test_predict_all_matches_predict(self, small_ratings):
+        predictor = UserBasedCF(k_neighbors=20).fit(small_ratings)
+        user = small_ratings.users[3]
+        predictions = predictor.predict_all(user)
+        for item in list(small_ratings.items)[:15]:
+            assert predictions[item] == pytest.approx(predictor.predict(user, item), abs=1e-9)
+
+    def test_observed_ratings_returned_verbatim(self, small_ratings):
+        predictor = UserBasedCF().fit(small_ratings)
+        user = small_ratings.users[0]
+        rated = next(iter(small_ratings.user_ratings(user).values()))
+        assert predictor.predict(user, rated.item_id) == rated.value
+
+    def test_similar_users_drive_predictions(self):
+        """A user identical to another inherits their opinion of an unseen item."""
+        dataset = dataset_from_tuples(
+            [
+                (1, 1, 5.0), (1, 2, 1.0), (1, 3, 5.0),
+                (2, 1, 5.0), (2, 2, 1.0), (2, 3, 5.0), (2, 4, 5.0),
+                (3, 1, 1.0), (3, 2, 5.0), (3, 4, 1.0),
+            ]
+        )
+        predictor = UserBasedCF(k_neighbors=None).fit(dataset)
+        assert predictor.predict(1, 4) > 3.5
+
+
+class TestItemBasedCF:
+    def test_invalid_neighbourhood(self):
+        with pytest.raises(ConfigurationError):
+            ItemBasedCF(k_neighbors=-1)
+
+    def test_predictions_in_valid_range(self, small_ratings):
+        predictor = ItemBasedCF(k_neighbors=20).fit(small_ratings)
+        user = small_ratings.users[1]
+        for item in list(small_ratings.items)[:20]:
+            assert MIN_RATING <= predictor.predict(user, item) <= MAX_RATING
+
+    def test_observed_ratings_returned_verbatim(self, small_ratings):
+        predictor = ItemBasedCF().fit(small_ratings)
+        user = small_ratings.users[0]
+        rated = next(iter(small_ratings.user_ratings(user).values()))
+        assert predictor.predict(user, rated.item_id) == rated.value
+
+    def test_similar_items_drive_predictions(self):
+        dataset = dataset_from_tuples(
+            [
+                (1, 1, 5.0), (1, 2, 5.0),
+                (2, 1, 5.0), (2, 2, 5.0), (2, 3, 1.0),
+                (3, 1, 4.0), (3, 3, 1.0),
+            ]
+        )
+        predictor = ItemBasedCF(k_neighbors=None).fit(dataset)
+        # Item 2 is rated like item 1 by everyone who rated both.
+        assert predictor.predict(3, 2) > predictor.predict(3, 3)

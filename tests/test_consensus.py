@@ -1,0 +1,198 @@
+"""Tests for repro.core.consensus (AP / MO / PD and their bounds)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import Interval
+from repro.core.consensus import (
+    AVERAGE_PREFERENCE,
+    LEAST_MISERY,
+    PAIRWISE_DISAGREEMENT,
+    PD_V1,
+    PD_V2,
+    ConsensusFunction,
+    average_preference,
+    least_misery_preference,
+    make_consensus,
+    pairwise_disagreement,
+    variance_disagreement,
+)
+from repro.exceptions import ConsensusError
+
+
+class TestAggregations:
+    def test_average_preference(self):
+        assert average_preference([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_least_misery(self):
+        assert least_misery_preference([4.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConsensusError):
+            average_preference([])
+        with pytest.raises(ConsensusError):
+            least_misery_preference([])
+        with pytest.raises(ConsensusError):
+            pairwise_disagreement([])
+        with pytest.raises(ConsensusError):
+            variance_disagreement([])
+
+    def test_pairwise_disagreement_formula(self):
+        # pairs: |1-3|=2, |1-5|=4, |3-5|=2 -> 2/(3*2) * 8 = 8/3
+        assert pairwise_disagreement([1.0, 3.0, 5.0]) == pytest.approx(8 / 3)
+
+    def test_pairwise_disagreement_singleton_is_zero(self):
+        assert pairwise_disagreement([2.5]) == 0.0
+
+    def test_variance_disagreement(self):
+        assert variance_disagreement([1.0, 3.0, 5.0]) == pytest.approx(8 / 3)
+        assert variance_disagreement([2.0, 2.0]) == 0.0
+
+    def test_identical_preferences_have_zero_disagreement(self):
+        assert pairwise_disagreement([0.7, 0.7, 0.7]) == pytest.approx(0.0)
+        assert variance_disagreement([0.7, 0.7, 0.7]) == pytest.approx(0.0)
+
+
+class TestConsensusFunction:
+    def test_named_constants(self):
+        assert AVERAGE_PREFERENCE.name == "AP" and AVERAGE_PREFERENCE.w2 == 0.0
+        assert LEAST_MISERY.aggregation == "least-misery"
+        assert PAIRWISE_DISAGREEMENT.disagreement == "pairwise"
+        assert PD_V1.w1 == 0.8 and PD_V2.w1 == 0.2
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ConsensusError):
+            ConsensusFunction(name="bad", aggregation="median")
+        with pytest.raises(ConsensusError):
+            ConsensusFunction(name="bad", disagreement="entropy")
+        with pytest.raises(ConsensusError):
+            ConsensusFunction(name="bad", w1=0.6, w2=0.6)
+        with pytest.raises(ConsensusError):
+            ConsensusFunction(name="bad", disagreement="none", w1=0.5, w2=0.5)
+
+    def test_ap_score_is_normalised_mean(self):
+        prefs = {1: 4.0, 2: 2.0, 3: 3.0}
+        assert AVERAGE_PREFERENCE.score(prefs, scale=5.0) == pytest.approx(3.0 / 5.0)
+
+    def test_mo_score_is_normalised_minimum(self):
+        assert LEAST_MISERY.score([4.0, 2.0, 3.0], scale=5.0) == pytest.approx(0.4)
+
+    def test_pd_score_combines_preference_and_disagreement(self):
+        prefs = [5.0, 1.0]
+        normalised = [1.0, 0.2]
+        expected = 0.5 * (1.2 / 2) + 0.5 * (1.0 - 0.8)
+        assert PAIRWISE_DISAGREEMENT.score(prefs, scale=5.0) == pytest.approx(expected)
+
+    def test_pd_rewards_agreement(self):
+        """All else equal, an item with higher agreement gets a higher PD score."""
+        agreeing = PAIRWISE_DISAGREEMENT.score([3.0, 3.0], scale=5.0)
+        disagreeing = PAIRWISE_DISAGREEMENT.score([5.0, 1.0], scale=5.0)
+        assert agreeing > disagreeing
+
+    def test_score_rejects_bad_inputs(self):
+        with pytest.raises(ConsensusError):
+            AVERAGE_PREFERENCE.score([], scale=5.0)
+        with pytest.raises(ConsensusError):
+            AVERAGE_PREFERENCE.score([1.0], scale=0.0)
+
+    def test_make_consensus_names(self):
+        assert make_consensus("AP") is AVERAGE_PREFERENCE
+        assert make_consensus("ar") is AVERAGE_PREFERENCE  # the paper's Figure 8 label
+        assert make_consensus("MO") is LEAST_MISERY
+        assert make_consensus("pd v1") is PD_V1
+        assert make_consensus("PD_V2") is PD_V2
+
+    def test_make_consensus_with_weight_override(self):
+        custom = make_consensus("PD", w1=0.7)
+        assert custom.w1 == pytest.approx(0.7) and custom.w2 == pytest.approx(0.3)
+
+    def test_make_consensus_adds_disagreement_to_ap(self):
+        custom = make_consensus("AP", disagreement="variance", w1=0.6)
+        assert custom.disagreement == "variance"
+        assert custom.w2 == pytest.approx(0.4)
+
+    def test_make_consensus_unknown_name(self):
+        with pytest.raises(ConsensusError):
+            make_consensus("median")
+
+
+class TestMonotonicity:
+    """Lemma 1: the consensus functions are monotone in member preferences."""
+
+    @given(
+        prefs=st.lists(st.floats(min_value=0, max_value=5), min_size=2, max_size=6),
+        bump_index=st.integers(min_value=0, max_value=5),
+        bump=st.floats(min_value=0.01, max_value=2.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_ap_and_mo_monotone(self, prefs, bump_index, bump):
+        bump_index %= len(prefs)
+        bumped = list(prefs)
+        bumped[bump_index] = min(5.0, bumped[bump_index] + bump)
+        for consensus in (AVERAGE_PREFERENCE, LEAST_MISERY):
+            assert consensus.score(bumped, scale=5.0) >= consensus.score(prefs, scale=5.0) - 1e-12
+
+    @given(
+        prefs=st.lists(st.floats(min_value=0, max_value=5), min_size=2, max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pd_scores_bounded(self, prefs):
+        for consensus in (PAIRWISE_DISAGREEMENT, PD_V1, PD_V2):
+            score = consensus.score(prefs, scale=5.0)
+            assert -0.5 <= score <= 1.0 + 1e-9
+
+
+class TestScoreBounds:
+    def test_exact_intervals_give_exact_score(self):
+        prefs = [3.0, 4.0, 2.0]
+        intervals = [Interval.exact(value) for value in prefs]
+        for consensus in (AVERAGE_PREFERENCE, LEAST_MISERY, PAIRWISE_DISAGREEMENT, PD_V2):
+            bounds = consensus.score_bounds(intervals, scale=5.0)
+            exact = consensus.score(prefs, scale=5.0)
+            assert bounds.low == pytest.approx(exact, abs=1e-9)
+            assert bounds.high == pytest.approx(exact, abs=1e-9)
+
+    def test_bounds_bracket_exact_scores(self):
+        intervals = [Interval(1.0, 4.0), Interval(2.0, 2.0), Interval(0.0, 5.0)]
+        candidates = [
+            [1.0, 2.0, 0.0],
+            [4.0, 2.0, 5.0],
+            [2.5, 2.0, 3.0],
+            [1.0, 2.0, 5.0],
+        ]
+        for consensus in (AVERAGE_PREFERENCE, LEAST_MISERY, PAIRWISE_DISAGREEMENT, PD_V1, PD_V2):
+            bounds = consensus.score_bounds(intervals, scale=5.0)
+            for prefs in candidates:
+                exact = consensus.score(prefs, scale=5.0)
+                assert bounds.low - 1e-9 <= exact <= bounds.high + 1e-9
+
+    def test_bounds_reject_bad_inputs(self):
+        with pytest.raises(ConsensusError):
+            AVERAGE_PREFERENCE.score_bounds([], scale=5.0)
+        with pytest.raises(ConsensusError):
+            AVERAGE_PREFERENCE.score_bounds([Interval(0, 1)], scale=-1.0)
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(min_value=0, max_value=5), st.floats(min_value=0, max_value=5)),
+            min_size=2,
+            max_size=5,
+        ),
+        picks=st.lists(st.floats(min_value=0, max_value=1), min_size=2, max_size=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_are_sound_for_random_boxes(self, data, picks):
+        """Any completion inside the box scores within the computed bounds."""
+        intervals = [Interval.between(low, high) for low, high in data]
+        while len(picks) < len(intervals):
+            picks = picks + picks
+        prefs = [
+            interval.low + fraction * (interval.high - interval.low)
+            for interval, fraction in zip(intervals, picks)
+        ]
+        for consensus in (AVERAGE_PREFERENCE, LEAST_MISERY, PAIRWISE_DISAGREEMENT, PD_V2):
+            bounds = consensus.score_bounds(intervals, scale=5.0)
+            exact = consensus.score(prefs, scale=5.0)
+            assert bounds.low - 1e-9 <= exact <= bounds.high + 1e-9

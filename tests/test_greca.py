@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.greca (index construction and the algorithm)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.affinity import ComputedAffinities
+from repro.core.baseline import NaiveFullScan
+from repro.core.consensus import AVERAGE_PREFERENCE, LEAST_MISERY, make_consensus
+from repro.core.greca import (
+    STOP_BUFFER,
+    STOP_EXHAUSTED,
+    STOP_THRESHOLD,
+    Greca,
+    GrecaIndex,
+)
+from repro.core.lists import KIND_PERIODIC_AFFINITY, KIND_PREFERENCE, KIND_STATIC_AFFINITY, AccessCounter
+from repro.exceptions import AlgorithmError, GroupError
+
+APREFS = {
+    1: {10: 5.0, 11: 4.0, 12: 1.0, 13: 2.0},
+    2: {10: 4.5, 11: 3.0, 12: 2.0, 13: 1.0},
+    3: {10: 4.0, 11: 1.0, 12: 5.0, 13: 3.0},
+}
+STATIC = {(1, 2): 0.9, (1, 3): 0.1, (2, 3): 0.4}
+PERIODIC = {0: {(1, 2): 0.5, (1, 3): 0.2, (2, 3): 0.3}}
+AVERAGES = {0: 0.2}
+
+
+@pytest.fixture()
+def index() -> GrecaIndex:
+    return GrecaIndex(
+        members=[1, 2, 3],
+        aprefs=APREFS,
+        static=STATIC,
+        periodic=PERIODIC,
+        averages=AVERAGES,
+        max_apref=5.0,
+    )
+
+
+class TestGrecaIndex:
+    def test_requires_at_least_two_members(self):
+        with pytest.raises(GroupError):
+            GrecaIndex(members=[1], aprefs=APREFS, static={})
+
+    def test_rejects_duplicate_members(self):
+        with pytest.raises(GroupError):
+            GrecaIndex(members=[1, 1, 2], aprefs=APREFS, static={})
+
+    def test_rejects_missing_member_preferences(self):
+        with pytest.raises(GroupError):
+            GrecaIndex(members=[1, 2, 99], aprefs=APREFS, static={})
+
+    def test_rejects_unknown_time_model(self):
+        with pytest.raises(AlgorithmError):
+            GrecaIndex(members=[1, 2], aprefs=APREFS, static={}, time_model="fuzzy")
+
+    def test_rejects_negative_preferences(self):
+        bad = {1: {10: -1.0}, 2: {10: 2.0}}
+        with pytest.raises(AlgorithmError):
+            GrecaIndex(members=[1, 2], aprefs=bad, static={})
+
+    def test_item_universe_is_union(self):
+        aprefs = {1: {10: 1.0}, 2: {11: 2.0}}
+        index = GrecaIndex(members=[1, 2], aprefs=aprefs, static={})
+        assert index.items == (10, 11)
+        # missing entries default to 0
+        assert index.apref_matrix()[0, 1] == 0.0
+
+    def test_affinity_matrix_symmetric_zero_diagonal(self, index):
+        matrix = index.affinity_matrix()
+        assert matrix.shape == (3, 3)
+        assert (matrix == matrix.T).all()
+        assert (matrix.diagonal() == 0).all()
+
+    def test_pairs_order(self, index):
+        assert index.pairs() == [(1, 2), (1, 3), (2, 3)]
+
+    def test_scale_uses_max_apref(self, index):
+        assert index.scale == pytest.approx(15.0)
+
+    def test_build_lists_shapes_and_kinds(self, index):
+        counter = AccessCounter()
+        prefs, static, periodic = index.build_lists(counter)
+        assert len(prefs) == 3 and all(p.kind == KIND_PREFERENCE for p in prefs)
+        assert len(static) == 2 and all(s.kind == KIND_STATIC_AFFINITY for s in static)
+        assert set(periodic) == {0}
+        assert all(p.kind == KIND_PERIODIC_AFFINITY for p in periodic[0])
+
+    def test_total_index_entries(self, index):
+        # 3 members x 4 items + 3 pairs x (1 static + 1 periodic)
+        assert index.total_index_entries() == 12 + 6
+
+    def test_from_computed_matches_affinity_model(self, tiny_social, short_timeline):
+        computed = ComputedAffinities(tiny_social, short_timeline)
+        aprefs = {user: {1: 3.0, 2: 2.0} for user in (1, 2, 3)}
+        index = GrecaIndex.from_computed(
+            [1, 2, 3], aprefs, computed, period=short_timeline[1], time_model="discrete"
+        )
+        from repro.core.affinity import DiscreteAffinityModel
+
+        model = DiscreteAffinityModel(computed)
+        for left, right in index.pairs():
+            assert index.affinity(left, right) == pytest.approx(
+                model.affinity(left, right, short_timeline[1])
+            )
+
+    def test_exact_scores_cover_all_items(self, index):
+        scores = index.exact_scores(AVERAGE_PREFERENCE)
+        assert set(scores) == set(index.items)
+
+
+class TestGrecaAlgorithm:
+    def test_invalid_parameters(self):
+        with pytest.raises(AlgorithmError):
+            Greca(AVERAGE_PREFERENCE, k=0)
+        with pytest.raises(AlgorithmError):
+            Greca(AVERAGE_PREFERENCE, k=3, check_interval=0)
+
+    def test_returns_k_items(self, index):
+        result = Greca(AVERAGE_PREFERENCE, k=2, check_interval=1).run(index)
+        assert len(result.items) == 2
+        assert len(set(result.items)) == 2
+
+    def test_k_larger_than_catalogue_is_truncated(self, index):
+        result = Greca(AVERAGE_PREFERENCE, k=50, check_interval=1).run(index)
+        assert set(result.items) == set(index.items)
+        assert result.k == len(index.items)
+
+    def test_matches_naive_scores(self, index):
+        for consensus in (AVERAGE_PREFERENCE, LEAST_MISERY, make_consensus("PD")):
+            greca = Greca(consensus, k=2, check_interval=1).run(index)
+            naive = NaiveFullScan(consensus, k=2).run(index)
+            greca_scores = sorted(index.exact_scores(consensus)[item] for item in greca.items)
+            naive_scores = sorted(naive.scores.values())
+            assert greca_scores == pytest.approx(naive_scores, abs=1e-9)
+
+    def test_accesses_never_exceed_total(self, index):
+        result = Greca(AVERAGE_PREFERENCE, k=1, check_interval=1).run(index)
+        assert 0 < result.sequential_accesses <= result.total_entries
+        assert result.random_accesses == 0  # GRECA only makes sequential accesses
+        assert 0.0 < result.percent_sequential_accesses <= 100.0
+        assert result.saveup == pytest.approx(100.0 - result.percent_sequential_accesses)
+
+    def test_stopping_reason_is_reported(self, index):
+        result = Greca(AVERAGE_PREFERENCE, k=1, check_interval=1).run(index)
+        assert result.stopping in (STOP_BUFFER, STOP_THRESHOLD, STOP_EXHAUSTED)
+
+    def test_result_metadata(self, index):
+        result = Greca(LEAST_MISERY, k=2, check_interval=1).run(index)
+        assert result.consensus == "MO"
+        assert result.k == 2
+        assert result.rounds >= 1
+        assert set(result.exact_scores) == set(result.items)
+
+    def test_check_interval_does_not_change_result_set(self, index):
+        eager = Greca(AVERAGE_PREFERENCE, k=2, check_interval=1).run(index)
+        lazy = Greca(AVERAGE_PREFERENCE, k=2, check_interval=50).run(index)
+        exact = index.exact_scores(AVERAGE_PREFERENCE)
+        assert sorted(exact[item] for item in eager.items) == pytest.approx(
+            sorted(exact[item] for item in lazy.items)
+        )
+        assert lazy.sequential_accesses >= eager.sequential_accesses
+
+    def test_no_affinity_index(self):
+        """GRECA degrades gracefully to plain group recommendation without affinities."""
+        index = GrecaIndex(members=[1, 2, 3], aprefs=APREFS, static={}, max_apref=5.0)
+        result = Greca(AVERAGE_PREFERENCE, k=1, check_interval=1).run(index)
+        naive = NaiveFullScan(AVERAGE_PREFERENCE, k=1).run(index)
+        assert index.exact_scores(AVERAGE_PREFERENCE)[result.items[0]] == pytest.approx(
+            list(naive.scores.values())[0]
+        )

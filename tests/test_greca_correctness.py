@@ -1,0 +1,115 @@
+"""Property-based correctness of GRECA against the exhaustive oracle.
+
+Lemma 2 of the paper states that GRECA returns the correct top-k itemset.
+These tests generate random problem instances (absolute preferences, static
+and periodic affinities, both time models, every consensus function) and
+check that the scores of GRECA's returned itemset match the scores of the
+exact top-k computed by the naive full scan (set equality up to score ties),
+and that the reported bounds are sound.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baseline import NaiveFullScan
+from repro.core.consensus import make_consensus
+from repro.core.greca import Greca, GrecaIndex
+
+CONSENSUS_NAMES = ("AP", "MO", "PD", "PD V2")
+
+
+def _instances():
+    """Strategy generating random GRECA problem instances."""
+    return st.builds(
+        dict,
+        n_members=st.integers(min_value=2, max_value=4),
+        n_items=st.integers(min_value=3, max_value=14),
+        n_periods=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        time_model=st.sampled_from(["discrete", "continuous"]),
+    )
+
+
+def _build_index(spec: dict) -> GrecaIndex:
+    import random
+
+    rng = random.Random(spec["seed"])
+    members = list(range(1, spec["n_members"] + 1))
+    items = list(range(100, 100 + spec["n_items"]))
+    aprefs = {
+        member: {item: round(rng.uniform(0.0, 5.0), 2) for item in items} for member in members
+    }
+    pairs = [(a, b) for i, a in enumerate(members) for b in members[i + 1 :]]
+    static = {pair: round(rng.uniform(0.0, 1.0), 2) for pair in pairs}
+    periodic = {
+        period: {pair: round(rng.uniform(0.0, 1.0), 2) for pair in pairs}
+        for period in range(spec["n_periods"])
+    }
+    averages = {period: round(rng.uniform(0.0, 0.5), 2) for period in range(spec["n_periods"])}
+    return GrecaIndex(
+        members=members,
+        aprefs=aprefs,
+        static=static,
+        periodic=periodic,
+        averages=averages,
+        time_model=spec["time_model"],
+        max_apref=5.0,
+    )
+
+
+@pytest.mark.parametrize("consensus_name", CONSENSUS_NAMES)
+@given(spec=_instances(), k=st.integers(min_value=1, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_greca_top_k_scores_match_exact_top_k(consensus_name, spec, k):
+    """GRECA's itemset has exactly the k highest consensus scores (up to ties)."""
+    index = _build_index(spec)
+    consensus = make_consensus(consensus_name)
+    k = min(k, len(index.items))
+
+    result = Greca(consensus, k=k, check_interval=1).run(index)
+    exact = index.exact_scores(consensus)
+    expected_scores = sorted(exact.values(), reverse=True)[:k]
+    returned_scores = sorted((exact[item] for item in result.items), reverse=True)
+
+    assert len(result.items) == k
+    assert returned_scores == pytest.approx(expected_scores, abs=1e-9)
+
+
+@given(spec=_instances(), k=st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_greca_bounds_are_sound(spec, k):
+    """Every reported [lower, upper] interval contains the item's exact score."""
+    index = _build_index(spec)
+    consensus = make_consensus("AP")
+    result = Greca(consensus, k=min(k, len(index.items)), check_interval=1).run(index)
+    exact = index.exact_scores(consensus)
+    for item, (lower, upper) in result.bounds.items():
+        assert lower - 1e-9 <= exact[item] <= upper + 1e-9
+
+
+@given(spec=_instances())
+@settings(max_examples=15, deadline=None)
+def test_greca_never_exceeds_naive_accesses(spec):
+    """GRECA's sequential accesses never exceed the naive full scan's."""
+    index = _build_index(spec)
+    consensus = make_consensus("AP")
+    greca = Greca(consensus, k=2, check_interval=1).run(index)
+    naive = NaiveFullScan(consensus, k=2).run(index)
+    assert greca.sequential_accesses <= naive.sequential_accesses
+    assert naive.sequential_accesses == index.total_index_entries()
+
+
+@given(spec=_instances())
+@settings(max_examples=15, deadline=None)
+def test_greca_agrees_with_naive_for_every_consensus(spec):
+    index = _build_index(spec)
+    for consensus_name in CONSENSUS_NAMES:
+        consensus = make_consensus(consensus_name)
+        greca = Greca(consensus, k=3, check_interval=1).run(index)
+        naive = NaiveFullScan(consensus, k=3).run(index)
+        exact = index.exact_scores(consensus)
+        assert sorted(exact[item] for item in greca.items) == pytest.approx(
+            sorted(naive.scores.values()), abs=1e-9
+        )

@@ -1,0 +1,112 @@
+"""Tests for repro.groups (cohesion metrics and group formation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.affinity import ExplicitAffinityModel, NoAffinityModel
+from repro.exceptions import GroupError
+from repro.groups.cohesion import (
+    group_cohesiveness,
+    is_high_affinity,
+    mean_pairwise_similarity,
+    minimum_pairwise_affinity,
+    pairwise_similarities,
+    summed_pairwise_similarity,
+)
+from repro.groups.formation import GroupFormer, GroupProfile
+
+
+class TestCohesion:
+    def test_pairwise_similarities_cover_all_pairs(self, toy_ratings):
+        values = pairwise_similarities(toy_ratings, [1, 2, 3])
+        assert set(values) == {(1, 2), (1, 3), (2, 3)}
+        assert all(-1.0 <= value <= 1.0 for value in values.values())
+
+    def test_identical_raters_have_high_similarity(self, toy_ratings):
+        values = pairwise_similarities(toy_ratings, [1, 2, 3])
+        assert values[(1, 2)] > values[(1, 3)]
+
+    def test_summed_and_mean_similarity(self, toy_ratings):
+        total = summed_pairwise_similarity(toy_ratings, [1, 2, 3])
+        mean = mean_pairwise_similarity(toy_ratings, [1, 2, 3])
+        assert mean == pytest.approx(total / 3)
+        assert group_cohesiveness(toy_ratings, [1, 2, 3]) == pytest.approx(mean)
+
+    def test_validation(self, toy_ratings):
+        with pytest.raises(GroupError):
+            pairwise_similarities(toy_ratings, [1])
+        with pytest.raises(GroupError):
+            pairwise_similarities(toy_ratings, [1, 1, 2])
+
+    def test_minimum_pairwise_affinity_and_threshold(self):
+        affinity = ExplicitAffinityModel({(1, 2): 0.9, (1, 3): 0.5, (2, 3): 0.45})
+        assert minimum_pairwise_affinity(affinity, [1, 2, 3]) == pytest.approx(0.45)
+        assert is_high_affinity(affinity, [1, 2, 3])  # every pair >= 0.4 (paper threshold)
+        assert not is_high_affinity(affinity, [1, 2, 3], threshold=0.5)
+
+    def test_no_affinity_groups_are_low_affinity(self):
+        assert not is_high_affinity(NoAffinityModel(), [1, 2, 3])
+
+
+class TestGroupFormer:
+    @pytest.fixture()
+    def former(self, small_ratings):
+        return GroupFormer(small_ratings, candidates=small_ratings.users[:20], seed=1)
+
+    def test_requires_candidates(self, small_ratings):
+        with pytest.raises(GroupError):
+            GroupFormer(small_ratings, candidates=[small_ratings.users[0]])
+
+    def test_similar_group_more_cohesive_than_dissimilar(self, former, small_ratings):
+        similar = former.similar_group(4)
+        dissimilar = former.dissimilar_group(4)
+        assert len(similar) == 4 and len(set(similar)) == 4
+        assert len(dissimilar) == 4 and len(set(dissimilar)) == 4
+        assert summed_pairwise_similarity(small_ratings, similar) > summed_pairwise_similarity(
+            small_ratings, dissimilar
+        )
+
+    def test_affinity_groups_respect_ordering(self, former):
+        affinity = ExplicitAffinityModel(
+            {
+                (user_a, user_b): (0.9 if (user_a + user_b) % 3 == 0 else 0.05)
+                for i, user_a in enumerate(former.candidates)
+                for user_b in former.candidates[i + 1 :]
+            }
+        )
+        high = former.high_affinity_group(3, affinity)
+        low = former.low_affinity_group(3, affinity)
+        assert minimum_pairwise_affinity(affinity, high) >= minimum_pairwise_affinity(affinity, low)
+
+    def test_random_groups_are_valid_and_reproducible(self, small_ratings):
+        former_a = GroupFormer(small_ratings, candidates=small_ratings.users[:20], seed=7)
+        former_b = GroupFormer(small_ratings, candidates=small_ratings.users[:20], seed=7)
+        groups_a = former_a.random_groups(5, 4)
+        groups_b = former_b.random_groups(5, 4)
+        assert groups_a == groups_b
+        for group in groups_a:
+            assert len(group) == 4 and len(set(group)) == 4
+
+    def test_size_validation(self, former):
+        with pytest.raises(GroupError):
+            former.random_group(1)
+        with pytest.raises(GroupError):
+            former.random_group(500)
+        with pytest.raises(GroupError):
+            former.random_groups(0, 3)
+
+    def test_study_groups_cover_the_paper_grid(self, former):
+        affinity = NoAffinityModel()
+        profiles = former.study_groups(affinity, small=3, large=6)
+        assert len(profiles) == 8
+        sizes = {profile.size for profile in profiles}
+        assert sizes == {3, 6}
+        labels = {(p.size_label, p.cohesiveness_label, p.affinity_label) for p in profiles}
+        assert ("small", "similar", "mixed") in labels
+        assert ("large", "mixed", "high-affinity") in labels
+
+    def test_group_profile_describe(self):
+        profile = GroupProfile((1, 2, 3), "small", "similar", "mixed")
+        assert profile.size == 3
+        assert "small" in profile.describe()

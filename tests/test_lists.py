@@ -1,0 +1,125 @@
+"""Tests for repro.core.lists (sorted access lists, access accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lists import (
+    KIND_PREFERENCE,
+    KIND_STATIC_AFFINITY,
+    AccessCounter,
+    SortedAccessList,
+    build_affinity_lists,
+    build_preference_list,
+    total_entries,
+)
+from repro.exceptions import AlgorithmError
+
+
+class TestAccessCounter:
+    def test_counting_and_reset(self):
+        counter = AccessCounter()
+        counter.record_sequential()
+        counter.record_sequential(3)
+        counter.record_random(2)
+        assert counter.sequential == 4
+        assert counter.random == 2
+        assert counter.total == 6
+        counter.reset()
+        assert counter.total == 0
+
+
+class TestSortedAccessList:
+    @pytest.fixture()
+    def access_list(self):
+        return SortedAccessList("PL(u1)", KIND_PREFERENCE, {"a": 1.0, "b": 5.0, "c": 3.0}.items())
+
+    def test_entries_sorted_descending(self, access_list):
+        assert [entry.key for entry in access_list.entries] == ["b", "c", "a"]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(AlgorithmError):
+            SortedAccessList("dup", KIND_PREFERENCE, [("a", 1.0), ("a", 2.0)])
+
+    def test_sequential_access_counts_and_advances(self, access_list):
+        first = access_list.sequential_access()
+        second = access_list.sequential_access()
+        assert (first.key, first.score) == ("b", 5.0)
+        assert (second.key, second.score) == ("c", 3.0)
+        assert access_list.counter.sequential == 2
+        assert access_list.position == 2
+
+    def test_cursor_score_upper_bounds_unseen_entries(self, access_list):
+        assert access_list.cursor_score == 5.0  # nothing read yet: top score
+        access_list.sequential_access()
+        assert access_list.cursor_score == 5.0  # last value read
+        access_list.sequential_access()
+        assert access_list.cursor_score == 3.0
+        access_list.sequential_access()
+        assert access_list.exhausted
+        assert access_list.cursor_score == 0.0
+
+    def test_sequential_access_after_exhaustion_returns_none(self, access_list):
+        for _ in range(3):
+            access_list.sequential_access()
+        assert access_list.sequential_access() is None
+        assert access_list.counter.sequential == 3  # the failed read is not counted
+
+    def test_random_access_counts(self, access_list):
+        assert access_list.random_access("c") == 3.0
+        assert access_list.random_access("zzz") == 0.0
+        assert access_list.counter.random == 2
+
+    def test_peek_does_not_count(self, access_list):
+        assert access_list.peek("b") == 5.0
+        assert access_list.counter.total == 0
+
+    def test_reset_rewinds_cursor_only(self, access_list):
+        access_list.sequential_access()
+        access_list.reset()
+        assert access_list.position == 0
+        assert access_list.counter.sequential == 1
+
+    def test_empty_list(self):
+        empty = SortedAccessList("empty", KIND_PREFERENCE, [])
+        assert empty.exhausted
+        assert empty.cursor_score == 0.0
+        assert empty.sequential_access() is None
+
+    def test_shared_counter(self):
+        counter = AccessCounter()
+        first = SortedAccessList("a", KIND_PREFERENCE, [("x", 1.0)], counter)
+        second = SortedAccessList("b", KIND_PREFERENCE, [("y", 2.0)], counter)
+        first.sequential_access()
+        second.sequential_access()
+        assert counter.sequential == 2
+
+
+class TestBuilders:
+    def test_build_preference_list(self):
+        counter = AccessCounter()
+        plist = build_preference_list(7, {10: 4.0, 11: 2.0}, counter)
+        assert plist.name == "PL(u7)"
+        assert plist.kind == KIND_PREFERENCE
+        assert len(plist) == 2
+
+    def test_build_affinity_lists_partitioning(self):
+        """n members produce n-1 lists; the i-th holds the pairs with later members."""
+        members = [5, 9, 2]
+        values = {(5, 9): 0.9, (9, 2): 0.4, (5, 2): 0.1}
+        lists = build_affinity_lists(members, values, KIND_STATIC_AFFINITY, "affS")
+        assert len(lists) == 2
+        assert lists[0].name == "LaffS(u5)"
+        assert {entry.key for entry in lists[0].entries} == {(5, 9), (2, 5)}
+        assert {entry.key for entry in lists[1].entries} == {(2, 9)}
+        assert total_entries(lists) == 3  # n(n-1)/2 entries overall
+
+    def test_build_affinity_lists_missing_pairs_default_to_zero(self):
+        lists = build_affinity_lists([1, 2, 3], {(1, 2): 0.5}, KIND_STATIC_AFFINITY, "affS")
+        values = {entry.key: entry.score for lst in lists for entry in lst.entries}
+        assert values[(1, 3)] == 0.0
+        assert values[(2, 3)] == 0.0
+
+    def test_build_affinity_lists_requires_two_members(self):
+        with pytest.raises(AlgorithmError):
+            build_affinity_lists([1], {}, KIND_STATIC_AFFINITY, "affS")

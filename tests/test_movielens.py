@@ -1,0 +1,126 @@
+"""Tests for repro.data.movielens (loader + synthetic generator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.movielens import (
+    MOVIELENS_1M_MOVIES,
+    MOVIELENS_1M_RATINGS,
+    MOVIELENS_1M_USERS,
+    MovieLensConfig,
+    generate_movielens_like,
+    load_movielens,
+    movielens_1m_config,
+)
+from repro.data.ratings import MAX_RATING, MIN_RATING
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestMovieLensConfig:
+    def test_defaults_are_valid(self):
+        config = MovieLensConfig()
+        assert config.n_users > 1 and config.n_items > 1
+
+    def test_rejects_too_many_ratings(self):
+        with pytest.raises(ConfigurationError):
+            MovieLensConfig(n_users=5, n_items=5, n_ratings=26)
+
+    def test_rejects_too_few_ratings(self):
+        with pytest.raises(ConfigurationError):
+            MovieLensConfig(n_users=50, n_items=50, n_ratings=10)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ConfigurationError):
+            MovieLensConfig(n_users=1, n_items=10, n_ratings=5)
+
+    def test_paper_scale_config(self):
+        config = movielens_1m_config()
+        assert config.n_users == MOVIELENS_1M_USERS
+        assert config.n_items == MOVIELENS_1M_MOVIES
+        assert config.n_ratings == MOVIELENS_1M_RATINGS
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        return generate_movielens_like(
+            MovieLensConfig(n_users=100, n_items=150, n_ratings=4000, seed=11)
+        )
+
+    def test_requested_scale(self, generated):
+        stats = generated.stats()
+        assert stats.n_users == 100
+        assert stats.n_ratings == 4000
+        assert stats.n_items <= 150
+
+    def test_every_user_has_a_rating(self, generated):
+        assert len(generated.users) == 100
+
+    def test_ratings_are_whole_stars_in_range(self, generated):
+        for rating in generated:
+            assert MIN_RATING <= rating.value <= MAX_RATING
+            assert float(rating.value).is_integer()
+
+    def test_timestamps_within_history(self, generated):
+        stats = generated.stats()
+        assert stats.min_timestamp >= 0
+        assert stats.max_timestamp < MovieLensConfig().history_seconds
+
+    def test_popularity_is_skewed(self, generated):
+        """Long-tail: the most popular items gather far more ratings than the median."""
+        counts = sorted(
+            (generated.item_popularity(item) for item in generated.items), reverse=True
+        )
+        top_share = sum(counts[: len(counts) // 10]) / sum(counts)
+        assert top_share > 0.2
+
+    def test_mean_rating_plausible(self, generated):
+        assert 3.0 <= generated.stats().mean_rating <= 4.2
+
+    def test_deterministic_for_same_seed(self):
+        config = MovieLensConfig(n_users=40, n_items=50, n_ratings=900, seed=5)
+        first = generate_movielens_like(config)
+        second = generate_movielens_like(config)
+        assert [(r.user_id, r.item_id, r.value) for r in first] == [
+            (r.user_id, r.item_id, r.value) for r in second
+        ]
+
+    def test_different_seeds_differ(self):
+        first = generate_movielens_like(MovieLensConfig(n_users=40, n_items=50, n_ratings=900, seed=5))
+        second = generate_movielens_like(MovieLensConfig(n_users=40, n_items=50, n_ratings=900, seed=6))
+        assert [(r.user_id, r.item_id) for r in first] != [(r.user_id, r.item_id) for r in second]
+
+
+class TestLoader:
+    def test_loads_dat_format(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::10::5::978300760\n1::11::3::978302109\n2::10::4::978301968\n")
+        dataset = load_movielens(str(path))
+        assert len(dataset) == 3
+        assert dataset.rating_value(1, 10) == 5.0
+        assert dataset.ratings[0].timestamp == 978300760
+
+    def test_loads_csv_format_with_header(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("userId,movieId,rating,timestamp\n1,10,4.0,964982703\n2,11,3.0,964981247\n")
+        dataset = load_movielens(str(path))
+        assert len(dataset) == 2
+        assert dataset.rating_value(2, 11) == 3.0
+
+    def test_missing_file(self):
+        with pytest.raises(DataError):
+            load_movielens("/nonexistent/ratings.dat")
+
+    def test_malformed_record(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::10::5\n")
+        with pytest.raises(DataError):
+            load_movielens(str(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("\n\n")
+        with pytest.raises(DataError):
+            load_movielens(str(path))

@@ -1,0 +1,109 @@
+"""Tests for repro.core.preference (absolute / relative / combined preferences)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cf.predictors import MeanPredictor
+from repro.core.affinity import ExplicitAffinityModel, NoAffinityModel
+from repro.core.preference import AbsolutePreferenceSource, PreferenceModel
+from repro.exceptions import GroupError
+
+APREFS = {
+    1: {10: 5.0, 11: 1.0, 12: 1.0},
+    2: {10: 5.0, 11: 1.0, 12: 0.5},
+    3: {10: 2.0, 11: 1.0, 12: 2.0},
+}
+AFFINITIES = {(1, 2): 1.0, (1, 3): 0.2, (2, 3): 0.3}
+
+
+@pytest.fixture()
+def model():
+    return PreferenceModel(APREFS, ExplicitAffinityModel(AFFINITIES))
+
+
+class TestAbsolutePreferenceSource:
+    def test_from_mapping(self):
+        source = AbsolutePreferenceSource(APREFS)
+        assert source.apref(1, 10) == 5.0
+        assert source.apref(1, 99) == 0.0
+        assert source.items == (10, 11, 12)
+
+    def test_from_callable_requires_items(self):
+        source = AbsolutePreferenceSource(lambda user, item: 2.0, items=[1, 2])
+        assert source.apref(7, 1) == 2.0
+        assert source.all_aprefs(7) == {1: 2.0, 2: 2.0}
+        with pytest.raises(GroupError):
+            AbsolutePreferenceSource(lambda user, item: 2.0).items
+
+    def test_from_predictor(self, toy_ratings):
+        predictor = MeanPredictor().fit(toy_ratings)
+        source = AbsolutePreferenceSource(predictor)
+        assert source.items == toy_ratings.items
+        assert source.apref(1, 10) == 5.0
+
+
+class TestPreferenceModel:
+    def test_apref_passthrough(self, model):
+        assert model.apref(1, 10) == 5.0
+
+    def test_rpref_matches_paper_definition(self, model):
+        """rpref(u, i, G) = sum over other members of aff(u, u') * apref(u', i)."""
+        group = [1, 2, 3]
+        expected = 1.0 * APREFS[2][10] + 0.2 * APREFS[3][10]
+        assert model.rpref(1, 10, group) == pytest.approx(expected)
+
+    def test_pref_is_apref_plus_rpref(self, model):
+        group = [1, 2, 3]
+        assert model.pref(1, 10, group) == pytest.approx(
+            model.apref(1, 10) + model.rpref(1, 10, group)
+        )
+
+    def test_without_affinity_pref_equals_apref(self):
+        model = PreferenceModel(APREFS, NoAffinityModel())
+        assert model.pref(1, 10, [1, 2, 3]) == APREFS[1][10]
+
+    def test_default_affinity_model_is_agnostic(self):
+        model = PreferenceModel(APREFS)
+        assert isinstance(model.affinity, NoAffinityModel)
+
+    def test_group_prefs_covers_every_member(self, model):
+        prefs = model.group_prefs(10, [1, 2, 3])
+        assert set(prefs) == {1, 2, 3}
+        assert prefs[1] == pytest.approx(model.pref(1, 10, [1, 2, 3]))
+
+    def test_same_user_same_item_different_groups(self, model):
+        """The paper's core premise: preference depends on the company."""
+        with_close_friend = model.pref(1, 10, [1, 2])
+        with_acquaintance = model.pref(1, 10, [1, 3])
+        assert with_close_friend > with_acquaintance
+
+    def test_member_must_belong_to_group(self, model):
+        with pytest.raises(GroupError):
+            model.rpref(1, 10, [2, 3])
+
+    def test_rejects_empty_or_duplicate_groups(self, model):
+        with pytest.raises(GroupError):
+            model.group_prefs(10, [])
+        with pytest.raises(GroupError):
+            model.group_prefs(10, [1, 1, 2])
+
+    def test_max_possible_pref_scales_with_group_size(self, model):
+        assert model.max_possible_pref([1, 2, 3]) == pytest.approx(15.0)
+        assert model.max_possible_pref([1, 2], max_apref=4.0) == pytest.approx(8.0)
+
+    def test_aprefs_are_cached(self, model):
+        first = model.aprefs_of(1)
+        second = model.aprefs_of(1)
+        assert first is second
+
+    def test_temporal_affinity_changes_preference(self, short_timeline):
+        periodic = {
+            short_timeline[0]: {(1, 2): 0.8},
+            short_timeline[1]: {(1, 2): 0.0},
+        }
+        affinity = ExplicitAffinityModel({(1, 2): 0.1}, periodic, short_timeline)
+        model = PreferenceModel(APREFS, affinity)
+        early = model.pref(1, 10, [1, 2], short_timeline[0])
+        late = model.pref(1, 10, [1, 2], short_timeline[1])
+        assert early > late

@@ -1,0 +1,134 @@
+"""Tests for repro.data.ratings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.ratings import MAX_RATING, MIN_RATING, Rating, RatingsDataset, dataset_from_tuples
+from repro.exceptions import DataError, UnknownItemError, UnknownUserError
+
+
+class TestRating:
+    def test_valid_rating(self):
+        rating = Rating(1, 2, 4.5, 10)
+        assert rating.value == 4.5
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 5.5, -1.0])
+    def test_out_of_scale_rejected(self, value):
+        with pytest.raises(DataError):
+            Rating(1, 2, value)
+
+
+class TestRatingsDataset:
+    def test_basic_accessors(self, toy_ratings):
+        assert len(toy_ratings) == 12
+        assert toy_ratings.users == (1, 2, 3, 4)
+        assert toy_ratings.items == (10, 11, 12, 13)
+        assert toy_ratings.has_user(1) and not toy_ratings.has_user(99)
+        assert toy_ratings.has_item(13) and not toy_ratings.has_item(99)
+
+    def test_duplicate_rating_rejected(self):
+        with pytest.raises(DataError):
+            RatingsDataset([Rating(1, 2, 3.0), Rating(1, 2, 4.0)])
+
+    def test_user_and_item_ratings(self, toy_ratings):
+        assert set(toy_ratings.user_ratings(1)) == {10, 11, 12}
+        assert set(toy_ratings.item_ratings(10)) == {1, 2, 3}
+        with pytest.raises(UnknownUserError):
+            toy_ratings.user_ratings(42)
+        with pytest.raises(UnknownItemError):
+            toy_ratings.item_ratings(42)
+
+    def test_rating_value(self, toy_ratings):
+        assert toy_ratings.rating_value(1, 10) == 5.0
+        assert toy_ratings.rating_value(1, 13) is None
+
+    def test_user_vector_and_means(self, toy_ratings):
+        assert toy_ratings.user_vector(1) == {10: 5.0, 11: 3.0, 12: 1.0}
+        assert toy_ratings.user_mean(1) == pytest.approx(3.0)
+        assert toy_ratings.item_mean(10) == pytest.approx((5 + 5 + 1) / 3)
+
+    def test_item_popularity_and_variance(self, toy_ratings):
+        assert toy_ratings.item_popularity(10) == 3
+        assert toy_ratings.item_rating_variance(11) == pytest.approx(
+            ((3 - 10 / 3) ** 2 + (3 - 10 / 3) ** 2 + (4 - 10 / 3) ** 2) / 3
+        )
+
+    def test_stats(self, toy_ratings):
+        stats = toy_ratings.stats()
+        assert stats.n_users == 4
+        assert stats.n_items == 4
+        assert stats.n_ratings == 12
+        assert stats.min_timestamp == 100
+        assert stats.max_timestamp == 350
+        assert stats.as_table_row() == {"# users": 4, "# movies": 4, "# ratings": 12}
+
+    def test_empty_dataset_stats(self):
+        stats = RatingsDataset([]).stats()
+        assert stats.n_ratings == 0
+        assert stats.n_users == 0
+
+    def test_filter_and_restrict(self, toy_ratings):
+        only_high = toy_ratings.filter(lambda rating: rating.value >= 4)
+        assert all(rating.value >= 4 for rating in only_high)
+        users_12 = toy_ratings.restrict_users([1, 2])
+        assert users_12.users == (1, 2)
+        items_10 = toy_ratings.restrict_items([10])
+        assert items_10.items == (10,)
+
+    def test_top_popular_items(self, toy_ratings):
+        # items 11, 12, 13 each have 3 raters; 10 also has 3 -> ties broken by id
+        popular = toy_ratings.top_popular_items(2)
+        assert popular == [10, 11]
+
+    def test_most_controversial_items(self, toy_ratings):
+        controversial = toy_ratings.most_controversial_items(1)
+        assert controversial == [10]  # ratings 5, 5, 1 -> highest variance
+
+    def test_most_controversial_within_top_popular(self, toy_ratings):
+        result = toy_ratings.most_controversial_items(2, within_top_popular=4)
+        assert len(result) == 2
+
+    def test_leave_out_split_partitions_ratings(self, toy_ratings):
+        train, holdout = toy_ratings.leave_out_split(0.25, seed=3)
+        assert len(train) + len(holdout) == len(toy_ratings)
+        assert len(holdout) == 3
+        train_keys = {(r.user_id, r.item_id) for r in train}
+        holdout_keys = {(r.user_id, r.item_id) for r in holdout}
+        assert not train_keys & holdout_keys
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.2, 1.5])
+    def test_leave_out_split_rejects_bad_fraction(self, toy_ratings, fraction):
+        with pytest.raises(DataError):
+            toy_ratings.leave_out_split(fraction)
+
+    def test_dataset_from_tuples(self):
+        dataset = dataset_from_tuples([(1, 2, 3.0), (2, 3, 4.0, 77)])
+        assert len(dataset) == 2
+        assert dataset.rating_value(2, 3) == 4.0
+        assert dataset.ratings[0].timestamp == 0
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=12),
+            st.integers(min_value=1, max_value=12),
+            st.integers(min_value=1, max_value=5),
+        ),
+        min_size=1,
+        max_size=60,
+        unique_by=lambda row: (row[0], row[1]),
+    )
+)
+def test_dataset_roundtrip_properties(rows):
+    """Statistics are consistent with the inserted rows for arbitrary datasets."""
+    dataset = dataset_from_tuples([(u, i, float(v)) for u, i, v in rows])
+    stats = dataset.stats()
+    assert stats.n_ratings == len(rows)
+    assert stats.n_users == len({u for u, _, _ in rows})
+    assert stats.n_items == len({i for _, i, _ in rows})
+    for user, item, value in rows:
+        assert dataset.rating_value(user, item) == pytest.approx(float(value))
+        assert MIN_RATING <= dataset.user_mean(user) <= MAX_RATING

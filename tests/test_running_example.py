@@ -1,0 +1,111 @@
+"""The paper's running example (Section 3.1, Tables 1-4).
+
+Three users, three items, two six-month periods.  The absolute preference
+lists, static affinity lists and periodic affinity lists are copied verbatim
+from Tables 1-4; the paper states that GRECA returns ``i1`` as the top-1 item
+for the group.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import NaiveFullScan
+from repro.core.consensus import AVERAGE_PREFERENCE, LEAST_MISERY, PAIRWISE_DISAGREEMENT
+from repro.core.greca import Greca, GrecaIndex
+
+#: Table 1 — absolute preference lists of u1, u2, u3.
+APREFS = {
+    1: {"i1": 5.0, "i2": 1.0, "i3": 1.0},
+    2: {"i1": 5.0, "i2": 1.0, "i3": 0.5},
+    3: {"i3": 2.0, "i1": 2.0, "i2": 1.0},
+}
+
+#: Table 2 — static affinity lists.
+STATIC = {(1, 2): 1.0, (1, 3): 0.2, (2, 3): 0.3}
+
+#: Tables 3 and 4 — periodic affinity lists for p1 and p2.
+PERIODIC = {
+    0: {(1, 2): 0.8, (1, 3): 0.1, (2, 3): 0.2},
+    1: {(1, 2): 0.7, (1, 3): 0.1, (2, 3): 0.1},
+}
+
+
+@pytest.fixture()
+def index() -> GrecaIndex:
+    return GrecaIndex(
+        members=[1, 2, 3],
+        aprefs=APREFS,
+        static=STATIC,
+        periodic=PERIODIC,
+        time_model="discrete",
+        max_apref=5.0,
+    )
+
+
+class TestRunningExampleIndex:
+    def test_item_universe(self, index):
+        assert index.items == ("i1", "i2", "i3")
+
+    def test_total_entries(self, index):
+        # 3 preference lists x 3 items + 3 pairs x (1 static + 2 periodic) lists
+        assert index.total_index_entries() == 9 + 3 * 3
+
+    def test_affinity_of_u1_u2_reflects_decreasing_page_likes(self, index):
+        """The paper notes the (u1, u2) affinity decreased between p1 and p2."""
+        assert PERIODIC[1][(1, 2)] < PERIODIC[0][(1, 2)]
+        # The combined affinity is still the strongest of the group.
+        assert index.affinity(1, 2) >= index.affinity(1, 3)
+        assert index.affinity(1, 2) >= index.affinity(2, 3)
+
+    def test_exact_scores_rank_i1_first(self, index):
+        scores = index.exact_scores(AVERAGE_PREFERENCE)
+        assert max(scores, key=lambda item: scores[item]) == "i1"
+
+
+class TestRunningExampleGreca:
+    @pytest.mark.parametrize(
+        "consensus", [AVERAGE_PREFERENCE, LEAST_MISERY, PAIRWISE_DISAGREEMENT]
+    )
+    def test_top1_is_i1(self, index, consensus):
+        """GRECA returns i1 as the top-1 recommendation (Section 3.2)."""
+        result = Greca(consensus, k=1, check_interval=1).run(index)
+        assert result.items == ("i1",)
+
+    def test_greca_matches_naive_top1(self, index):
+        greca = Greca(AVERAGE_PREFERENCE, k=1, check_interval=1).run(index)
+        naive = NaiveFullScan(AVERAGE_PREFERENCE, k=1).run(index)
+        assert greca.items == naive.items == ("i1",)
+
+    def test_naive_reads_every_entry(self, index):
+        naive = NaiveFullScan(AVERAGE_PREFERENCE, k=1).run(index)
+        assert naive.sequential_accesses == index.total_index_entries()
+        assert naive.percent_sequential_accesses == pytest.approx(100.0)
+
+    def test_greca_terminates_before_exhausting_the_lists(self, index):
+        result = Greca(AVERAGE_PREFERENCE, k=1, check_interval=1).run(index)
+        assert result.sequential_accesses <= result.total_entries
+        assert result.stopping in ("buffer", "threshold", "exhausted")
+
+    def test_top2_contains_i1(self, index):
+        result = Greca(AVERAGE_PREFERENCE, k=2, check_interval=1).run(index)
+        assert "i1" in result.items
+        assert len(result.items) == 2
+
+    def test_bounds_bracket_exact_scores(self, index):
+        result = Greca(AVERAGE_PREFERENCE, k=2, check_interval=1).run(index)
+        exact = index.exact_scores(AVERAGE_PREFERENCE)
+        for item, (lower, upper) in result.bounds.items():
+            assert lower - 1e-9 <= exact[item] <= upper + 1e-9
+
+    def test_continuous_model_also_ranks_i1_first(self):
+        index = GrecaIndex(
+            members=[1, 2, 3],
+            aprefs=APREFS,
+            static=STATIC,
+            periodic=PERIODIC,
+            time_model="continuous",
+            max_apref=5.0,
+        )
+        result = Greca(AVERAGE_PREFERENCE, k=1, check_interval=1).run(index)
+        assert result.items == ("i1",)

@@ -1,0 +1,153 @@
+"""Tests for repro.core.scoring (vectorised scoring vs the scalar reference)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import Interval
+from repro.core.consensus import (
+    AVERAGE_PREFERENCE,
+    LEAST_MISERY,
+    PAIRWISE_DISAGREEMENT,
+    PD_V2,
+    ConsensusFunction,
+    make_consensus,
+)
+from repro.core.scoring import consensus_bounds, consensus_scores, default_scale, preference_matrix
+from repro.exceptions import AlgorithmError, ConsensusError
+
+ALL_FUNCTIONS = (
+    AVERAGE_PREFERENCE,
+    LEAST_MISERY,
+    PAIRWISE_DISAGREEMENT,
+    PD_V2,
+    ConsensusFunction(name="VAR", disagreement="variance", w1=0.5, w2=0.5),
+)
+
+
+class TestPreferenceMatrix:
+    def test_matches_paper_formula(self):
+        apref = np.array([[5.0, 1.0], [2.0, 4.0]])
+        affinity = np.array([[0.0, 0.5], [0.5, 0.0]])
+        prefs = preference_matrix(apref, affinity)
+        # pref(u1, i1) = 5 + 0.5 * 2 ; pref(u2, i2) = 4 + 0.5 * 1
+        np.testing.assert_allclose(prefs, [[6.0, 3.0], [4.5, 4.5]])
+
+    def test_zero_affinity_is_identity(self):
+        apref = np.random.default_rng(0).uniform(1, 5, size=(3, 7))
+        prefs = preference_matrix(apref, np.zeros((3, 3)))
+        np.testing.assert_allclose(prefs, apref)
+
+    def test_shape_validation(self):
+        with pytest.raises(AlgorithmError):
+            preference_matrix(np.zeros(4), np.zeros((2, 2)))
+        with pytest.raises(AlgorithmError):
+            preference_matrix(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(AlgorithmError):
+            preference_matrix(np.zeros((2, 3)), np.eye(2))
+
+
+class TestConsensusScores:
+    def test_matches_scalar_reference(self):
+        rng = np.random.default_rng(1)
+        prefs = rng.uniform(0, 10, size=(4, 9))
+        for consensus in ALL_FUNCTIONS:
+            vectorised = consensus_scores(consensus, prefs, scale=10.0)
+            for col in range(prefs.shape[1]):
+                scalar = consensus.score(list(prefs[:, col]), scale=10.0)
+                assert vectorised[col] == pytest.approx(scalar, abs=1e-9)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConsensusError):
+            consensus_scores(AVERAGE_PREFERENCE, np.zeros((2, 2)), scale=0.0)
+
+    def test_single_member_group(self):
+        prefs = np.array([[2.0, 4.0]])
+        scores = consensus_scores(PAIRWISE_DISAGREEMENT, prefs, scale=5.0)
+        # disagreement of a single member is 0
+        np.testing.assert_allclose(scores, 0.5 * prefs[0] / 5.0 + 0.5)
+
+
+class TestConsensusBounds:
+    def test_matches_interval_reference(self):
+        rng = np.random.default_rng(2)
+        low = rng.uniform(0, 5, size=(3, 6))
+        high = low + rng.uniform(0, 5, size=(3, 6))
+        for consensus in ALL_FUNCTIONS:
+            f_low, f_high = consensus_bounds(consensus, low, high, scale=10.0)
+            for col in range(low.shape[1]):
+                intervals = [Interval(low[row, col], high[row, col]) for row in range(3)]
+                reference = consensus.score_bounds(intervals, scale=10.0)
+                assert f_low[col] == pytest.approx(reference.low, abs=1e-9)
+                assert f_high[col] == pytest.approx(reference.high, abs=1e-9)
+
+    def test_bounds_bracket_exact(self):
+        rng = np.random.default_rng(3)
+        low = rng.uniform(0, 5, size=(4, 8))
+        width = rng.uniform(0, 3, size=(4, 8))
+        high = low + width
+        exact = low + width * rng.uniform(0, 1, size=(4, 8))
+        for consensus in ALL_FUNCTIONS:
+            f_low, f_high = consensus_bounds(consensus, low, high, scale=10.0)
+            scores = consensus_scores(consensus, exact, scale=10.0)
+            assert np.all(f_low <= scores + 1e-9)
+            assert np.all(f_high >= scores - 1e-9)
+
+    def test_degenerate_bounds_equal_exact_scores(self):
+        rng = np.random.default_rng(4)
+        prefs = rng.uniform(0, 5, size=(3, 5))
+        for consensus in (AVERAGE_PREFERENCE, LEAST_MISERY, PAIRWISE_DISAGREEMENT, PD_V2):
+            f_low, f_high = consensus_bounds(consensus, prefs, prefs, scale=5.0)
+            scores = consensus_scores(consensus, prefs, scale=5.0)
+            np.testing.assert_allclose(f_low, scores, atol=1e-9)
+            np.testing.assert_allclose(f_high, scores, atol=1e-9)
+
+    def test_degenerate_variance_bounds_still_bracket(self):
+        """The variance disagreement keeps conservative (but sound) bounds."""
+        rng = np.random.default_rng(5)
+        prefs = rng.uniform(0, 5, size=(3, 5))
+        consensus = ConsensusFunction(name="VAR", disagreement="variance", w1=0.5, w2=0.5)
+        f_low, f_high = consensus_bounds(consensus, prefs, prefs, scale=5.0)
+        scores = consensus_scores(consensus, prefs, scale=5.0)
+        assert np.all(f_low <= scores + 1e-9)
+        assert np.all(f_high >= scores - 1e-9)
+
+    def test_shape_and_order_validation(self):
+        with pytest.raises(AlgorithmError):
+            consensus_bounds(AVERAGE_PREFERENCE, np.zeros((2, 2)), np.zeros((3, 2)), scale=1.0)
+        with pytest.raises(AlgorithmError):
+            consensus_bounds(AVERAGE_PREFERENCE, np.ones((2, 2)), np.zeros((2, 2)), scale=1.0)
+
+
+class TestDefaultScale:
+    def test_value(self):
+        assert default_scale(5.0, 4) == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ConsensusError):
+            default_scale(0.0, 3)
+        with pytest.raises(ConsensusError):
+            default_scale(5.0, 0)
+
+
+@given(
+    n_members=st.integers(min_value=1, max_value=5),
+    n_items=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_vectorised_matches_scalar_property(n_members, n_items, seed):
+    """consensus_scores agrees with ConsensusFunction.score on random matrices."""
+    rng = np.random.default_rng(seed)
+    prefs = rng.uniform(0, 8, size=(n_members, n_items))
+    for name in ("AP", "MO", "PD"):
+        consensus = make_consensus(name)
+        vectorised = consensus_scores(consensus, prefs, scale=8.0)
+        for col in range(n_items):
+            assert vectorised[col] == pytest.approx(
+                consensus.score(list(prefs[:, col]), scale=8.0), abs=1e-9
+            )

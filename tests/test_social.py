@@ -1,0 +1,144 @@
+"""Tests for repro.data.social (friendships, page likes, generator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timeline import Period, uniform_timeline
+from repro.data.social import (
+    N_PAGE_CATEGORIES,
+    PageLike,
+    SocialConfig,
+    SocialNetwork,
+    SocialNetworkGenerator,
+)
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestPageLike:
+    def test_valid_category(self):
+        assert PageLike(1, 0, 5).category == 0
+        assert PageLike(1, N_PAGE_CATEGORIES - 1, 5).category == N_PAGE_CATEGORIES - 1
+
+    @pytest.mark.parametrize("category", [-1, N_PAGE_CATEGORIES])
+    def test_invalid_category(self, category):
+        with pytest.raises(DataError):
+            PageLike(1, category, 5)
+
+
+class TestSocialNetwork:
+    def test_friendship_is_symmetric(self, tiny_social):
+        assert tiny_social.are_friends(1, 2)
+        assert tiny_social.are_friends(2, 1)
+        assert not tiny_social.are_friends(1, 4)
+
+    def test_self_friendship_rejected(self):
+        with pytest.raises(DataError):
+            SocialNetwork([1, 2], [(1, 1)])
+
+    def test_friendship_with_unknown_user_rejected(self):
+        with pytest.raises(DataError):
+            SocialNetwork([1, 2], [(1, 3)])
+
+    def test_like_with_unknown_user_rejected(self):
+        with pytest.raises(DataError):
+            SocialNetwork([1, 2], [], [PageLike(7, 3, 10)])
+
+    def test_common_friends_counts_paper_static_affinity(self, tiny_social):
+        # friends(1) = {2, 3}, friends(2) = {1, 3} -> common = {3}
+        assert tiny_social.common_friends(1, 2) == 1
+        # friends(1) = {2, 3}, friends(4) = {3} -> common = {3}
+        assert tiny_social.common_friends(1, 4) == 1
+        assert tiny_social.common_friends(2, 4) == 1
+
+    def test_unknown_user_in_friends_query(self, tiny_social):
+        with pytest.raises(DataError):
+            tiny_social.friends(99)
+
+    def test_likes_of_with_and_without_period(self, tiny_social, short_timeline):
+        assert len(tiny_social.likes_of(1)) == 4
+        assert len(tiny_social.likes_of(1, short_timeline[0])) == 2
+
+    def test_liked_categories_per_period(self, tiny_social, short_timeline):
+        assert tiny_social.liked_categories(1, short_timeline[0]) == frozenset({5, 6})
+        assert tiny_social.liked_categories(1, short_timeline[2]) == frozenset({2})
+
+    def test_common_category_likes_matches_paper_periodic_affinity(self, tiny_social, short_timeline):
+        assert tiny_social.common_category_likes(1, 2, short_timeline[0]) == 2
+        assert tiny_social.common_category_likes(1, 2, short_timeline[1]) == 1
+        assert tiny_social.common_category_likes(1, 2, short_timeline[2]) == 0
+        assert tiny_social.common_category_likes(3, 4, short_timeline[2]) == 1
+
+    def test_non_empty_period_fraction(self, tiny_social, short_timeline):
+        # user 1: periods 0,1,2 active; user 2: 0,1; user 3: 0,1,2; user 4: 1,2
+        fraction = tiny_social.non_empty_period_fraction(short_timeline)
+        assert fraction == pytest.approx(10 / 12)
+
+    def test_restrict_keeps_internal_edges_only(self, tiny_social):
+        sub = tiny_social.restrict([1, 2, 4])
+        assert sub.users == (1, 2, 4)
+        assert sub.are_friends(1, 2)
+        assert not sub.are_friends(1, 4)
+        assert all(like.user_id in {1, 2, 4} for like in sub.page_likes)
+
+
+class TestSocialConfig:
+    def test_defaults_valid(self):
+        SocialConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_communities": 0},
+            {"intra_friend_prob": 1.5},
+            {"inter_friend_prob": -0.1},
+            {"likes_per_period": -1.0},
+            {"categories_per_community": 0},
+            {"categories_per_community": 500},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SocialConfig(**kwargs)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        timeline = uniform_timeline(0, 6, 1000)
+        users = list(range(1, 25))
+        return SocialNetworkGenerator(SocialConfig(seed=7)).generate(users, timeline), timeline
+
+    def test_covers_all_users(self, generated):
+        network, _ = generated
+        assert len(network.users) == 24
+
+    def test_intra_community_friendships_denser(self, generated):
+        network, _ = generated
+        users = network.users
+        # Round-robin community assignment over 4 communities:
+        same = [(a, b) for i, a in enumerate(users) for b in users[i + 1 :] if (i % 4) == (users.index(b) % 4)]
+        diff = [(a, b) for i, a in enumerate(users) for b in users[i + 1 :] if (i % 4) != (users.index(b) % 4)]
+        same_rate = sum(network.are_friends(a, b) for a, b in same) / len(same)
+        diff_rate = sum(network.are_friends(a, b) for a, b in diff) / len(diff)
+        assert same_rate > diff_rate
+
+    def test_likes_have_valid_categories_and_timestamps(self, generated):
+        network, timeline = generated
+        for like in network.page_likes:
+            assert 0 <= like.category < N_PAGE_CATEGORIES
+            assert timeline.beginning <= like.timestamp <= timeline.end
+
+    def test_requires_two_users(self):
+        timeline = uniform_timeline(0, 2, 100)
+        with pytest.raises(ConfigurationError):
+            SocialNetworkGenerator().generate([1], timeline)
+
+    def test_deterministic_for_seed(self):
+        timeline = uniform_timeline(0, 3, 500)
+        users = list(range(1, 13))
+        first = SocialNetworkGenerator(SocialConfig(seed=9)).generate(users, timeline)
+        second = SocialNetworkGenerator(SocialConfig(seed=9)).generate(users, timeline)
+        assert [(l.user_id, l.category, l.timestamp) for l in first.page_likes] == [
+            (l.user_id, l.category, l.timestamp) for l in second.page_likes
+        ]

@@ -1,0 +1,154 @@
+"""Tests for repro.study (satisfaction oracle and evaluation protocols)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.affinity import ExplicitAffinityModel, NoAffinityModel
+from repro.data.ratings import dataset_from_tuples
+from repro.exceptions import ConfigurationError, GroupError
+from repro.study.environment import (
+    CHARACTERISTICS,
+    StudyGroup,
+    build_study_environment,
+)
+from repro.study.comparative import ComparativeEvaluation, FIGURE2_FUNCTIONS, FIGURE3_COMPARISONS
+from repro.study.independent import FIGURE1_CONFIGURATIONS, IndependentEvaluation
+from repro.study.satisfaction import OracleConfig, SatisfactionOracle
+
+TRUE_RATINGS = dataset_from_tuples(
+    [
+        (1, 10, 5.0), (1, 11, 1.0), (1, 12, 3.0),
+        (2, 10, 5.0), (2, 11, 2.0), (2, 12, 3.0),
+        (3, 10, 1.0), (3, 11, 5.0), (3, 12, 3.0),
+    ]
+)
+AFFINITY = ExplicitAffinityModel({(1, 2): 1.0, (1, 3): 0.0, (2, 3): 0.1})
+
+
+@pytest.fixture()
+def oracle():
+    return SatisfactionOracle(TRUE_RATINGS, AFFINITY, OracleConfig(noise=0.0, seed=1))
+
+
+class TestOracleConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"personal_weight": -0.1},
+            {"personal_weight": 0.0, "social_weight": 0.0},
+            {"noise": -1.0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OracleConfig(**kwargs)
+
+
+class TestSatisfactionOracle:
+    def test_true_rating_with_fallbacks(self, oracle):
+        assert oracle.true_rating(1, 10) == 5.0
+        assert oracle.true_rating(1, 99) == pytest.approx(oracle._mean)
+        assert oracle.true_rating(99, 10) == pytest.approx(TRUE_RATINGS.item_mean(10))
+
+    def test_utility_requires_membership(self, oracle):
+        with pytest.raises(GroupError):
+            oracle.utility(1, 10, [2, 3])
+
+    def test_company_changes_utility(self, oracle):
+        """The same item is appreciated differently in different company."""
+        with_agreeing_friend = oracle.utility(1, 10, [1, 2])
+        with_disagreeing_stranger = oracle.utility(1, 11, [1, 2])
+        assert with_agreeing_friend > with_disagreeing_stranger
+
+    def test_affinity_weighting_matters(self, oracle):
+        """A high-affinity companion pulls the utility towards their taste."""
+        # User 3 loves item 11; user 1 hates it.  User 1 has affinity 1.0 with
+        # user 2 (who also dislikes 11) and 0.0 with user 3.
+        with_friend = oracle.utility(1, 11, [1, 2])
+        with_stranger = oracle.utility(1, 11, [1, 3])
+        assert with_friend <= with_stranger + 1e-9
+
+    def test_list_and_group_utilities(self, oracle):
+        per_member = oracle.list_utility(1, [10, 12], [1, 2])
+        group = oracle.group_list_utility([10, 12], [1, 2])
+        assert 1.0 <= per_member <= 5.0
+        assert 1.0 <= group <= 5.0
+
+    def test_satisfaction_percent_range(self, oracle):
+        percent = oracle.satisfaction_percent([10, 11, 12], [1, 2, 3])
+        assert 20.0 <= percent <= 100.0
+
+    def test_prefers_better_list(self, oracle):
+        good = [10]
+        bad = [11]
+        assert oracle.prefers(good, bad, [1, 2])
+        assert not oracle.prefers(bad, good, [1, 2])
+        assert oracle.member_prefers(1, good, bad, [1, 2])
+
+    def test_empty_list_rejected(self, oracle):
+        with pytest.raises(ConfigurationError):
+            oracle.list_utility(1, [], [1, 2])
+        with pytest.raises(GroupError):
+            oracle.group_list_utility([10], [])
+
+
+class TestStudyEnvironment:
+    @pytest.fixture(scope="class")
+    def environment(self):
+        # A deliberately small environment so the whole protocol stays fast.
+        from repro.data.movielens import MovieLensConfig, generate_movielens_like
+        from repro.data.study_cohort import StudyConfig
+
+        base = generate_movielens_like(MovieLensConfig(n_users=120, n_items=150, n_ratings=5000, seed=3))
+        return build_study_environment(
+            base_ratings=base,
+            study_config=StudyConfig(n_seeds=6, min_invitees=2, max_invitees=4, seed=3),
+        )
+
+    def test_groups_cover_all_characteristics(self, environment):
+        for characteristic in CHARACTERISTICS:
+            assert environment.groups_with(characteristic), characteristic
+
+    def test_unknown_characteristic_rejected(self, environment):
+        with pytest.raises(ConfigurationError):
+            environment.groups_with("Huge")
+
+    def test_period_is_latest(self, environment):
+        assert environment.period == environment.timeline.current
+
+    def test_independent_evaluation_produces_percentages(self, environment):
+        evaluation = IndependentEvaluation(environment, k=3)
+        chart = evaluation.evaluate_configuration(affinity="discrete", consensus="AP", label="A")
+        assert set(chart.preference_percent) == set(CHARACTERISTICS)
+        assert all(0.0 <= value <= 100.0 for value in chart.preference_percent.values())
+        assert 0.0 <= chart.overall() <= 100.0
+
+    def test_figure1_configurations_cover_six_charts(self):
+        assert len(FIGURE1_CONFIGURATIONS) == 6
+
+    def test_comparative_evaluation_produces_percentages(self, environment):
+        evaluation = ComparativeEvaluation(environment, k=3)
+        chart = evaluation.compare_pair(
+            {"affinity": "discrete", "consensus": "AP"},
+            {"affinity": "none", "consensus": "AP"},
+            label="A",
+        )
+        assert set(chart.preference_percent) == set(CHARACTERISTICS)
+        assert all(0.0 <= value <= 100.0 for value in chart.preference_percent.values())
+
+    def test_figure3_has_three_comparisons(self):
+        assert len(FIGURE3_COMPARISONS) == 3
+
+    def test_consensus_comparison_shares_sum_to_100(self, environment):
+        evaluation = ComparativeEvaluation(environment, k=3)
+        comparison = evaluation.compare_consensus_functions()
+        for characteristic in CHARACTERISTICS:
+            shares = comparison.preference_percent[characteristic]
+            assert set(shares) == set(FIGURE2_FUNCTIONS)
+            assert sum(shares.values()) == pytest.approx(100.0, abs=1e-6)
+            assert comparison.winner(characteristic) in FIGURE2_FUNCTIONS
+
+    def test_study_group_dataclass(self):
+        group = StudyGroup((1, 2, 3), ("Small", "Sim"))
+        assert group.size == 3

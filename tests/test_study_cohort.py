@@ -1,0 +1,98 @@
+"""Tests for repro.data.study_cohort (the synthetic Facebook study cohort)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timeline import uniform_timeline
+from repro.data.study_cohort import StudyConfig, build_movie_sets, build_study_cohort
+from repro.exceptions import ConfigurationError
+
+
+class TestStudyConfig:
+    def test_defaults_valid(self):
+        StudyConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_seeds": 0},
+            {"min_invitees": 5, "max_invitees": 2},
+            {"min_ratings_per_user": 0},
+            {"popular_set_size": 0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(**kwargs)
+
+    def test_paper_scale(self):
+        paper = StudyConfig().paper_scale()
+        assert paper.n_seeds == 13
+        assert paper.min_invitees == 10
+        assert paper.max_invitees == 20
+
+
+class TestMovieSets:
+    def test_popular_and_diversity_sets(self, small_ratings):
+        config = StudyConfig(popular_set_size=20, diversity_set_size=10, diversity_popularity_rank=60)
+        popular, diversity, similar, dissimilar = build_movie_sets(small_ratings, config)
+        assert len(popular) == 20
+        assert len(diversity) == 10
+        assert similar == popular
+        # The dissimilar questionnaire mixes the popular head with the diversity movies.
+        assert set(dissimilar) & set(popular)
+        assert set(diversity) <= set(dissimilar)
+
+    def test_popular_set_is_most_rated(self, small_ratings):
+        popular, _, _, _ = build_movie_sets(small_ratings, StudyConfig(popular_set_size=5))
+        counts = [small_ratings.item_popularity(item) for item in popular]
+        threshold = sorted(
+            (small_ratings.item_popularity(item) for item in small_ratings.items), reverse=True
+        )[4]
+        assert min(counts) >= threshold
+
+
+class TestCohort:
+    @pytest.fixture(scope="class")
+    def cohort(self, request):
+        small_ratings = request.getfixturevalue("small_ratings")
+        timeline = uniform_timeline(0, 4, 1_000_000)
+        return build_study_cohort(small_ratings, timeline, StudyConfig(seed=2)), timeline
+
+    def test_recruitment_structure(self, cohort):
+        built, _ = cohort
+        config = StudyConfig()
+        assert len(built.seeds) == config.n_seeds
+        assert built.n_participants >= config.n_seeds * (1 + config.min_invitees)
+        assert set(built.seeds) <= set(built.participants)
+
+    def test_participants_do_not_collide_with_base_users(self, cohort, small_ratings):
+        built, _ = cohort
+        assert not set(built.participants) & set(small_ratings.users)
+
+    def test_every_participant_rated_enough_movies(self, cohort):
+        built, _ = cohort
+        config = StudyConfig()
+        for user in built.participants:
+            assert len(built.ratings.user_ratings(user)) >= min(
+                config.min_ratings_per_user, len(built.similar_set), len(built.dissimilar_set)
+            ) - 15  # some questionnaires are shorter than the requested minimum
+
+    def test_ratings_restricted_to_study_movies(self, cohort):
+        built, _ = cohort
+        study_items = set(built.similar_set) | set(built.dissimilar_set)
+        assert set(built.ratings.items) <= study_items
+
+    def test_social_network_covers_participants(self, cohort):
+        built, timeline = cohort
+        assert set(built.social.users) == set(built.participants)
+        for like in built.social.page_likes[:50]:
+            assert timeline.beginning <= like.timestamp <= timeline.end
+
+    def test_deterministic_for_seed(self, small_ratings):
+        timeline = uniform_timeline(0, 3, 1_000_000)
+        first = build_study_cohort(small_ratings, timeline, StudyConfig(seed=9))
+        second = build_study_cohort(small_ratings, timeline, StudyConfig(seed=9))
+        assert first.participants == second.participants
+        assert len(first.ratings) == len(second.ratings)

@@ -1,0 +1,176 @@
+"""Tests for repro.core.timeline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.timeline import (
+    GRANULARITIES,
+    SECONDS_PER_DAY,
+    Period,
+    Timeline,
+    count_periods,
+    discretize,
+    merge_timelines,
+    one_year_timeline,
+    uniform_timeline,
+)
+from repro.exceptions import TimelineError
+
+
+class TestPeriod:
+    def test_length_is_at_least_one(self):
+        assert Period(5, 5).length == 1
+        assert Period(0, 99).length == 99
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(TimelineError):
+            Period(10, 5)
+
+    def test_contains_boundaries(self):
+        period = Period(10, 20)
+        assert period.contains(10)
+        assert period.contains(20)
+        assert not period.contains(9)
+        assert not period.contains(21)
+
+    def test_precedes_matches_paper_definition(self):
+        early = Period(0, 9)
+        late = Period(10, 19)
+        assert early.precedes(late)
+        assert not late.precedes(early)
+        assert early.precedes(early)
+
+    def test_overlap_detection(self):
+        assert Period(0, 10).overlaps(Period(5, 15))
+        assert not Period(0, 10).overlaps(Period(11, 20))
+
+    def test_periods_order_chronologically(self):
+        assert Period(0, 5) < Period(6, 10)
+
+
+class TestTimeline:
+    def test_requires_at_least_one_period(self):
+        with pytest.raises(TimelineError):
+            Timeline([])
+
+    def test_rejects_overlapping_periods(self):
+        with pytest.raises(TimelineError):
+            Timeline([Period(0, 10), Period(5, 20)])
+
+    def test_rejects_out_of_order_periods(self):
+        with pytest.raises(TimelineError):
+            Timeline([Period(10, 20), Period(0, 9)])
+
+    def test_basic_accessors(self, short_timeline):
+        assert len(short_timeline) == 3
+        assert short_timeline.beginning == 0
+        assert short_timeline.end == 299
+        assert short_timeline.current == Period(200, 299)
+        assert short_timeline[1] == Period(100, 199)
+
+    def test_index_of_and_membership(self, short_timeline):
+        assert short_timeline.index_of(Period(100, 199)) == 1
+        with pytest.raises(TimelineError):
+            short_timeline.index_of(Period(0, 50))
+
+    def test_period_of_timestamp(self, short_timeline):
+        assert short_timeline.period_of(150) == Period(100, 199)
+        assert short_timeline.period_of(5000) is None
+
+    def test_periods_until_includes_query_period(self, short_timeline):
+        until = short_timeline.periods_until(Period(100, 199))
+        assert until == (Period(0, 99), Period(100, 199))
+
+    def test_elapsed_is_relative_to_beginning(self, short_timeline):
+        assert short_timeline.elapsed(Period(100, 199)) == 199
+
+    def test_equality(self):
+        a = uniform_timeline(0, 2, 10)
+        b = uniform_timeline(0, 2, 10)
+        assert a == b
+        assert a != uniform_timeline(0, 3, 10)
+
+
+class TestDiscretize:
+    def test_one_year_two_month_has_six_periods(self):
+        timeline = one_year_timeline(granularity="two-month")
+        assert len(timeline) == 6
+
+    def test_figure4_period_counts(self):
+        """The period counts of the paper's Figure 4 for a one-year history."""
+        expected = {"week": 53, "month": 12, "two-month": 6, "season": 4, "half-year": 2}
+        for granularity, count in expected.items():
+            assert count_periods(granularity) == count
+            assert len(one_year_timeline(granularity=granularity)) == count
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(TimelineError):
+            discretize(0, 1000, "decade")
+        with pytest.raises(TimelineError):
+            count_periods("decade")
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(TimelineError):
+            discretize(100, 100, "week")
+
+    def test_covers_exact_span(self):
+        end = 365 * SECONDS_PER_DAY - 1
+        timeline = discretize(0, end, "two-month")
+        assert timeline.beginning == 0
+        assert timeline.end == end
+
+    def test_periods_are_contiguous(self):
+        timeline = discretize(0, 10_000_000, "month")
+        for earlier, later in zip(timeline, list(timeline)[1:]):
+            assert later.start == earlier.end + 1
+
+
+class TestUniformTimeline:
+    def test_period_lengths(self):
+        timeline = uniform_timeline(50, 4, 25)
+        assert [p.length for p in timeline] == [24, 24, 24, 24]
+        assert timeline.beginning == 50
+        assert timeline.end == 50 + 4 * 25 - 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(TimelineError):
+            uniform_timeline(0, 0, 10)
+        with pytest.raises(TimelineError):
+            uniform_timeline(0, 5, 0)
+
+    def test_merge_timelines(self):
+        first = uniform_timeline(0, 2, 10)
+        second = uniform_timeline(20, 2, 10)
+        merged = merge_timelines([first, second])
+        assert len(merged) == 4
+        assert merged.end == 39
+
+    def test_merge_rejects_overlap(self):
+        first = uniform_timeline(0, 2, 10)
+        with pytest.raises(TimelineError):
+            merge_timelines([first, first])
+
+
+@given(
+    n_periods=st.integers(min_value=1, max_value=30),
+    period_length=st.integers(min_value=1, max_value=5_000),
+    start=st.integers(min_value=0, max_value=10_000),
+)
+def test_uniform_timeline_properties(n_periods, period_length, start):
+    """Every timestamp inside the span belongs to exactly one period."""
+    timeline = uniform_timeline(start, n_periods, period_length)
+    assert len(timeline) == n_periods
+    assert timeline.end - timeline.beginning + 1 == n_periods * period_length
+    probe = start + (n_periods * period_length) // 2
+    period = timeline.period_of(probe)
+    assert period is not None and period.contains(probe)
+    # periods_until of the last period returns the whole timeline
+    assert timeline.periods_until(timeline.current) == timeline.periods
+
+
+@given(granularity=st.sampled_from(GRANULARITIES), span_days=st.integers(min_value=30, max_value=720))
+def test_discretize_period_count_matches_count_periods(granularity, span_days):
+    timeline = discretize(0, span_days * SECONDS_PER_DAY - 1, granularity)
+    assert len(timeline) == count_periods(granularity, span_days)

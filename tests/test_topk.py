@@ -1,0 +1,126 @@
+"""Tests for the generic Fagin-style substrate (repro.topk)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lists import KIND_PREFERENCE, AccessCounter, SortedAccessList
+from repro.exceptions import AlgorithmError
+from repro.topk.nra import NoRandomAccessAlgorithm
+from repro.topk.ta import ThresholdAlgorithm
+
+
+def _make_lists(scores_per_list, counter=None):
+    counter = counter or AccessCounter()
+    return [
+        SortedAccessList(f"L{i}", KIND_PREFERENCE, scores.items(), counter)
+        for i, scores in enumerate(scores_per_list)
+    ], counter
+
+
+def _exact_top_k(scores_per_list, aggregation, k):
+    keys = set().union(*[set(scores) for scores in scores_per_list])
+    totals = {
+        key: aggregation([scores.get(key, 0.0) for scores in scores_per_list]) for key in keys
+    }
+    return sorted(totals.values(), reverse=True)[:k], totals
+
+
+SIMPLE_LISTS = [
+    {"a": 0.9, "b": 0.8, "c": 0.1, "d": 0.05},
+    {"a": 0.7, "b": 0.2, "c": 0.9, "d": 0.1},
+    {"a": 0.5, "b": 0.6, "c": 0.2, "d": 0.9},
+]
+
+
+class TestNRA:
+    def test_requires_lists_and_valid_k(self):
+        with pytest.raises(AlgorithmError):
+            NoRandomAccessAlgorithm(sum, k=0)
+        with pytest.raises(AlgorithmError):
+            NoRandomAccessAlgorithm(sum, k=1).run([])
+
+    def test_lists_must_share_counter(self):
+        lists, _ = _make_lists(SIMPLE_LISTS[:1])
+        other, _ = _make_lists(SIMPLE_LISTS[1:2])
+        with pytest.raises(AlgorithmError):
+            NoRandomAccessAlgorithm(sum, k=1).run(lists + other)
+
+    def test_finds_exact_top_k(self):
+        lists, counter = _make_lists(SIMPLE_LISTS)
+        result = NoRandomAccessAlgorithm(sum, k=2).run(lists)
+        expected, totals = _exact_top_k(SIMPLE_LISTS, sum, 2)
+        assert sorted((totals[item] for item in result.items), reverse=True) == pytest.approx(expected)
+        assert result.sequential_accesses == counter.sequential
+        assert result.random_accesses == 0
+
+    def test_makes_no_random_accesses(self):
+        lists, counter = _make_lists(SIMPLE_LISTS)
+        NoRandomAccessAlgorithm(sum, k=1).run(lists)
+        assert counter.random == 0
+
+    def test_can_stop_early_on_separated_scores(self):
+        lists_data = [
+            {"top": 1.0, **{f"x{i}": 0.01 for i in range(30)}},
+            {"top": 1.0, **{f"x{i}": 0.01 for i in range(30)}},
+        ]
+        lists, _ = _make_lists(lists_data)
+        result = NoRandomAccessAlgorithm(sum, k=1).run(lists)
+        assert result.items == ("top",)
+        assert result.sequential_accesses < result.total_entries
+
+
+class TestTA:
+    def test_requires_lists_and_valid_k(self):
+        with pytest.raises(AlgorithmError):
+            ThresholdAlgorithm(sum, k=0)
+        with pytest.raises(AlgorithmError):
+            ThresholdAlgorithm(sum, k=1).run([])
+
+    def test_finds_exact_top_k_with_exact_scores(self):
+        lists, _ = _make_lists(SIMPLE_LISTS)
+        result = ThresholdAlgorithm(sum, k=2).run(lists)
+        expected, totals = _exact_top_k(SIMPLE_LISTS, sum, 2)
+        assert sorted(result.lower_bounds.values(), reverse=True) == pytest.approx(expected)
+        # TA resolves exact scores, so lower and upper bounds coincide.
+        assert result.lower_bounds == result.upper_bounds
+
+    def test_uses_random_accesses(self):
+        lists, counter = _make_lists(SIMPLE_LISTS)
+        ThresholdAlgorithm(sum, k=1).run(lists)
+        assert counter.random > 0
+
+
+@given(
+    n_lists=st.integers(min_value=1, max_value=4),
+    n_items=st.integers(min_value=1, max_value=20),
+    k=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=9999),
+    aggregation_name=st.sampled_from(["sum", "min", "mean"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_nra_and_ta_agree_with_exhaustive_oracle(n_lists, n_items, k, seed, aggregation_name):
+    """Both algorithms return the exact top-k scores for random monotone instances."""
+    rng = random.Random(seed)
+    aggregation = {
+        "sum": sum,
+        "min": min,
+        "mean": lambda values: sum(values) / len(values),
+    }[aggregation_name]
+    data = [
+        {f"item{j}": round(rng.uniform(0, 1), 3) for j in range(n_items)} for _ in range(n_lists)
+    ]
+    k = min(k, n_items)
+    expected, _ = _exact_top_k(data, aggregation, k)
+
+    nra_lists, _ = _make_lists(data)
+    nra = NoRandomAccessAlgorithm(aggregation, k=k).run(nra_lists)
+    _, totals = _exact_top_k(data, aggregation, k)
+    assert sorted((totals[i] for i in nra.items), reverse=True) == pytest.approx(expected)
+
+    ta_lists, _ = _make_lists(data)
+    ta = ThresholdAlgorithm(aggregation, k=k).run(ta_lists)
+    assert sorted(ta.lower_bounds.values(), reverse=True) == pytest.approx(expected)
