@@ -1,0 +1,32 @@
+# Developer entry points for the reproduction.  Run from the repository root.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-engine bench-record bench-all golden
+
+# Tier-1 verification: the full unit/property suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fail-fast perf gate: one scalability point (3,900 items, 8 groups) under a
+# wall-clock budget.  Exits non-zero when the engine regresses past the budget.
+bench:
+	$(PYTHON) -m repro.experiments.runner --quick
+
+# Engine micro-benchmarks (GRECA end-to-end + sequential_block vs per-entry).
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/test_bench_engine.py -q
+
+# Append a measured engine record to BENCH_engine.json (LABEL=... required).
+bench-record:
+	$(PYTHON) scripts/bench_engine.py --label $(LABEL)
+
+# Every paper figure/table benchmark (minutes).
+bench-all:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+# Regenerate the engine-equivalence goldens.  Only run from a revision whose
+# access semantics are known-equivalent to the seed engine.
+golden:
+	PYTHONPATH=src:tests $(PYTHON) scripts/capture_engine_golden.py

@@ -1,0 +1,148 @@
+"""Measure the GRECA engine and append the numbers to ``BENCH_engine.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/bench_engine.py --label columnar-after
+
+Two measurements are taken:
+
+* **end-to-end** — GRECA (list build + algorithm + result assembly) over the
+  default :class:`ScalabilityConfig` substrate: the paper's 3,900-item
+  catalogue, 8 random groups of 6, AP consensus, ``k = 10``.  Indexes are
+  pre-built so the number isolates the engine, not dataset generation.
+* **micro** — per-entry ``sequential_access`` vs batched ``sequential_block``
+  over a 100,000-entry preference list (the latter is skipped gracefully on
+  revisions that predate the batched API).
+
+Each invocation *appends* one record to ``BENCH_engine.json`` so the perf
+trajectory accumulates across PRs; the access-count checksum in the record
+doubles as a guard that a faster engine still performs identical work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.core.consensus import make_consensus  # noqa: E402
+from repro.core.greca import Greca  # noqa: E402
+from repro.core.lists import KIND_PREFERENCE, AccessCounter, SortedAccessList  # noqa: E402
+from repro.experiments.scalability import ScalabilityConfig, ScalabilityEnvironment  # noqa: E402
+
+MICRO_ENTRIES = 100_000
+
+
+def bench_greca_end_to_end(repeats: int = 3) -> dict[str, object]:
+    """Best-of-``repeats`` wall time of GRECA over the default scalability point."""
+    env = ScalabilityEnvironment(ScalabilityConfig())
+    consensus = make_consensus(env.config.consensus)
+    indexes = env.build_default_indexes()
+
+    best = float("inf")
+    sa_checksum = 0
+    percent_sa = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = [Greca(consensus, k=env.config.k).run(index) for index in indexes]
+        best = min(best, time.perf_counter() - start)
+        sa_checksum = sum(result.sequential_accesses for result in results)
+        percent_sa = [round(result.percent_sequential_accesses, 3) for result in results]
+    return {
+        "n_groups": len(indexes),
+        "n_items": env.config.n_items,
+        "k": env.config.k,
+        "consensus": env.config.consensus,
+        "total_seconds": round(best, 4),
+        "seconds_per_run": round(best / len(indexes), 4),
+        "sa_checksum": sa_checksum,
+        "percent_sa": percent_sa,
+    }
+
+
+def bench_micro_access() -> dict[str, object]:
+    """Per-entry vs block sequential access over one large preference list."""
+
+    def make_list() -> SortedAccessList:
+        entries = ((item, float((item * 2_654_435_761) % 1_000_003)) for item in range(MICRO_ENTRIES))
+        return SortedAccessList("PL(bench)", KIND_PREFERENCE, entries, AccessCounter())
+
+    access_list = make_list()
+    start = time.perf_counter()
+    while access_list.sequential_access() is not None:
+        pass
+    per_entry = time.perf_counter() - start
+    assert access_list.counter.sequential == MICRO_ENTRIES
+
+    record: dict[str, object] = {
+        "n_entries": MICRO_ENTRIES,
+        "per_entry_seconds": round(per_entry, 4),
+    }
+    if hasattr(access_list, "sequential_block"):
+        access_list = make_list()
+        start = time.perf_counter()
+        read = 0
+        while not access_list.exhausted:
+            _, scores = access_list.sequential_block(4096)
+            read += len(scores)
+        block = time.perf_counter() - start
+        assert read == MICRO_ENTRIES and access_list.counter.sequential == MICRO_ENTRIES
+        record["block_seconds"] = round(block, 4)
+        record["block_speedup"] = round(per_entry / block, 1) if block > 0 else None
+    else:
+        record["block_seconds"] = None
+        record["block_speedup"] = None
+    return record
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:  # pragma: no cover - git metadata is best-effort
+        return "unknown"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", required=True, help="short tag for this measurement")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
+    args = parser.parse_args(argv)
+
+    record = {
+        "label": args.label,
+        "git": git_revision(),
+        "python": platform.python_version(),
+        "greca_end_to_end": bench_greca_end_to_end(repeats=args.repeats),
+        "micro_sequential": bench_micro_access(),
+    }
+
+    target = os.path.join(ROOT, "BENCH_engine.json")
+    history = []
+    if os.path.exists(target):
+        with open(target, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+    history.append(record)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Capture golden access-equivalence values for the engine grid.
+
+Run from the repository root::
+
+    PYTHONPATH=src:tests python scripts/capture_engine_golden.py
+
+The resulting ``tests/data/engine_golden.json`` freezes the seed engine's
+sequential/random access counts, top-k items, stopping reasons and round
+counts over the grid in ``tests/engine_grid.py``.  The file was produced by
+the per-entry seed implementation *before* the batched columnar refactor;
+regenerate it only if the grid itself changes (and then only from a revision
+whose access semantics are already known to be equivalent to the seed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (os.path.join(ROOT, "src"), os.path.join(ROOT, "tests")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from engine_grid import GRECA_CASES, TOPK_CASES, run_greca_case, run_topk_case  # noqa: E402
+
+
+def main() -> int:
+    golden = {
+        "greca": [run_greca_case(case) for case in GRECA_CASES],
+        "nra": [run_topk_case(case, "nra") for case in TOPK_CASES],
+        "ta": [run_topk_case(case, "ta") for case in TOPK_CASES],
+    }
+    target = os.path.join(ROOT, "tests", "data", "engine_golden.json")
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {target}: {sum(len(v) for v in golden.values())} golden records")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

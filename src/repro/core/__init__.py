@@ -13,8 +13,8 @@ from repro.core.affinity import (
     combine_discrete,
 )
 from repro.core.baseline import BaselineResult, NaiveFullScan, ThresholdAlgorithmBaseline
-from repro.core.bounds import Interval
-from repro.core.buffer import BufferedItem, CandidateBuffer
+from repro.core.bounds import Interval, PairwiseAffinityBounds
+from repro.core.buffer import BufferedItem, CandidateBuffer, ColumnarCandidateBuffer
 from repro.core.consensus import (
     AVERAGE_PREFERENCE,
     LEAST_MISERY,
@@ -38,6 +38,7 @@ __all__ = [
     "BaselineResult",
     "BufferedItem",
     "CandidateBuffer",
+    "ColumnarCandidateBuffer",
     "ComputedAffinities",
     "ConsensusFunction",
     "ContinuousAffinityModel",
@@ -56,6 +57,7 @@ __all__ = [
     "PAIRWISE_DISAGREEMENT",
     "PD_V1",
     "PD_V2",
+    "PairwiseAffinityBounds",
     "Period",
     "PreferenceModel",
     "SortedAccessList",

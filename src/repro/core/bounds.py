@@ -1,4 +1,4 @@
-"""Interval arithmetic for partially known scores.
+"""Interval arithmetic and incremental bound caches for partially known scores.
 
 GRECA maintains, for every encountered item, a lower and an upper bound on
 its final consensus score (Section 3.2).  Those bounds are obtained by
@@ -8,13 +8,23 @@ consensus formulas.  :class:`Interval` implements the small amount of
 interval arithmetic that this requires: addition, multiplication by
 non-negative intervals, min/mean aggregation and the interval of an absolute
 difference.
+
+:class:`PairwiseAffinityBounds` is the batched engine's *incremental* cache
+of the pairwise-affinity bound matrices: instead of recombining every pair's
+static and periodic components at every stopping-condition check, it tracks
+which affinity lists moved and recomputes only the pairs those moves could
+have changed (a pair's bounds depend solely on its already-seen component
+values and on the cursor scores of the lists still owing it a component).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
+import numpy as np
+
+from repro.core.lists import SortedAccessList
 from repro.exceptions import AlgorithmError
 
 
@@ -124,6 +134,142 @@ def interval_abs_difference(left: Interval, right: Interval) -> Interval:
     else:
         low = 0.0  # the intervals overlap, the difference can be zero
     return Interval(low, high)
+
+
+PairKey = tuple[int, int]
+
+
+class PairwiseAffinityBounds:
+    """Incrementally maintained bounds on the combined pairwise-affinity matrix.
+
+    The cache owns the sequential consumption of GRECA's static and periodic
+    affinity lists.  :meth:`advance` reads one block from every list (bulk SA
+    accounting via :meth:`SortedAccessList.sequential_block`) and marks as
+    *dirty* exactly the pairs whose bounds that movement can change: the
+    pairs delivered by the block (their component became exact) and the pairs
+    still pending in a list that moved (their upper bound tracks that list's
+    cursor score).  :meth:`bounds` then recombines only the dirty pairs.  A
+    clean pair's inputs — seen component values and the cursor scores of the
+    lists still owing it a component — are untouched, so its cached bounds
+    are identical to what a full recomputation would produce.
+
+    Parameters
+    ----------
+    members:
+        Group members in index order (pairs are canonical ``(min, max)`` id
+        tuples, positioned by member order).
+    period_indices:
+        Chronological period indices, fixing the order in which periodic
+        components are passed to ``combine``.
+    combine:
+        ``combine(static, periodic_values) -> float`` — the time-model
+        combination (e.g. :meth:`GrecaIndex.combine`).
+    static_lists / periodic_lists:
+        The affinity lists to consume; every list's keys must be canonical
+        pair tuples.  Pairs absent from every list contribute an exact 0
+        component (nothing will ever deliver them).
+    """
+
+    def __init__(
+        self,
+        members: Sequence[int],
+        period_indices: Sequence[int],
+        combine: Callable[[float, Sequence[float]], float],
+        static_lists: Sequence[SortedAccessList[PairKey]],
+        periodic_lists: Mapping[int, Sequence[SortedAccessList[PairKey]]],
+    ) -> None:
+        n = len(members)
+        self._n_members = n
+        self._period_indices = tuple(period_indices)
+        self._combine = combine
+        self._static_lists = list(static_lists)
+        self._periodic_lists = {
+            period: list(periodic_lists.get(period, ())) for period in self._period_indices
+        }
+
+        self._pair_position: dict[PairKey, tuple[int, int]] = {}
+        for row, left in enumerate(members):
+            for offset, right in enumerate(members[row + 1 :], start=row + 1):
+                key = (left, right) if left < right else (right, left)
+                self._pair_position[key] = (row, offset)
+
+        self._static_owner = self._owner_map(self._static_lists)
+        self._periodic_owner = {
+            period: self._owner_map(self._periodic_lists[period])
+            for period in self._period_indices
+        }
+
+        self._static_seen: dict[PairKey, float] = {}
+        self._periodic_seen: dict[tuple[int, PairKey], float] = {}
+        self._aff_low = np.zeros((n, n))
+        self._aff_high = np.zeros((n, n))
+        self._dirty: set[PairKey] = set(self._pair_position)
+
+    @staticmethod
+    def _owner_map(
+        lists: Sequence[SortedAccessList[PairKey]],
+    ) -> dict[PairKey, SortedAccessList[PairKey]]:
+        """Map every pair to the (single) list that will eventually deliver it."""
+        mapping: dict[PairKey, SortedAccessList[PairKey]] = {}
+        for access_list in lists:
+            for key in access_list.keys:
+                mapping[key] = access_list
+        return mapping
+
+    @property
+    def lists(self) -> list[SortedAccessList[PairKey]]:
+        """Every list the cache consumes (static first, then periodic by period)."""
+        result = list(self._static_lists)
+        for period in self._period_indices:
+            result.extend(self._periodic_lists[period])
+        return result
+
+    def advance(self, depth: int) -> None:
+        """Advance every affinity list ``depth`` entries, tracking dirty pairs."""
+        for access_list in self._static_lists:
+            start = access_list.position
+            keys, scores = access_list.sequential_block(depth)
+            if keys:
+                # Delivered pairs changed (component now exact) and pairs still
+                # pending in this list changed (its cursor score moved).
+                self._dirty.update(access_list.keys[start:])
+                self._static_seen.update(zip(keys, scores.tolist()))
+        for period in self._period_indices:
+            for access_list in self._periodic_lists[period]:
+                start = access_list.position
+                keys, scores = access_list.sequential_block(depth)
+                if keys:
+                    self._dirty.update(access_list.keys[start:])
+                    for key, score in zip(keys, scores.tolist()):
+                        self._periodic_seen[(period, key)] = score
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current ``(aff_low, aff_high)`` matrices, recombining dirty pairs only."""
+        for pair in self._dirty:
+            row, col = self._pair_position[pair]
+            if pair in self._static_seen:
+                static_low = static_high = self._static_seen[pair]
+            else:
+                static_low = 0.0
+                owner = self._static_owner.get(pair)
+                static_high = owner.cursor_score if owner is not None else 0.0
+            periodic_low: list[float] = []
+            periodic_high: list[float] = []
+            for period in self._period_indices:
+                seen = self._periodic_seen.get((period, pair))
+                if seen is not None:
+                    periodic_low.append(seen)
+                    periodic_high.append(seen)
+                else:
+                    periodic_low.append(0.0)
+                    owner = self._periodic_owner[period].get(pair)
+                    periodic_high.append(owner.cursor_score if owner is not None else 0.0)
+            low = self._combine(static_low, periodic_low)
+            high = self._combine(static_high, periodic_high)
+            self._aff_low[row, col] = self._aff_low[col, row] = low
+            self._aff_high[row, col] = self._aff_high[col, row] = high
+        self._dirty.clear()
+        return self._aff_low, self._aff_high
 
 
 def interval_variance(intervals: Sequence[Interval]) -> Interval:

@@ -7,18 +7,35 @@ holds at least ``k`` items and the ``k``-th largest lower bound is no smaller
 than the upper bound of every other buffered item (and, to also rule out
 items never encountered, no smaller than the global threshold).
 
-The buffer is deliberately a small, dictionary-backed structure: GRECA
-recomputes bounds in bulk (vectorised over items) and pushes them here, so
-the buffer's job is bookkeeping and the top-k/pruning queries, not incremental
-heap maintenance.
+Storage is *columnar*: :class:`ColumnarCandidateBuffer` keeps one contiguous
+float64 array per bound plus an item registry, so bulk refreshes are single
+array assignments and the ranking queries (``k``-th lower bound, buffer
+condition, top-k) run as vectorised selections — ``np.argpartition`` for the
+``k``-th order statistic, ``np.lexsort`` with a cached ``repr`` tie-break
+ranking when the full deterministic order is needed.  :class:`CandidateBuffer`
+remains as a thin compatibility façade with the original per-item dict-style
+API, delegating all storage and queries to the columnar buffer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, Mapping
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
+from repro.core.lists import repr_tie_break_ranks
 from repro.exceptions import AlgorithmError
+
+_TOLERANCE = 1e-9
+
+
+def _validate_bounds(item: Hashable, lower: float, upper: float) -> None:
+    """Reject inverted bound pairs (single source of the invariant)."""
+    if lower > upper + _TOLERANCE:
+        raise AlgorithmError(
+            f"item {item!r}: lower bound {lower} exceeds upper bound {upper}"
+        )
 
 
 @dataclass(frozen=True)
@@ -30,69 +47,173 @@ class BufferedItem:
     upper: float
 
     def __post_init__(self) -> None:
-        if self.lower > self.upper + 1e-9:
-            raise AlgorithmError(
-                f"item {self.item!r}: lower bound {self.lower} exceeds upper bound {self.upper}"
-            )
+        _validate_bounds(self.item, self.lower, self.upper)
 
 
-class CandidateBuffer:
-    """Items encountered so far with their [lower, upper] consensus bounds."""
+class ColumnarCandidateBuffer:
+    """Numpy-backed store of ``[lower, upper]`` consensus bounds per item.
 
-    def __init__(self) -> None:
-        self._items: dict[Hashable, BufferedItem] = {}
+    Items are registered in slots (insertion order); bounds live in parallel
+    float64 arrays that grow geometrically.  A slot can be deactivated
+    (pruned) and later reactivated by a fresh update.  Deterministic ordering
+    follows the paper's reproduction convention: decreasing lower bound with
+    ties broken by ``repr(item)``; the ``repr`` ranking is cached and only
+    recomputed when the set of registered items changes.
+    """
+
+    def __init__(
+        self, items: Sequence[Hashable] = (), repr_rank: np.ndarray | None = None
+    ) -> None:
+        self._items: list[Hashable] = list(items)
+        self._slot_of: dict[Hashable, int] = {
+            item: slot for slot, item in enumerate(self._items)
+        }
+        if len(self._slot_of) != len(self._items):
+            raise AlgorithmError("buffer items must be distinct")
+        capacity = max(8, len(self._items))
+        self._lower = np.empty(capacity, dtype=float)
+        self._upper = np.empty(capacity, dtype=float)
+        self._active = np.zeros(capacity, dtype=bool)
+        # Optionally seeded with a precomputed repr ranking of `items` (e.g.
+        # shared with the engine's list builder); recomputed lazily otherwise.
+        self._repr_rank: np.ndarray | None = None
+        if repr_rank is not None:
+            if len(repr_rank) != len(self._items):
+                raise AlgorithmError("repr_rank must cover the registered items")
+            self._repr_rank = np.asarray(repr_rank, dtype=np.int64)
+
+    # -- storage -------------------------------------------------------------------------
+
+    def _register(self, item: Hashable) -> int:
+        slot = self._slot_of.get(item)
+        if slot is not None:
+            return slot
+        slot = len(self._items)
+        if slot >= len(self._lower):
+            grow = max(2 * len(self._lower), slot + 1)
+            for name in ("_lower", "_upper", "_active"):
+                old = getattr(self, name)
+                fresh = np.zeros(grow, dtype=old.dtype) if old.dtype == bool else np.empty(grow, dtype=old.dtype)
+                fresh[: len(old)] = old
+                setattr(self, name, fresh)
+        self._items.append(item)
+        self._slot_of[item] = slot
+        self._active[slot] = False
+        self._repr_rank = None  # item set changed: tie-break ranking is stale
+        return slot
+
+    def _ranks(self) -> np.ndarray:
+        if self._repr_rank is None or len(self._repr_rank) != len(self._items):
+            self._repr_rank = repr_tie_break_ranks(self._items)
+        return self._repr_rank
+
+    def _active_slots(self) -> np.ndarray:
+        return np.flatnonzero(self._active[: len(self._items)])
+
+    def _ordered_slots(self) -> np.ndarray:
+        """Active slots by decreasing lower bound, ties by ``repr(item)``."""
+        slots = self._active_slots()
+        if slots.size == 0:
+            return slots
+        order = np.lexsort((self._ranks()[slots], -self._lower[slots]))
+        return slots[order]
 
     # -- container protocol --------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._items)
+        return int(self._active[: len(self._items)].sum())
 
     def __contains__(self, item: Hashable) -> bool:
-        return item in self._items
+        slot = self._slot_of.get(item)
+        return slot is not None and bool(self._active[slot])
 
     def __iter__(self) -> Iterator[BufferedItem]:
-        return iter(self._items.values())
+        for slot in self._active_slots():
+            yield BufferedItem(
+                self._items[slot], float(self._lower[slot]), float(self._upper[slot])
+            )
 
     # -- updates -------------------------------------------------------------------------
 
     def update(self, item: Hashable, lower: float, upper: float) -> None:
         """Insert or refresh the bounds of one item."""
-        self._items[item] = BufferedItem(item, lower, upper)
+        _validate_bounds(item, lower, upper)
+        slot = self._register(item)
+        self._lower[slot] = lower
+        self._upper[slot] = upper
+        self._active[slot] = True
 
     def update_many(self, bounds: Mapping[Hashable, tuple[float, float]]) -> None:
         """Bulk insert/refresh from ``{item: (lower, upper)}``."""
         for item, (lower, upper) in bounds.items():
             self.update(item, lower, upper)
 
+    def replace_bounds(
+        self, lower: np.ndarray, upper: np.ndarray, active: np.ndarray
+    ) -> None:
+        """Wholesale refresh against the registered item universe.
+
+        ``lower`` / ``upper`` / ``active`` are arrays over the registration
+        order of *all* known items — the fast path for engines that maintain
+        bounds for a fixed catalogue and refresh every buffered item at once.
+        """
+        size = len(self._items)
+        if lower.shape != (size,) or upper.shape != (size,) or active.shape != (size,):
+            raise AlgorithmError("replace_bounds arrays must cover the registered items")
+        if bool(np.any(lower[active] > upper[active] + _TOLERANCE)):
+            worst = int(np.flatnonzero(active)[np.argmax((lower - upper)[active])])
+            _validate_bounds(self._items[worst], float(lower[worst]), float(upper[worst]))
+        self._lower[:size] = lower
+        self._upper[:size] = upper
+        self._active[:size] = active
+
     def remove(self, items: Iterable[Hashable]) -> None:
         """Drop items that have been pruned."""
         for item in items:
-            self._items.pop(item, None)
+            slot = self._slot_of.get(item)
+            if slot is not None:
+                self._active[slot] = False
 
     # -- queries -------------------------------------------------------------------------
 
     def get(self, item: Hashable) -> BufferedItem | None:
         """The buffered record of ``item`` or ``None``."""
-        return self._items.get(item)
+        slot = self._slot_of.get(item)
+        if slot is None or not self._active[slot]:
+            return None
+        return BufferedItem(item, float(self._lower[slot]), float(self._upper[slot]))
 
     def ranked_by_lower_bound(self) -> list[BufferedItem]:
         """All buffered items sorted by decreasing lower bound (ties by item repr)."""
-        return sorted(self._items.values(), key=lambda entry: (-entry.lower, repr(entry.item)))
+        return [
+            BufferedItem(self._items[slot], float(self._lower[slot]), float(self._upper[slot]))
+            for slot in self._ordered_slots()
+        ]
 
     def top_k(self, k: int) -> list[BufferedItem]:
         """The ``k`` buffered items with the highest lower bounds."""
         if k <= 0:
             raise AlgorithmError("k must be positive")
-        return self.ranked_by_lower_bound()[:k]
+        slots = self._active_slots()
+        if slots.size > k:
+            # Preselect ~k candidates with argpartition, keeping every tie of
+            # the k-th value so the deterministic repr tie-break stays exact.
+            kth = -np.partition(-self._lower[slots], k - 1)[k - 1]
+            slots = slots[self._lower[slots] >= kth]
+        order = np.lexsort((self._ranks()[slots], -self._lower[slots]))
+        return [
+            BufferedItem(self._items[slot], float(self._lower[slot]), float(self._upper[slot]))
+            for slot in slots[order][:k]
+        ]
 
     def kth_lower_bound(self, k: int) -> float | None:
         """Lower bound of the ``k``-th ranked item (``None`` if fewer than ``k`` items)."""
-        ranked = self.ranked_by_lower_bound()
-        if len(ranked) < k:
+        slots = self._active_slots()
+        if slots.size < k:
             return None
-        return ranked[k - 1].lower
+        return float(-np.partition(-self._lower[slots], k - 1)[k - 1])
 
-    def satisfies_buffer_condition(self, k: int, tolerance: float = 1e-9) -> bool:
+    def satisfies_buffer_condition(self, k: int, tolerance: float = _TOLERANCE) -> bool:
         """GRECA's buffer termination test.
 
         ``True`` when the buffer holds at least ``k`` items and the ``k``-th
@@ -100,15 +221,80 @@ class CandidateBuffer:
         outside that top-k set.  With exactly ``k`` items the condition is
         vacuously satisfied (there is nothing left to prune).
         """
-        ranked = self.ranked_by_lower_bound()
-        if len(ranked) < k:
+        ordered = self._ordered_slots()
+        if ordered.size < k:
             return False
-        kth_lower = ranked[k - 1].lower
-        return all(entry.upper <= kth_lower + tolerance for entry in ranked[k:])
+        kth_lower = float(self._lower[ordered[k - 1]])
+        rest = ordered[k:]
+        if rest.size == 0:
+            return True
+        return bool(self._upper[rest].max() <= kth_lower + tolerance)
 
     def max_upper_bound_outside_top_k(self, k: int) -> float | None:
         """Largest upper bound among items not in the current top-k (``None`` if none)."""
-        ranked = self.ranked_by_lower_bound()
-        if len(ranked) <= k:
+        ordered = self._ordered_slots()
+        if ordered.size <= k:
             return None
-        return max(entry.upper for entry in ranked[k:])
+        return float(self._upper[ordered[k:]].max())
+
+
+class CandidateBuffer:
+    """Items encountered so far with their [lower, upper] consensus bounds.
+
+    Compatibility façade over :class:`ColumnarCandidateBuffer` preserving the
+    original per-item API.
+    """
+
+    def __init__(self) -> None:
+        self._columnar = ColumnarCandidateBuffer()
+
+    # -- container protocol --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._columnar)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._columnar
+
+    def __iter__(self) -> Iterator[BufferedItem]:
+        return iter(self._columnar)
+
+    # -- updates -------------------------------------------------------------------------
+
+    def update(self, item: Hashable, lower: float, upper: float) -> None:
+        """Insert or refresh the bounds of one item."""
+        self._columnar.update(item, lower, upper)
+
+    def update_many(self, bounds: Mapping[Hashable, tuple[float, float]]) -> None:
+        """Bulk insert/refresh from ``{item: (lower, upper)}``."""
+        self._columnar.update_many(bounds)
+
+    def remove(self, items: Iterable[Hashable]) -> None:
+        """Drop items that have been pruned."""
+        self._columnar.remove(items)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def get(self, item: Hashable) -> BufferedItem | None:
+        """The buffered record of ``item`` or ``None``."""
+        return self._columnar.get(item)
+
+    def ranked_by_lower_bound(self) -> list[BufferedItem]:
+        """All buffered items sorted by decreasing lower bound (ties by item repr)."""
+        return self._columnar.ranked_by_lower_bound()
+
+    def top_k(self, k: int) -> list[BufferedItem]:
+        """The ``k`` buffered items with the highest lower bounds."""
+        return self._columnar.top_k(k)
+
+    def kth_lower_bound(self, k: int) -> float | None:
+        """Lower bound of the ``k``-th ranked item (``None`` if fewer than ``k`` items)."""
+        return self._columnar.kth_lower_bound(k)
+
+    def satisfies_buffer_condition(self, k: int, tolerance: float = _TOLERANCE) -> bool:
+        """GRECA's buffer termination test (see :class:`ColumnarCandidateBuffer`)."""
+        return self._columnar.satisfies_buffer_condition(k, tolerance)
+
+    def max_upper_bound_outside_top_k(self, k: int) -> float | None:
+        """Largest upper bound among items not in the current top-k (``None`` if none)."""
+        return self._columnar.max_upper_bound_outside_top_k(k)

@@ -19,11 +19,36 @@ consensus score and stops as soon as either
   smaller than the upper bound of every other buffered item (Theorem 1 shows
   this implies the threshold condition).
 
-The implementation below follows the paper's structure but performs the bound
-maintenance in bulk with numpy (the round-robin accesses and their accounting
-are exactly per the paper; only the bookkeeping of the subroutines
-``ComputeUB`` / ``ComputeLB`` / ``ComputeTh`` is vectorised over items, which
-does not change which accesses are made).
+Batched columnar engine
+-----------------------
+
+The implementation executes the paper's round-robin with *exactly* the
+paper's access accounting, but runs it as a batched columnar engine rather
+than a per-entry interpreter loop:
+
+* Every sorted list is columnar (contiguous score array + integer key-index
+  array, see :mod:`repro.core.lists`); the engine advances all lists by
+  ``check_interval`` rounds per iteration through
+  :meth:`SortedAccessList.sequential_block`, recording the sequential
+  accesses in bulk.  Because the stopping conditions are only evaluated every
+  ``check_interval`` rounds anyway (and at exhaustion), the batched cursor
+  trajectory, access counts and check schedule are identical to the
+  entry-at-a-time loop.
+* Partial preference knowledge lives in two ``(members × items)`` arrays
+  (``apref_low`` / ``apref_high``) updated *in place*: block reads scatter
+  their scores with fancy indexing, and the not-yet-seen tail of each member
+  row — which is exactly the suffix of that list's sort permutation — is
+  refreshed to the list's cursor score at check time.
+* Pairwise affinity bounds are maintained incrementally by
+  :class:`repro.core.bounds.PairwiseAffinityBounds`, which recombines only
+  the pairs whose lists moved since the previous check.
+* The candidate buffer is the numpy-backed
+  :class:`repro.core.buffer.ColumnarCandidateBuffer`; the stopping decision
+  itself works directly on the bound arrays, and the final ranking uses the
+  buffer's vectorised top-k with the deterministic ``repr`` tie-break.
+* The terminal exact rescore touches only the returned top-k items
+  (:meth:`GrecaIndex.exact_scores_for`) instead of re-scoring the full
+  catalogue, which would otherwise cost the O(n·m) work GRECA just avoided.
 
 The main entry points are :class:`GrecaIndex` (the pre-computed lists for a
 group and a query period) and :class:`Greca` (the algorithm itself).
@@ -31,13 +56,14 @@ group and a query period) and :class:`Greca` (the algorithm itself).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.affinity import ComputedAffinities, combine_continuous, combine_discrete
-from repro.core.buffer import CandidateBuffer
+from repro.core.bounds import PairwiseAffinityBounds
+from repro.core.buffer import ColumnarCandidateBuffer
 from repro.core.consensus import ConsensusFunction
 from repro.core.lists import (
     KIND_PERIODIC_AFFINITY,
@@ -46,11 +72,11 @@ from repro.core.lists import (
     AccessCounter,
     SortedAccessList,
     build_affinity_lists,
-    build_preference_list,
+    repr_tie_break_ranks,
     total_entries,
 )
 from repro.core.scoring import consensus_bounds, consensus_scores, default_scale, preference_matrix
-from repro.core.timeline import Period, Timeline
+from repro.core.timeline import Period
 from repro.exceptions import AlgorithmError, GroupError
 
 #: Time-model names accepted by :class:`GrecaIndex`.
@@ -71,6 +97,12 @@ class GrecaIndex:
     and periodic affinity values for every pair and period up to the query
     period, together with the per-period population averages needed by the
     drift computation (Equation 1).
+
+    Absolute preferences are held columnar — one ``(members × items)``
+    float64 matrix — which is what both the exact scorers and the batched
+    engine consume; the sorted lists are materialised from matrix rows via a
+    single vectorised argsort per member (sharing one ``repr`` tie-break
+    ranking across members).
 
     Parameters
     ----------
@@ -127,16 +159,19 @@ class GrecaIndex:
         if not self.items:
             raise AlgorithmError("the preference lists contain no items")
 
-        self._aprefs: dict[int, dict[int, float]] = {
-            member: {item: float(aprefs[member].get(item, 0.0)) for item in self.items}
-            for member in members
-        }
-        for member, prefs in self._aprefs.items():
-            for item, value in prefs.items():
-                if value < 0:
-                    raise AlgorithmError(
-                        f"negative absolute preference for user {member}, item {item}"
-                    )
+        matrix = np.empty((len(members), len(self.items)))
+        for row, member in enumerate(members):
+            prefs = aprefs[member]
+            matrix[row] = [float(prefs.get(item, 0.0)) for item in self.items]
+            if matrix[row].min() < 0:
+                col = int(matrix[row].argmin())
+                raise AlgorithmError(
+                    f"negative absolute preference for user {member}, item {self.items[col]}"
+                )
+        self._apref_matrix = matrix
+        self._item_col: dict[int, int] = {item: col for col, item in enumerate(self.items)}
+        self._repr_rank: np.ndarray | None = None
+        self._item_objects: np.ndarray | None = None
 
         self._static = {self._pair(*pair): float(value) for pair, value in static.items()}
         self._periodic: dict[int, dict[tuple[int, int], float]] = {}
@@ -149,10 +184,7 @@ class GrecaIndex:
         for period_index in self.period_indices:
             self._averages.setdefault(period_index, 0.0)
 
-        observed_max = max(
-            (value for prefs in self._aprefs.values() for value in prefs.values()),
-            default=0.0,
-        )
+        observed_max = float(matrix.max())
         self.max_apref = float(max_apref) if max_apref is not None else max(observed_max, 1e-9)
         self.scale = default_scale(self.max_apref, len(self.members))
 
@@ -242,12 +274,7 @@ class GrecaIndex:
 
     def apref_matrix(self) -> np.ndarray:
         """``(n_members, n_items)`` matrix of absolute preferences."""
-        matrix = np.zeros((len(self.members), len(self.items)))
-        for row, member in enumerate(self.members):
-            prefs = self._aprefs[member]
-            for col, item in enumerate(self.items):
-                matrix[row, col] = prefs[item]
-        return matrix
+        return self._apref_matrix.copy()
 
     def affinity_matrix(self) -> np.ndarray:
         """``(n_members, n_members)`` exact combined affinity matrix (zero diagonal)."""
@@ -262,11 +289,41 @@ class GrecaIndex:
 
     def exact_scores(self, consensus: ConsensusFunction) -> dict[int, float]:
         """Exact consensus scores of every item (no access accounting)."""
-        prefs = preference_matrix(self.apref_matrix(), self.affinity_matrix())
+        prefs = preference_matrix(self._apref_matrix, self.affinity_matrix())
         scores = consensus_scores(consensus, prefs, self.scale)
         return {item: float(scores[col]) for col, item in enumerate(self.items)}
 
+    def exact_scores_for(
+        self, items: Sequence[int], consensus: ConsensusFunction
+    ) -> dict[int, float]:
+        """Exact consensus scores of selected items only (no access accounting).
+
+        All supported consensus functions score items independently, so
+        restricting the matrices to the requested columns computes the same
+        values as :meth:`exact_scores` at O(members × |items|) instead of a
+        full-catalogue rescore.
+        """
+        if not items:
+            return {}
+        cols = np.asarray([self._item_col[item] for item in items], dtype=np.intp)
+        prefs = preference_matrix(self._apref_matrix[:, cols], self.affinity_matrix())
+        scores = consensus_scores(consensus, prefs, self.scale)
+        return {item: float(scores[position]) for position, item in enumerate(items)}
+
     # -- list construction ------------------------------------------------------------------
+
+    def _tie_break_ranking(self) -> np.ndarray:
+        """Rank of every item column under the ``repr`` ordering (cached)."""
+        if self._repr_rank is None:
+            self._repr_rank = repr_tie_break_ranks(self.items)
+        return self._repr_rank
+
+    def _item_object_array(self) -> np.ndarray:
+        if self._item_objects is None:
+            objects = np.empty(len(self.items), dtype=object)
+            objects[:] = self.items
+            self._item_objects = objects
+        return self._item_objects
 
     def build_lists(
         self, counter: AccessCounter
@@ -275,11 +332,30 @@ class GrecaIndex:
         list[SortedAccessList[tuple[int, int]]],
         dict[int, list[SortedAccessList[tuple[int, int]]]],
     ]:
-        """Materialise the sorted lists GRECA scans (preference, static, periodic)."""
-        preference_lists = [
-            build_preference_list(member, self._aprefs[member], counter)
-            for member in self.members
-        ]
+        """Materialise the sorted lists GRECA scans (preference, static, periodic).
+
+        Preference lists are built columnar: one ``np.lexsort`` per member
+        over the shared preference matrix row (score-descending, ``repr``
+        tie-break), with the sort permutation doubling as the list's
+        ``key_index`` so block reads can be scattered straight into item
+        columns.
+        """
+        repr_rank = self._tie_break_ranking()
+        item_objects = self._item_object_array()
+        preference_lists = []
+        for row, member in enumerate(self.members):
+            scores = self._apref_matrix[row]
+            order = np.lexsort((repr_rank, -scores))
+            preference_lists.append(
+                SortedAccessList.from_columns(
+                    name=f"PL(u{member})",
+                    kind=KIND_PREFERENCE,
+                    keys=item_objects[order].tolist(),
+                    scores=scores[order],
+                    counter=counter,
+                    key_index=order,
+                )
+            )
         static_lists = build_affinity_lists(
             self.members, self._static, KIND_STATIC_AFFINITY, "affS", counter
         )
@@ -331,7 +407,7 @@ class GrecaResult:
 
 
 class Greca:
-    """The GRECA top-k algorithm.
+    """The GRECA top-k algorithm (batched columnar execution).
 
     Parameters
     ----------
@@ -366,79 +442,79 @@ class Greca:
         """Execute GRECA over a pre-built index and return the top-k itemset."""
         counter = AccessCounter()
         preference_lists, static_lists, periodic_lists = index.build_lists(counter)
-        all_lists: list[SortedAccessList] = list(preference_lists) + list(static_lists)
-        for period_index in index.period_indices:
-            all_lists.extend(periodic_lists[period_index])
+        affinity_bounds = PairwiseAffinityBounds(
+            index.members, index.period_indices, index.combine, static_lists, periodic_lists
+        )
+        all_lists: list[SortedAccessList] = list(preference_lists) + affinity_bounds.lists
         total = total_entries(all_lists)
 
         n_members = len(index.members)
         n_items = len(index.items)
-        member_row = {member: row for row, member in enumerate(index.members)}
-        item_col = {item: col for col, item in enumerate(index.items)}
-
         k = min(self.k, n_items)
-        check_interval = self.check_interval or max(1, n_items // 200)
+        check_interval = self.check_interval or self._default_check_interval(n_items)
 
-        # Partial knowledge gathered from sequential accesses.
-        seen_apref = np.full((n_members, n_items), np.nan)
-        static_seen: dict[tuple[int, int], float] = {}
-        periodic_seen: dict[tuple[int, tuple[int, int]], float] = {}
+        # Partial knowledge, maintained in place.  apref_low holds 0 for
+        # unseen (member, item) cells and the exact score once seen;
+        # apref_high additionally carries each member's cursor score over the
+        # unseen suffix of their sort permutation, refreshed at check time.
+        apref_low = np.zeros((n_members, n_items))
+        apref_high = np.empty((n_members, n_items))
+        buffered = np.zeros(n_items, dtype=bool)
+        cursor_values = np.empty(n_members)
 
-        # Resolve which member / period each list feeds, by list identity.
-        list_member = {id(pl): member for pl, member in zip(preference_lists, index.members)}
-        list_period: dict[int, int] = {}
-        for period_index in index.period_indices:
-            for access_list in periodic_lists[period_index]:
-                list_period[id(access_list)] = period_index
-
-        # Map each pair to the list that will eventually deliver it, so that
-        # unseen pair components can be bounded by that list's cursor value.
-        pair_static_list = self._pair_list_map(index, static_lists)
-        pair_periodic_list = {
-            period_index: self._pair_list_map(index, periodic_lists[period_index])
-            for period_index in index.period_indices
-        }
-
-        buffer = CandidateBuffer()
         rounds = 0
         stopping = STOP_EXHAUSTED
         finished = False
+        lower = np.zeros(n_items)
+        upper = np.zeros(n_items)
 
         while not finished:
-            progressed = False
-            for access_list in all_lists:
-                entry = access_list.sequential_access()
-                if entry is None:
-                    continue
-                progressed = True
-                if access_list.kind == KIND_PREFERENCE:
-                    member = list_member[id(access_list)]
-                    seen_apref[member_row[member], item_col[entry.key]] = entry.score
-                elif access_list.kind == KIND_STATIC_AFFINITY:
-                    static_seen[entry.key] = entry.score
-                else:
-                    periodic_seen[(list_period[id(access_list)], entry.key)] = entry.score
-            rounds += 1
+            # Advance every list up to the next stopping-condition check (or
+            # to exhaustion, whichever is closer).  This reaches exactly the
+            # cursor state — and records exactly the accesses — of running
+            # `block` one-entry round-robin cycles, because no check happens
+            # in between either way.
+            max_remaining = max(access_list.remaining for access_list in all_lists)
+            if max_remaining == 0:
+                # Unreachable: preference lists always hold >= 1 entry (empty
+                # catalogues raise in GrecaIndex) and exhaustion finishes the
+                # loop below.  Kept as a defensive guard so a broken invariant
+                # degrades into one idle round instead of an infinite loop.
+                block = 1
+            else:
+                block = min(check_interval - rounds % check_interval, max_remaining)
+            for row, preference_list in enumerate(preference_lists):
+                start = preference_list.position
+                _, scores = preference_list.sequential_block(block)
+                if scores.size:
+                    cols = preference_list.key_index[start : start + scores.size]
+                    apref_low[row, cols] = scores
+                    apref_high[row, cols] = scores
+                    buffered[cols] = True
+            affinity_bounds.advance(block)
+            rounds += block
+            exhausted = max_remaining <= block
 
-            exhausted = not progressed or all(access_list.exhausted for access_list in all_lists)
-            if not exhausted and rounds % check_interval != 0:
-                continue
+            # Bound maintenance: only pairs whose lists moved are recombined,
+            # and only the unseen suffix of each member row is rewritten.
+            aff_low, aff_high = affinity_bounds.bounds()
+            for row, preference_list in enumerate(preference_lists):
+                cursor = preference_list.cursor_score
+                cursor_values[row] = cursor
+                position = preference_list.position
+                if position < n_items:
+                    apref_high[row, preference_list.key_index[position:]] = cursor
+            pref_low = apref_low + aff_low @ apref_low
+            pref_high = apref_high + aff_high @ apref_high
+            lower, upper = consensus_bounds(self.consensus, pref_low, pref_high, index.scale)
 
-            lower, upper, threshold, buffered = self._compute_bounds(
-                index,
-                preference_lists,
-                seen_apref,
-                static_seen,
-                periodic_seen,
-                pair_static_list,
-                pair_periodic_list,
+            # Global threshold: the best score a completely unseen item could reach.
+            virtual_low = np.zeros((n_members, 1))
+            virtual_high = (cursor_values + aff_high @ cursor_values)[:, None]
+            _, threshold_arr = consensus_bounds(
+                self.consensus, virtual_low, virtual_high, index.scale
             )
-            buffer.update_many(
-                {
-                    index.items[col]: (float(lower[col]), float(upper[col]))
-                    for col in np.flatnonzero(buffered)
-                }
-            )
+            threshold = float(threshold_arr[0])
 
             decision = self._check_stop(lower, upper, threshold, buffered, k, exhausted)
             if decision is not None:
@@ -448,13 +524,15 @@ class Greca:
                 stopping = STOP_EXHAUSTED
                 finished = True
 
-        ranked = buffer.ranked_by_lower_bound()
-        top_items = tuple(entry.item for entry in ranked[:k])
-        exact = index.exact_scores(self.consensus)
+        buffer = ColumnarCandidateBuffer(index.items, repr_rank=index._tie_break_ranking())
+        buffer.replace_bounds(lower, upper, buffered)
+        top = buffer.top_k(k) if buffered.any() else []
+        top_items = tuple(entry.item for entry in top)
+        exact = index.exact_scores_for(top_items, self.consensus)
         return GrecaResult(
             items=top_items,
-            bounds={entry.item: (entry.lower, entry.upper) for entry in ranked[:k]},
-            exact_scores={item: exact[item] for item in top_items},
+            bounds={entry.item: (entry.lower, entry.upper) for entry in top},
+            exact_scores=exact,
             sequential_accesses=counter.sequential,
             random_accesses=counter.random,
             total_entries=total,
@@ -467,95 +545,31 @@ class Greca:
     # -- internals ------------------------------------------------------------------------------
 
     @staticmethod
-    def _pair_list_map(
-        index: GrecaIndex, lists: Sequence[SortedAccessList[tuple[int, int]]]
-    ) -> dict[tuple[int, int], SortedAccessList[tuple[int, int]]]:
-        """Map every member pair to the affinity list that contains it."""
-        mapping: dict[tuple[int, int], SortedAccessList[tuple[int, int]]] = {}
-        for access_list in lists:
-            for entry in access_list.entries:
-                mapping[entry.key] = access_list
-        # Pairs entirely absent from the lists (e.g. empty periodic lists) are
-        # treated as exactly 0 by _pair_bounds.
-        return mapping
+    def _default_check_interval(n_items: int) -> int:
+        """Adaptive default spacing of stopping-condition checks.
 
-    @staticmethod
-    def _period_of(list_name: str) -> int:
-        """Extract the period index from a periodic list name ``LaffV[p{i}](u...)``."""
-        start = list_name.index("[p") + 2
-        end = list_name.index("]", start)
-        return int(list_name[start:end])
+        With the batched engine the stopping-condition check (bound refresh +
+        consensus bounds + argsort) dominates runtime, so wider intervals are
+        faster but overshoot the paper's %SA metric by up to one extra
+        interval per list.  Measured on the default 3,900-item scalability
+        substrate (8 groups of 6, AP consensus, k = 10, best of 3):
 
-    def _pair_bounds(
-        self,
-        index: GrecaIndex,
-        static_seen: Mapping[tuple[int, int], float],
-        periodic_seen: Mapping[tuple[int, tuple[int, int]], float],
-        pair_static_list: Mapping[tuple[int, int], SortedAccessList],
-        pair_periodic_list: Mapping[int, Mapping[tuple[int, int], SortedAccessList]],
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Lower/upper bounds on the combined pairwise affinity matrix."""
-        n = len(index.members)
-        aff_low = np.zeros((n, n))
-        aff_high = np.zeros((n, n))
-        for row in range(n):
-            for col in range(row + 1, n):
-                pair = index._pair(index.members[row], index.members[col])
-                if pair in static_seen:
-                    static_low = static_high = static_seen[pair]
-                else:
-                    static_low = 0.0
-                    owner = pair_static_list.get(pair)
-                    static_high = owner.cursor_score if owner is not None else 0.0
-                periodic_low: list[float] = []
-                periodic_high: list[float] = []
-                for period_index in index.period_indices:
-                    key = (period_index, pair)
-                    if key in periodic_seen:
-                        periodic_low.append(periodic_seen[key])
-                        periodic_high.append(periodic_seen[key])
-                    else:
-                        periodic_low.append(0.0)
-                        owner = pair_periodic_list[period_index].get(pair)
-                        periodic_high.append(owner.cursor_score if owner is not None else 0.0)
-                low = index.combine(static_low, periodic_low)
-                high = index.combine(static_high, periodic_high)
-                aff_low[row, col] = aff_low[col, row] = low
-                aff_high[row, col] = aff_high[col, row] = high
-        return aff_low, aff_high
+        ======== ========== ======= =========
+        interval  wall time  SAs     mean %SA
+        ======== ========== ======= =========
+        n/100      0.109 s   43,428   23.10
+        n/200      0.172 s   42,906   22.82
+        n/400      0.354 s   42,636   22.67
+        n/800      0.692 s   42,576   22.64
+        ======== ========== ======= =========
 
-    def _compute_bounds(
-        self,
-        index: GrecaIndex,
-        preference_lists: Sequence[SortedAccessList[int]],
-        seen_apref: np.ndarray,
-        static_seen: Mapping[tuple[int, int], float],
-        periodic_seen: Mapping[tuple[int, tuple[int, int]], float],
-        pair_static_list: Mapping[tuple[int, int], SortedAccessList],
-        pair_periodic_list: Mapping[int, Mapping[tuple[int, int], SortedAccessList]],
-    ) -> tuple[np.ndarray, np.ndarray, float, np.ndarray]:
-        """Per-item consensus bounds, the global threshold and the buffered mask."""
-        aff_low, aff_high = self._pair_bounds(
-            index, static_seen, periodic_seen, pair_static_list, pair_periodic_list
-        )
-        cursor_values = np.array([access_list.cursor_score for access_list in preference_lists])
-
-        unseen = np.isnan(seen_apref)
-        apref_low = np.where(unseen, 0.0, seen_apref)
-        apref_high = np.where(unseen, cursor_values[:, None], seen_apref)
-
-        pref_low = apref_low + aff_low @ apref_low
-        pref_high = apref_high + aff_high @ apref_high
-        lower, upper = consensus_bounds(self.consensus, pref_low, pref_high, index.scale)
-
-        # Global threshold: the best score a completely unseen item could reach.
-        virtual_low = np.zeros((len(index.members), 1))
-        virtual_high = (cursor_values + aff_high @ cursor_values)[:, None]
-        _, threshold_arr = consensus_bounds(self.consensus, virtual_low, virtual_high, index.scale)
-        threshold = float(threshold_arr[0])
-
-        buffered = ~np.all(unseen, axis=0)
-        return lower, upper, threshold, buffered
+        ``n_items // 200`` stays the default: halving the interval (n/400)
+        doubles the runtime to recover only 0.15 pp of %SA, while doubling it
+        (n/100) saves 37 % runtime but inflates the headline access metric by
+        0.28 pp and changes every reported access count.  The floor of 1
+        keeps tiny catalogues exact.
+        """
+        return max(1, n_items // 200)
 
     @staticmethod
     def _check_stop(

@@ -20,12 +20,33 @@ GRECA uses three kinds of lists (Section 3.1):
 :class:`AccessCounter` tallies SAs and RAs globally; the percentage of SAs
 against the total number of entries is the efficiency metric reported by all
 of the paper's Figures 5-8.
+
+Columnar engine
+---------------
+
+A list is stored *columnar*: one contiguous float64 score array plus a
+parallel key tuple (and, optionally, a caller-supplied integer ``key_index``
+mapping each sorted position to a dense id such as an item column).  Batch
+consumers advance the cursor ``depth`` entries at a time through
+:meth:`SortedAccessList.sequential_block`, which records the SAs in one
+:meth:`AccessCounter.record_sequential` call and hands back array *views* —
+no per-entry Python objects are created on the hot path.  The classic
+per-entry :meth:`SortedAccessList.sequential_access` remains as a thin
+wrapper with identical semantics and accounting (one SA per call), so a
+block of ``d`` entries costs exactly the same ``d`` SAs either way.
+
+Entry ordering is by decreasing score with ties broken by ``repr(key)``;
+bulk constructors (:meth:`SortedAccessList.from_columns`) accept pre-sorted
+columns so that builders can share one tie-break ranking across many lists
+instead of re-sorting per list in Python.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generic, Hashable, Iterable, Sequence, TypeVar
+
+import numpy as np
 
 from repro.exceptions import AlgorithmError
 
@@ -35,6 +56,23 @@ KeyT = TypeVar("KeyT", bound=Hashable)
 KIND_PREFERENCE = "preference"
 KIND_STATIC_AFFINITY = "static-affinity"
 KIND_PERIODIC_AFFINITY = "periodic-affinity"
+
+#: Shared empty score block returned by exhausted lists.
+_EMPTY_SCORES = np.empty(0, dtype=float)
+
+
+def repr_tie_break_ranks(objects: Sequence) -> np.ndarray:
+    """Rank of every position under the deterministic ``repr`` ordering.
+
+    The reproduction breaks every score tie by ``repr`` of the key/item; this
+    single helper produces the integer ranking that ``np.lexsort``-based
+    consumers (list builders, candidate buffers, key universes) feed as their
+    secondary sort key, so the tie-break contract lives in exactly one place.
+    """
+    order = sorted(range(len(objects)), key=lambda position: repr(objects[position]))
+    ranks = np.empty(len(objects), dtype=np.int64)
+    ranks[np.asarray(order, dtype=np.int64)] = np.arange(len(objects))
+    return ranks
 
 
 @dataclass
@@ -95,22 +133,65 @@ class SortedAccessList(Generic[KeyT]):
         entries: Iterable[tuple[KeyT, float]],
         counter: AccessCounter | None = None,
     ) -> None:
+        ordered = sorted(entries, key=lambda entry: (-entry[1], repr(entry[0])))
+        keys = tuple(entry[0] for entry in ordered)
+        scores = np.fromiter((entry[1] for entry in ordered), dtype=float, count=len(ordered))
+        self._init_columns(name, kind, keys, scores, counter, key_index=None)
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        kind: str,
+        keys: Sequence[KeyT],
+        scores: np.ndarray,
+        counter: AccessCounter | None = None,
+        key_index: np.ndarray | None = None,
+    ) -> "SortedAccessList[KeyT]":
+        """Build a list from *pre-sorted* columnar data without re-sorting.
+
+        ``keys[i]`` / ``scores[i]`` must already be in decreasing score order
+        with ties broken by ``repr(key)`` (the same order ``__init__``
+        produces); ``key_index`` optionally carries a dense integer id per
+        sorted position (e.g. the item column), for consumers that scatter
+        block reads into arrays.
+        """
+        instance = cls.__new__(cls)
+        instance._init_columns(
+            name,
+            kind,
+            tuple(keys),
+            np.ascontiguousarray(scores, dtype=float),
+            counter,
+            key_index,
+        )
+        return instance
+
+    def _init_columns(
+        self,
+        name: str,
+        kind: str,
+        keys: tuple[KeyT, ...],
+        scores: np.ndarray,
+        counter: AccessCounter | None,
+        key_index: np.ndarray | None,
+    ) -> None:
         self.name = name
         self.kind = kind
         self.counter = counter if counter is not None else AccessCounter()
-        ordered = sorted(entries, key=lambda entry: (-entry[1], repr(entry[0])))
-        self._entries: tuple[ListEntry[KeyT], ...] = tuple(
-            ListEntry(key, float(score)) for key, score in ordered
-        )
-        self._scores_by_key = {entry.key: entry.score for entry in self._entries}
-        if len(self._scores_by_key) != len(self._entries):
+        self._keys = keys
+        self._scores = scores
+        self._key_index = key_index
+        self._scores_by_key = dict(zip(keys, scores.tolist()))
+        if len(self._scores_by_key) != len(keys):
             raise AlgorithmError(f"list {name!r} contains duplicate keys")
+        self._entry_cache: tuple[ListEntry[KeyT], ...] | None = None
         self._cursor = 0
 
     # -- introspection -----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._keys)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SortedAccessList({self.name!r}, kind={self.kind!r}, size={len(self)})"
@@ -118,7 +199,28 @@ class SortedAccessList(Generic[KeyT]):
     @property
     def entries(self) -> tuple[ListEntry[KeyT], ...]:
         """All entries in sorted order (no access is counted)."""
-        return self._entries
+        if self._entry_cache is None:
+            self._entry_cache = tuple(
+                ListEntry(key, score) for key, score in zip(self._keys, self._scores.tolist())
+            )
+        return self._entry_cache
+
+    @property
+    def keys(self) -> tuple[KeyT, ...]:
+        """All keys in sorted order (no access is counted)."""
+        return self._keys
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Read-only view of all scores in sorted order (no access is counted)."""
+        view = self._scores.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def key_index(self) -> np.ndarray | None:
+        """Dense integer id per sorted position, when supplied at construction."""
+        return self._key_index
 
     @property
     def position(self) -> int:
@@ -126,9 +228,14 @@ class SortedAccessList(Generic[KeyT]):
         return self._cursor
 
     @property
+    def remaining(self) -> int:
+        """Number of entries not yet read sequentially."""
+        return len(self._keys) - self._cursor
+
+    @property
     def exhausted(self) -> bool:
         """``True`` once every entry has been read sequentially."""
-        return self._cursor >= len(self._entries)
+        return self._cursor >= len(self._keys)
 
     @property
     def cursor_score(self) -> float:
@@ -137,14 +244,14 @@ class SortedAccessList(Generic[KeyT]):
         Before any read this is the top score; after the list is exhausted it
         drops to 0 (the minimum possible score for normalised components).
         """
-        if not self._entries:
+        if not len(self._keys):
             return 0.0
         if self._cursor == 0:
-            return self._entries[0].score
+            return float(self._scores[0])
         if self.exhausted:
             return 0.0
         # NRA convention: the last value read bounds every remaining value.
-        return self._entries[self._cursor - 1].score
+        return float(self._scores[self._cursor - 1])
 
     # -- accesses ----------------------------------------------------------------------
 
@@ -152,10 +259,31 @@ class SortedAccessList(Generic[KeyT]):
         """Read the next entry (one SA); ``None`` when the list is exhausted."""
         if self.exhausted:
             return None
-        entry = self._entries[self._cursor]
-        self._cursor += 1
+        cursor = self._cursor
+        self._cursor = cursor + 1
         self.counter.record_sequential()
-        return entry
+        return ListEntry(self._keys[cursor], float(self._scores[cursor]))
+
+    def sequential_block(self, depth: int) -> tuple[Sequence[KeyT], np.ndarray]:
+        """Read up to ``depth`` entries in one call, recording their SAs in bulk.
+
+        Returns ``(keys, scores)`` slices covering the entries actually read
+        (empty when the list is already exhausted).  ``depth`` sequential
+        accesses through this method are indistinguishable — in cursor state
+        and in the shared :class:`AccessCounter` — from ``depth`` calls to
+        :meth:`sequential_access`.
+        """
+        if depth <= 0:
+            raise AlgorithmError("sequential_block depth must be positive")
+        start = self._cursor
+        stop = min(start + depth, len(self._keys))
+        if stop == start:
+            return (), _EMPTY_SCORES
+        self._cursor = stop
+        self.counter.record_sequential(stop - start)
+        scores = self._scores[start:stop].view()
+        scores.flags.writeable = False  # consumers must not corrupt the backing array
+        return self._keys[start:stop], scores
 
     def random_access(self, key: KeyT) -> float:
         """Look up the score of ``key`` (one RA); missing keys score 0."""

@@ -5,6 +5,9 @@ Usage::
     python -m repro.experiments.runner                 # everything (scaled down)
     python -m repro.experiments.runner figure5 figure8 # selected experiments
     python -m repro.experiments.runner --list          # show available names
+    python -m repro.experiments.runner --quick         # perf smoke gate (one
+                                                       # scalability point under
+                                                       # a time budget)
 
 Each experiment prints the same rows/series the paper reports (with the
 paper's own values alongside where they are known).  Quality experiments
@@ -105,10 +108,24 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*", help="experiment names (default: all)")
     parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="perf smoke: run one scalability point under a time budget and "
+        "exit non-zero when the budget is blown",
+    )
     args = parser.parse_args(argv)
     if args.list:
         print("\n".join(EXPERIMENTS))
         return 0
+    if args.quick:
+        if args.experiments:
+            raise SystemExit("--quick does not combine with experiment names")
+        from repro.experiments.scalability import run_quick_smoke
+
+        result = run_quick_smoke()
+        print(result.format_summary())
+        return 0 if result.within_budget else 1
     run_all(args.experiments or None)
     return 0
 

@@ -14,6 +14,7 @@ figure drivers only loop over their parameter of interest.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from statistics import mean, stdev
 from typing import Sequence
@@ -121,6 +122,20 @@ class ScalabilityEnvironment:
             n_groups or self.config.n_groups, group_size or self.config.group_size
         )
 
+    def build_default_indexes(self) -> list:
+        """Pre-built GRECA indexes for the default benchmark point.
+
+        One index per default random group, discrete affinity model, full
+        catalogue.  The perf gate (:func:`run_quick_smoke`), the recorded
+        trajectory (``scripts/bench_engine.py``) and the engine benchmark
+        (``benchmarks/test_bench_engine.py``) all measure exactly this
+        workload, so it is defined in one place.
+        """
+        return [
+            self.recommender.build_index(list(group), affinity="discrete", exclude_rated=False)
+            for group in self.random_groups()
+        ]
+
     # -- measurement ------------------------------------------------------------------------------
 
     def percent_sa(
@@ -168,3 +183,76 @@ class ScalabilityEnvironment:
             for group in groups
         ]
         return summarize_percent_sa(values)
+
+
+# -- perf smoke gate ----------------------------------------------------------------------------
+
+#: Default wall-clock budgets for :func:`run_quick_smoke` (seconds).  The
+#: measurement budget is calibrated against the batched columnar engine
+#: (~0.25 s for the 8 default groups, see BENCH_engine.json): a regression
+#: back to per-entry speed (~1.3 s) blows it with margin, while normal CI
+#: noise does not.
+QUICK_SMOKE_TOTAL_BUDGET = 20.0
+QUICK_SMOKE_MEASURE_BUDGET = 1.0
+
+
+@dataclass(frozen=True)
+class QuickSmokeResult:
+    """Outcome of the one-point scalability smoke run."""
+
+    stats: AccessStats
+    setup_seconds: float
+    measure_seconds: float
+    total_budget: float
+    measure_budget: float
+
+    @property
+    def within_budget(self) -> bool:
+        """``True`` when both the total and the measurement budget held."""
+        total = self.setup_seconds + self.measure_seconds
+        return total <= self.total_budget and self.measure_seconds <= self.measure_budget
+
+    def format_summary(self) -> str:
+        """One-paragraph human-readable summary for the CLI."""
+        verdict = "OK" if self.within_budget else "OVER BUDGET"
+        return (
+            f"quick smoke [{verdict}]: mean %SA={self.stats.mean_percent_sa:.2f} "
+            f"(±{self.stats.std_error:.2f}, {self.stats.n_runs} groups) | "
+            f"setup {self.setup_seconds:.2f}s + measure {self.measure_seconds:.2f}s "
+            f"(budgets: total {self.total_budget:.0f}s, measure {self.measure_budget:.1f}s)"
+        )
+
+
+def run_quick_smoke(
+    total_budget: float = QUICK_SMOKE_TOTAL_BUDGET,
+    measure_budget: float = QUICK_SMOKE_MEASURE_BUDGET,
+    config: ScalabilityConfig | None = None,
+) -> QuickSmokeResult:
+    """Run one default scalability point under a wall-clock budget.
+
+    This is the fail-fast perf gate (``make bench`` /
+    ``python -m repro.experiments.runner --quick``): it builds the shared
+    substrate, measures GRECA's average %SA over the default groups at the
+    paper's 3,900-item point, and reports whether the setup-plus-measurement
+    time fits the budgets.  Callers (the Makefile, CI) should fail when
+    :attr:`QuickSmokeResult.within_budget` is ``False``.
+    """
+    start = time.perf_counter()
+    environment = ScalabilityEnvironment(config)
+    consensus = make_consensus(environment.config.consensus)
+    indexes = environment.build_default_indexes()
+    setup_seconds = time.perf_counter() - start
+
+    # Measure the engine only: indexes are pre-built, so the measured phase is
+    # exactly what BENCH_engine.json tracks (list build + algorithm + result).
+    start = time.perf_counter()
+    results = [Greca(consensus, k=environment.config.k).run(index) for index in indexes]
+    measure_seconds = time.perf_counter() - start
+    stats = summarize_percent_sa([result.percent_sequential_accesses for result in results])
+    return QuickSmokeResult(
+        stats=stats,
+        setup_seconds=setup_seconds,
+        measure_seconds=measure_seconds,
+        total_budget=total_budget,
+        measure_budget=measure_budget,
+    )

@@ -10,10 +10,20 @@ purposes in the reproduction:
 * a reusable substrate for any other top-k experiments a downstream user may
   want to run.
 
-The implementation is deliberately close to the textbook description: a
-round-robin of sequential accesses, a worst-case/best-case score pair per
-seen object and termination when the best case of every unseen or non-top-k
-object cannot beat the worst case of the current top-k.
+The access schedule is the textbook description — a round-robin of
+sequential accesses, a worst-case/best-case score pair per seen object,
+termination when the best case of every unseen or non-top-k object cannot
+beat the worst case of the current top-k — but the bookkeeping runs on the
+columnar engine shared with GRECA: component scores live in one
+``(lists × objects)`` array scattered via each list's sort permutation, the
+worst/best matrices are produced by vectorised ``np.where`` over the seen
+columns, and the per-round ranking is an ``np.lexsort`` against a
+precomputed ``repr`` tie-break ranking instead of a Python sort of all seen
+objects per round.  When the aggregation function is elementwise (``sum``,
+mean-style lambdas, numpy ufunc reductions) it is applied to whole matrix
+rows at once — detected automatically and verified against the scalar
+aggregation before being trusted; otherwise a scalar fallback preserves the
+generic contract.  None of this changes which accesses are made.
 """
 
 from __future__ import annotations
@@ -21,7 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable, Mapping, Sequence
 
-from repro.core.lists import AccessCounter, SortedAccessList, total_entries
+import numpy as np
+
+from repro.core.lists import (
+    AccessCounter,
+    SortedAccessList,
+    repr_tie_break_ranks,
+    total_entries,
+)
 from repro.exceptions import AlgorithmError
 
 #: A monotone aggregation: maps one score per list to a single scalar.
@@ -48,6 +65,50 @@ class TopKResult:
         return 100.0 * self.sequential_accesses / self.total_entries
 
 
+class KeyUniverse:
+    """Columnar registry of every key across a set of sorted lists.
+
+    Assigns each distinct key a dense column, maps every list's sorted
+    positions onto those columns, and precomputes the deterministic
+    ``repr``-based tie-break ranking used by the reproduction's orderings.
+    Built from list introspection only — no accesses are counted.
+    """
+
+    def __init__(self, lists: Sequence[SortedAccessList[Hashable]]) -> None:
+        column_of: dict[Hashable, int] = {}
+        keys: list[Hashable] = []
+        for access_list in lists:
+            for key in access_list.keys:
+                if key not in column_of:
+                    column_of[key] = len(keys)
+                    keys.append(key)
+        self.keys = keys
+        self.column_of = column_of
+        self.size = len(keys)
+        self.list_columns = [
+            np.fromiter(
+                (column_of[key] for key in access_list.keys),
+                dtype=np.intp,
+                count=len(access_list),
+            )
+            for access_list in lists
+        ]
+        self.repr_rank = repr_tie_break_ranks(keys)
+
+    def ranked(self, columns: np.ndarray, primary: np.ndarray) -> np.ndarray:
+        """``columns`` ordered by decreasing ``primary``, ties by ``repr`` rank."""
+        order = np.lexsort((self.repr_rank[columns], -primary))
+        return columns[order]
+
+
+def shared_counter(lists: Sequence[SortedAccessList[Hashable]]) -> AccessCounter:
+    counter = lists[0].counter
+    for access_list in lists:
+        if access_list.counter is not counter:
+            raise AlgorithmError("all lists must share one AccessCounter")
+    return counter
+
+
 class NoRandomAccessAlgorithm:
     """NRA over ``len(lists)`` sorted lists with a monotone aggregation.
 
@@ -70,82 +131,128 @@ class NoRandomAccessAlgorithm:
         self.aggregation = aggregation
         self.k = k
         self.missing_low = missing_low
+        self._vectorized: bool | None = None
 
     def run(self, lists: Sequence[SortedAccessList[Hashable]]) -> TopKResult:
         """Execute NRA until the top-k is certain or every list is exhausted."""
         if not lists:
             raise AlgorithmError("NRA requires at least one input list")
-        counter = lists[0].counter
-        for access_list in lists:
-            if access_list.counter is not counter:
-                raise AlgorithmError("all lists must share one AccessCounter")
+        counter = shared_counter(lists)
 
-        n_lists = len(lists)
-        seen: dict[Hashable, dict[int, float]] = {}
+        universe = KeyUniverse(lists)
+        components = np.full((len(lists), universe.size), np.nan)
+        seen = np.zeros(universe.size, dtype=bool)
         rounds = 0
 
         while True:
             progressed = False
             for position, access_list in enumerate(lists):
-                entry = access_list.sequential_access()
-                if entry is None:
-                    continue
-                progressed = True
-                seen.setdefault(entry.key, {})[position] = entry.score
+                start = access_list.position
+                _, scores = access_list.sequential_block(1)
+                if scores.size:
+                    progressed = True
+                    column = universe.list_columns[position][start]
+                    components[position, column] = scores[0]
+                    seen[column] = True
             rounds += 1
             exhausted = not progressed or all(access_list.exhausted for access_list in lists)
 
-            lower, upper = self._bounds(seen, lists, n_lists)
-            if len(seen) >= self.k:
-                ranked = sorted(seen, key=lambda key: (-lower[key], repr(key)))
-                kth_lower = lower[ranked[self.k - 1]]
+            seen_columns = np.flatnonzero(seen)
+            lower, upper = self._bounds(components, seen_columns, lists)
+            if seen_columns.size >= self.k:
+                ranked = universe.ranked(seen_columns, lower)
+                kth_lower = float(lower[np.searchsorted(seen_columns, ranked[self.k - 1])])
                 cursors = [access_list.cursor_score for access_list in lists]
                 threshold = self.aggregation(cursors)
-                others_beatable = any(
-                    upper[key] > kth_lower + 1e-12 for key in ranked[self.k :]
-                )
+                rest_positions = np.searchsorted(seen_columns, ranked[self.k :])
+                others_beatable = bool((upper[rest_positions] > kth_lower + 1e-12).any())
                 unseen_beatable = threshold > kth_lower + 1e-12 and not all(
                     access_list.exhausted for access_list in lists
                 )
                 if not others_beatable and not unseen_beatable:
-                    top = tuple(ranked[: self.k])
-                    return self._result(top, lower, upper, counter, lists, rounds)
+                    return self._result(
+                        universe, ranked, seen_columns, lower, upper, counter, lists, rounds
+                    )
             if exhausted:
-                ranked = sorted(seen, key=lambda key: (-lower[key], repr(key)))
-                top = tuple(ranked[: self.k])
-                return self._result(top, lower, upper, counter, lists, rounds)
+                ranked = universe.ranked(seen_columns, lower)
+                return self._result(
+                    universe, ranked, seen_columns, lower, upper, counter, lists, rounds
+                )
 
     # -- helpers --------------------------------------------------------------------------------
 
     def _bounds(
         self,
-        seen: Mapping[Hashable, Mapping[int, float]],
+        components: np.ndarray,
+        seen_columns: np.ndarray,
         lists: Sequence[SortedAccessList[Hashable]],
-        n_lists: int,
-    ) -> tuple[dict[Hashable, float], dict[Hashable, float]]:
-        cursors = [access_list.cursor_score for access_list in lists]
-        lower: dict[Hashable, float] = {}
-        upper: dict[Hashable, float] = {}
-        for key, components in seen.items():
-            worst = [components.get(position, self.missing_low) for position in range(n_lists)]
-            best = [components.get(position, cursors[position]) for position in range(n_lists)]
-            lower[key] = self.aggregation(worst)
-            upper[key] = self.aggregation(best)
-        return lower, upper
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Worst/best aggregated scores over the seen columns (vectorised)."""
+        sub = components[:, seen_columns]
+        unseen = np.isnan(sub)
+        worst = np.where(unseen, self.missing_low, sub)
+        cursors = np.array([access_list.cursor_score for access_list in lists])
+        best = np.where(unseen, cursors[:, None], sub)
+        return self._aggregate_rows(worst), self._aggregate_rows(best)
+
+    def _aggregate_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply the aggregation across matrix rows, vectorised when possible.
+
+        Elementwise aggregations built from arithmetic on the component
+        sequence (``sum``, mean lambdas, ufunc reductions) accept a list of
+        row arrays and return the per-column aggregate in one call.  The
+        first invocation verifies that claim column-by-column against the
+        scalar aggregation and falls back to the scalar path — permanently —
+        on any shape mismatch, exception, or value difference.
+        """
+        rows = list(matrix)
+        width = matrix.shape[1]
+        # Width-1 matrices are inconclusive (size-1 arrays support truth
+        # testing, so e.g. `min` looks elementwise on them) — defer the
+        # verdict until a wider matrix shows up.
+        if self._vectorized is None and width > 1:
+            try:
+                candidate = self.aggregation(rows)
+                valid = isinstance(candidate, np.ndarray) and candidate.shape == (width,)
+                if valid:
+                    valid = all(
+                        candidate[column]
+                        == self.aggregation([float(row[column]) for row in rows])
+                        for column in range(width)
+                    )
+            except Exception:
+                valid = False
+            self._vectorized = bool(valid)
+            if valid:
+                return candidate
+        elif self._vectorized:
+            try:
+                return self.aggregation(rows)
+            except Exception:
+                self._vectorized = False  # e.g. passed on width 1, failed wider
+        result = np.empty(width)
+        for column in range(width):
+            result[column] = self.aggregation([float(row[column]) for row in rows])
+        return result
 
     def _result(
         self,
-        top: tuple[Hashable, ...],
-        lower: Mapping[Hashable, float],
-        upper: Mapping[Hashable, float],
+        universe: KeyUniverse,
+        ranked: np.ndarray,
+        seen_columns: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
         counter: AccessCounter,
         lists: Sequence[SortedAccessList[Hashable]],
         rounds: int,
     ) -> TopKResult:
+        top_columns = ranked[: self.k]
+        positions = np.searchsorted(seen_columns, top_columns)
+        top = tuple(universe.keys[column] for column in top_columns)
         return TopKResult(
             items=top,
-            lower_bounds={key: lower[key] for key in top},
-            upper_bounds={key: upper[key] for key in top},
+            lower_bounds={key: float(lower[position]) for key, position in zip(top, positions)},
+            upper_bounds={key: float(upper[position]) for key, position in zip(top, positions)},
             sequential_accesses=counter.sequential,
             random_accesses=counter.random,
             total_entries=total_entries(lists),

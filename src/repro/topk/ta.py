@@ -8,15 +8,24 @@ threshold (the aggregation of the current cursor values).
 In the reproduction TA plays the role of the "expensive" reference point the
 paper discusses in Section 3.1: computing the complete score of a single
 item requires touching every list, which is exactly what GRECA avoids.
+
+The access schedule (one SA per list per round, ``n - 1`` RAs per newly
+encountered object) is untouched, but the bookkeeping runs on the columnar
+engine shared with NRA and GRECA: resolved scores live in one dense array
+over the key universe and the per-round ranking is an ``np.lexsort`` against
+a precomputed ``repr`` tie-break ranking, rather than a Python re-sort of
+every resolved object each round.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Sequence
 
+import numpy as np
+
 from repro.core.lists import SortedAccessList, total_entries
 from repro.exceptions import AlgorithmError
-from repro.topk.nra import AggregationFn, TopKResult
+from repro.topk.nra import AggregationFn, TopKResult, KeyUniverse, shared_counter
 
 
 class ThresholdAlgorithm:
@@ -32,58 +41,66 @@ class ThresholdAlgorithm:
         """Execute TA until the threshold condition holds or lists are exhausted."""
         if not lists:
             raise AlgorithmError("TA requires at least one input list")
-        counter = lists[0].counter
-        for access_list in lists:
-            if access_list.counter is not counter:
-                raise AlgorithmError("all lists must share one AccessCounter")
+        counter = shared_counter(lists)
 
-        scores: dict[Hashable, float] = {}
+        universe = KeyUniverse(lists)
+        scores = np.empty(universe.size)
+        resolved = np.zeros(universe.size, dtype=bool)
         rounds = 0
 
         while True:
             progressed = False
             for position, access_list in enumerate(lists):
-                entry = access_list.sequential_access()
-                if entry is None:
+                start = access_list.position
+                keys, block = access_list.sequential_block(1)
+                if not block.size:
                     continue
                 progressed = True
-                if entry.key not in scores:
+                column = universe.list_columns[position][start]
+                if not resolved[column]:
+                    key = keys[0]
                     components = []
                     for other_position, other_list in enumerate(lists):
                         if other_position == position:
-                            components.append(entry.score)
+                            components.append(float(block[0]))
                         else:
-                            components.append(other_list.random_access(entry.key))
-                    scores[entry.key] = self.aggregation(components)
+                            components.append(other_list.random_access(key))
+                    scores[column] = self.aggregation(components)
+                    resolved[column] = True
             rounds += 1
             exhausted = not progressed or all(access_list.exhausted for access_list in lists)
 
-            if len(scores) >= self.k:
+            resolved_columns = np.flatnonzero(resolved)
+            if resolved_columns.size >= self.k:
                 threshold = self.aggregation(
                     [access_list.cursor_score for access_list in lists]
                 )
-                ranked = sorted(scores, key=lambda key: (-scores[key], repr(key)))
-                kth_score = scores[ranked[self.k - 1]]
+                ranked = universe.ranked(resolved_columns, scores[resolved_columns])
+                kth_score = float(scores[ranked[self.k - 1]])
                 if kth_score >= threshold - 1e-12 or exhausted:
-                    top = tuple(ranked[: self.k])
-                    return TopKResult(
-                        items=top,
-                        lower_bounds={key: scores[key] for key in top},
-                        upper_bounds={key: scores[key] for key in top},
-                        sequential_accesses=counter.sequential,
-                        random_accesses=counter.random,
-                        total_entries=total_entries(lists),
-                        rounds=rounds,
-                    )
+                    return self._result(universe, ranked, scores, counter, lists, rounds)
             if exhausted:
-                ranked = sorted(scores, key=lambda key: (-scores[key], repr(key)))
-                top = tuple(ranked[: self.k])
-                return TopKResult(
-                    items=top,
-                    lower_bounds={key: scores[key] for key in top},
-                    upper_bounds={key: scores[key] for key in top},
-                    sequential_accesses=counter.sequential,
-                    random_accesses=counter.random,
-                    total_entries=total_entries(lists),
-                    rounds=rounds,
-                )
+                ranked = universe.ranked(resolved_columns, scores[resolved_columns])
+                return self._result(universe, ranked, scores, counter, lists, rounds)
+
+    def _result(
+        self,
+        universe: KeyUniverse,
+        ranked: np.ndarray,
+        scores: np.ndarray,
+        counter,
+        lists: Sequence[SortedAccessList[Hashable]],
+        rounds: int,
+    ) -> TopKResult:
+        top_columns = ranked[: self.k]
+        top = tuple(universe.keys[column] for column in top_columns)
+        exact = {key: float(scores[column]) for key, column in zip(top, top_columns)}
+        return TopKResult(
+            items=top,
+            lower_bounds=exact,
+            upper_bounds=dict(exact),
+            sequential_accesses=counter.sequential,
+            random_accesses=counter.random,
+            total_entries=total_entries(lists),
+            rounds=rounds,
+        )

@@ -1,0 +1,95 @@
+"""Access-equivalence of the batched columnar engine against the seed engine.
+
+The columnar refactor (batched ``sequential_block`` reads, in-place bound
+maintenance, incremental pair-affinity cache, numpy candidate buffer) is
+required to be *observationally identical* to the original per-entry
+implementation: same sequential/random access counts, same top-k items, same
+stopping reasons, same round counts.  ``tests/data/engine_golden.json``
+freezes those observables as produced by the seed implementation (captured by
+``scripts/capture_engine_golden.py`` before the refactor); these tests replay
+the deterministic grid from :mod:`engine_grid` and compare bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from engine_grid import GRECA_CASES, TOPK_CASES, run_greca_case, run_topk_case
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "engine_golden.json")
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _golden_record(golden: dict, section: str, case_id: str) -> dict:
+    for record in golden[section]:
+        if record["case_id"] == case_id:
+            return record
+    raise AssertionError(
+        f"no golden record for {section}/{case_id}; regenerate with "
+        "scripts/capture_engine_golden.py from a known-equivalent revision"
+    )
+
+
+@pytest.mark.parametrize("case", GRECA_CASES, ids=lambda case: case["case_id"])
+def test_greca_matches_seed_engine(golden, case):
+    """GRECA: SA/RA counts, items, stopping reason and rounds match the seed."""
+    expected = _golden_record(golden, "greca", case["case_id"])
+    assert run_greca_case(case) == expected
+
+
+@pytest.mark.parametrize("case", TOPK_CASES, ids=lambda case: case["case_id"])
+def test_nra_matches_seed_engine(golden, case):
+    """NRA: SA/RA counts, items and rounds match the seed implementation."""
+    expected = _golden_record(golden, "nra", case["case_id"])
+    assert run_topk_case(case, "nra") == expected
+
+
+@pytest.mark.parametrize("case", TOPK_CASES, ids=lambda case: case["case_id"])
+def test_ta_matches_seed_engine(golden, case):
+    """TA: SA/RA counts, items and rounds match the seed implementation."""
+    expected = _golden_record(golden, "ta", case["case_id"])
+    assert run_topk_case(case, "ta") == expected
+
+
+def test_grid_covers_every_golden_record(golden):
+    """Every frozen golden record is exercised (no silently dropped cases)."""
+    assert {case["case_id"] for case in GRECA_CASES} == {
+        record["case_id"] for record in golden["greca"]
+    }
+    for section in ("nra", "ta"):
+        assert {case["case_id"] for case in TOPK_CASES} == {
+            record["case_id"] for record in golden[section]
+        }
+
+
+def test_batched_block_reads_match_per_entry_reads():
+    """A block read is access-for-access identical to repeated single reads."""
+    from repro.core.lists import KIND_PREFERENCE, AccessCounter, SortedAccessList
+
+    entries = [(item, float((item * 37) % 11)) for item in range(50)]
+    per_entry = SortedAccessList("L", KIND_PREFERENCE, entries, AccessCounter())
+    blocked = SortedAccessList("L", KIND_PREFERENCE, entries, AccessCounter())
+
+    read_single = [per_entry.sequential_access() for _ in range(17)]
+    keys, scores = blocked.sequential_block(17)
+    assert [entry.key for entry in read_single] == list(keys)
+    assert [entry.score for entry in read_single] == list(scores)
+    assert per_entry.counter.sequential == blocked.counter.sequential == 17
+    assert per_entry.position == blocked.position
+    assert per_entry.cursor_score == blocked.cursor_score
+
+    # Over-long blocks stop at exhaustion and account only what was read.
+    keys, scores = blocked.sequential_block(1000)
+    assert len(keys) == 33 and blocked.exhausted
+    assert blocked.counter.sequential == 50
+    keys, scores = blocked.sequential_block(4)
+    assert keys == () and scores.size == 0
+    assert blocked.counter.sequential == 50
