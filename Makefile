@@ -3,11 +3,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine bench-record bench-all golden
+.PHONY: all test test-fast bench bench-engine bench-record bench-all golden
 
-# Tier-1 verification: the full unit/property suite.
+# Default: the fast equivalence suite (golden grid + property/metamorphic
+# tests) plus the perf budget gate, so access-equivalence and performance
+# regressions both fail fast.
+all: test-fast bench
+
+# Tier-1 verification: the full unit/property suite (includes benchmarks/).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Tier-1 minus the benchmark harness: unit, golden-grid and property tests.
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q
 
 # Fail-fast perf gate: one scalability point (3,900 items, 8 groups) under a
 # wall-clock budget.  Exits non-zero when the engine regresses past the budget.

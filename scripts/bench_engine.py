@@ -4,12 +4,18 @@ Run from the repository root::
 
     PYTHONPATH=src python scripts/bench_engine.py --label columnar-after
 
-Two measurements are taken:
+Four measurements are taken:
 
 * **end-to-end** — GRECA (list build + algorithm + result assembly) over the
   default :class:`ScalabilityConfig` substrate: the paper's 3,900-item
   catalogue, 8 random groups of 6, AP consensus, ``k = 10``.  Indexes are
   pre-built so the number isolates the engine, not dataset generation.
+* **baselines** — ``NaiveFullScan`` and ``ThresholdAlgorithmBaseline`` over
+  the first default group at the same 3,900-item point (the comparison
+  pipeline the paper's %SA metric is measured against).
+* **figure suite** — wall time of the Figure 5-8 scalability drivers over one
+  shared substrate (the workload that pays per-(group, period) index
+  construction).
 * **micro** — per-entry ``sequential_access`` vs batched ``sequential_block``
   over a 100,000-entry preference list (the latter is skipped gracefully on
   revisions that predate the batched API).
@@ -67,6 +73,53 @@ def bench_greca_end_to_end(repeats: int = 3) -> dict[str, object]:
         "sa_checksum": sa_checksum,
         "percent_sa": percent_sa,
     }
+
+
+def bench_baselines(repeats: int = 3) -> dict[str, object]:
+    """Best-of-``repeats`` wall time of the two baselines over one default group."""
+    from repro.core.baseline import NaiveFullScan, ThresholdAlgorithmBaseline  # noqa: E402
+
+    env = ScalabilityEnvironment(ScalabilityConfig())
+    consensus = make_consensus(env.config.consensus)
+    index = env.build_default_indexes()[0]
+
+    record: dict[str, object] = {"n_items": env.config.n_items, "k": env.config.k}
+    for name, algorithm in (
+        ("naive", NaiveFullScan(consensus, k=env.config.k)),
+        ("ta_baseline", ThresholdAlgorithmBaseline(consensus, k=env.config.k)),
+    ):
+        best = float("inf")
+        accesses = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = algorithm.run(index)
+            best = min(best, time.perf_counter() - start)
+            accesses = result.sequential_accesses + result.random_accesses
+        record[f"{name}_seconds"] = round(best, 4)
+        record[f"{name}_accesses"] = accesses
+    return record
+
+
+def bench_figure_suite() -> dict[str, object]:
+    """One pass over the Figure 5-8 drivers on a shared scalability substrate."""
+    from repro.experiments import figure5, figure6, figure7, figure8  # noqa: E402
+
+    env = ScalabilityEnvironment(ScalabilityConfig())
+    timings: dict[str, object] = {}
+    total = 0.0
+    for name, driver in (
+        ("figure5", figure5),
+        ("figure6", figure6),
+        ("figure7", figure7),
+        ("figure8", figure8),
+    ):
+        start = time.perf_counter()
+        driver.run(environment=env)
+        elapsed = time.perf_counter() - start
+        timings[f"{name}_seconds"] = round(elapsed, 4)
+        total += elapsed
+    timings["total_seconds"] = round(total, 4)
+    return timings
 
 
 def bench_micro_access() -> dict[str, object]:
@@ -128,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         "git": git_revision(),
         "python": platform.python_version(),
         "greca_end_to_end": bench_greca_end_to_end(repeats=args.repeats),
+        "baselines": bench_baselines(repeats=args.repeats),
+        "figure_suite": bench_figure_suite(),
         "micro_sequential": bench_micro_access(),
     }
 

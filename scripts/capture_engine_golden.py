@@ -6,10 +6,13 @@ Run from the repository root::
 
 The resulting ``tests/data/engine_golden.json`` freezes the seed engine's
 sequential/random access counts, top-k items, stopping reasons and round
-counts over the grid in ``tests/engine_grid.py``.  The file was produced by
-the per-entry seed implementation *before* the batched columnar refactor;
-regenerate it only if the grid itself changes (and then only from a revision
-whose access semantics are already known to be equivalent to the seed).
+counts over the grid in ``tests/engine_grid.py``.  The ``greca``/``nra``/
+``ta`` sections were produced by the per-entry seed implementation *before*
+the batched columnar refactor; the ``naive``/``ta_baseline`` sections are
+captured from the retained per-entry baseline interpreters
+(``batched=False``), which preserve the seed semantics verbatim.  Regenerate
+only if the grid itself changes (and then only from a revision whose access
+semantics are already known to be equivalent to the seed).
 """
 
 from __future__ import annotations
@@ -23,7 +26,13 @@ for path in (os.path.join(ROOT, "src"), os.path.join(ROOT, "tests")):
     if path not in sys.path:
         sys.path.insert(0, path)
 
-from engine_grid import GRECA_CASES, TOPK_CASES, run_greca_case, run_topk_case  # noqa: E402
+from engine_grid import (  # noqa: E402
+    GRECA_CASES,
+    TOPK_CASES,
+    run_baseline_case,
+    run_greca_case,
+    run_topk_case,
+)
 
 
 def main() -> int:
@@ -31,6 +40,12 @@ def main() -> int:
         "greca": [run_greca_case(case) for case in GRECA_CASES],
         "nra": [run_topk_case(case, "nra") for case in TOPK_CASES],
         "ta": [run_topk_case(case, "ta") for case in TOPK_CASES],
+        "naive": [
+            run_baseline_case(case, "naive", batched=False) for case in GRECA_CASES
+        ],
+        "ta_baseline": [
+            run_baseline_case(case, "ta_baseline", batched=False) for case in GRECA_CASES
+        ],
     }
     target = os.path.join(ROOT, "tests", "data", "engine_golden.json")
     os.makedirs(os.path.dirname(target), exist_ok=True)

@@ -24,7 +24,7 @@ from repro.core.consensus import (
     ConsensusFunction,
     make_consensus,
 )
-from repro.core.greca import Greca, GrecaIndex, GrecaResult
+from repro.core.greca import Greca, GrecaIndex, GrecaIndexFactory, GrecaResult
 from repro.core.lists import AccessCounter, ListEntry, SortedAccessList
 from repro.core.preference import AbsolutePreferenceSource, PreferenceModel
 from repro.core.recommender import GroupRecommendation, GroupRecommender
@@ -46,6 +46,7 @@ __all__ = [
     "ExplicitAffinityModel",
     "Greca",
     "GrecaIndex",
+    "GrecaIndexFactory",
     "GrecaResult",
     "GroupRecommendation",
     "GroupRecommender",

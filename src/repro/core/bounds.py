@@ -153,6 +153,14 @@ class PairwiseAffinityBounds:
     lists still owing it a component — are untouched, so its cached bounds
     are identical to what a full recomputation would produce.
 
+    Component state is held columnar — per-pair value/seen/owner arrays —
+    so a recombination pass is a handful of numpy gathers plus one call to
+    ``combine_batch`` over the dirty pairs (e.g.
+    :func:`repro.core.affinity.combine_discrete_batch`), instead of a Python
+    loop calling ``combine`` per pair.  Without ``combine_batch`` the scalar
+    ``combine`` is applied pair-by-pair over the same gathered components, so
+    custom combination callables keep working.
+
     Parameters
     ----------
     members:
@@ -168,6 +176,11 @@ class PairwiseAffinityBounds:
         The affinity lists to consume; every list's keys must be canonical
         pair tuples.  Pairs absent from every list contribute an exact 0
         component (nothing will ever deliver them).
+    combine_batch:
+        Optional vectorised combination
+        ``combine_batch(static_array, [period_array, ...]) -> array`` that
+        must agree elementwise with ``combine``
+        (e.g. :meth:`GrecaIndex.combine_batch`).
     """
 
     def __init__(
@@ -177,44 +190,70 @@ class PairwiseAffinityBounds:
         combine: Callable[[float, Sequence[float]], float],
         static_lists: Sequence[SortedAccessList[PairKey]],
         periodic_lists: Mapping[int, Sequence[SortedAccessList[PairKey]]],
+        combine_batch: Callable[[np.ndarray, Sequence[np.ndarray]], np.ndarray] | None = None,
     ) -> None:
         n = len(members)
         self._n_members = n
         self._period_indices = tuple(period_indices)
         self._combine = combine
+        self._combine_batch = combine_batch
         self._static_lists = list(static_lists)
         self._periodic_lists = {
             period: list(periodic_lists.get(period, ())) for period in self._period_indices
         }
 
-        self._pair_position: dict[PairKey, tuple[int, int]] = {}
+        pair_index: dict[PairKey, int] = {}
+        rows = []
+        cols = []
         for row, left in enumerate(members):
             for offset, right in enumerate(members[row + 1 :], start=row + 1):
                 key = (left, right) if left < right else (right, left)
-                self._pair_position[key] = (row, offset)
+                pair_index[key] = len(rows)
+                rows.append(row)
+                cols.append(offset)
+        n_pairs = len(rows)
+        self._pair_index = pair_index
+        self._rows = np.asarray(rows, dtype=np.intp)
+        self._cols = np.asarray(cols, dtype=np.intp)
 
-        self._static_owner = self._owner_map(self._static_lists)
-        self._periodic_owner = {
-            period: self._owner_map(self._periodic_lists[period])
+        # Per-list mapping from sorted position to pair slot, so block reads
+        # scatter straight into the component arrays.
+        self._static_slots = [self._list_slots(lst) for lst in self._static_lists]
+        self._periodic_slots = {
+            period: [self._list_slots(lst) for lst in self._periodic_lists[period]]
             for period in self._period_indices
         }
 
-        self._static_seen: dict[PairKey, float] = {}
-        self._periodic_seen: dict[tuple[int, PairKey], float] = {}
+        n_periods = len(self._period_indices)
+        self._static_val = np.zeros(n_pairs)
+        self._static_seen = np.zeros(n_pairs, dtype=bool)
+        self._static_owner = self._owner_array(self._static_slots, n_pairs)
+        self._periodic_val = np.zeros((n_periods, n_pairs))
+        self._periodic_seen = np.zeros((n_periods, n_pairs), dtype=bool)
+        self._periodic_owner = np.stack(
+            [
+                self._owner_array(self._periodic_slots[period], n_pairs)
+                for period in self._period_indices
+            ]
+        ) if n_periods else np.empty((0, n_pairs), dtype=np.intp)
+
         self._aff_low = np.zeros((n, n))
         self._aff_high = np.zeros((n, n))
-        self._dirty: set[PairKey] = set(self._pair_position)
+        self._dirty = np.ones(n_pairs, dtype=bool)
+
+    def _list_slots(self, access_list: SortedAccessList[PairKey]) -> np.ndarray:
+        """Pair slot of every sorted position of one list."""
+        return np.asarray(
+            [self._pair_index[key] for key in access_list.keys], dtype=np.intp
+        )
 
     @staticmethod
-    def _owner_map(
-        lists: Sequence[SortedAccessList[PairKey]],
-    ) -> dict[PairKey, SortedAccessList[PairKey]]:
-        """Map every pair to the (single) list that will eventually deliver it."""
-        mapping: dict[PairKey, SortedAccessList[PairKey]] = {}
-        for access_list in lists:
-            for key in access_list.keys:
-                mapping[key] = access_list
-        return mapping
+    def _owner_array(slots: Sequence[np.ndarray], n_pairs: int) -> np.ndarray:
+        """Index of the (single) list that will eventually deliver each pair (-1: none)."""
+        owner = np.full(n_pairs, -1, dtype=np.intp)
+        for position, list_slots in enumerate(slots):
+            owner[list_slots] = position
+        return owner
 
     @property
     def lists(self) -> list[SortedAccessList[PairKey]]:
@@ -226,49 +265,99 @@ class PairwiseAffinityBounds:
 
     def advance(self, depth: int) -> None:
         """Advance every affinity list ``depth`` entries, tracking dirty pairs."""
-        for access_list in self._static_lists:
+        for access_list, slots in zip(self._static_lists, self._static_slots):
             start = access_list.position
             keys, scores = access_list.sequential_block(depth)
             if keys:
                 # Delivered pairs changed (component now exact) and pairs still
                 # pending in this list changed (its cursor score moved).
-                self._dirty.update(access_list.keys[start:])
-                self._static_seen.update(zip(keys, scores.tolist()))
-        for period in self._period_indices:
-            for access_list in self._periodic_lists[period]:
+                self._dirty[slots[start:]] = True
+                delivered = slots[start : start + len(keys)]
+                self._static_val[delivered] = scores
+                self._static_seen[delivered] = True
+        for t, period in enumerate(self._period_indices):
+            for access_list, slots in zip(
+                self._periodic_lists[period], self._periodic_slots[period]
+            ):
                 start = access_list.position
                 keys, scores = access_list.sequential_block(depth)
                 if keys:
-                    self._dirty.update(access_list.keys[start:])
-                    for key, score in zip(keys, scores.tolist()):
-                        self._periodic_seen[(period, key)] = score
+                    self._dirty[slots[start:]] = True
+                    delivered = slots[start : start + len(keys)]
+                    self._periodic_val[t, delivered] = scores
+                    self._periodic_seen[t, delivered] = True
+
+    @staticmethod
+    def _component_bounds(
+        values: np.ndarray,
+        seen: np.ndarray,
+        owner: np.ndarray,
+        lists: Sequence[SortedAccessList[PairKey]],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper component arrays for a set of pairs.
+
+        A seen component is exact; an unseen one lies in ``[0, cursor]`` of
+        the list that will deliver it (or is exactly 0 when no list will).
+        """
+        low = np.where(seen, values, 0.0)
+        if lists:
+            cursors = np.asarray([lst.cursor_score for lst in lists])
+            unseen_high = np.where(owner >= 0, cursors[np.maximum(owner, 0)], 0.0)
+        else:
+            unseen_high = np.zeros_like(values)
+        high = np.where(seen, values, unseen_high)
+        return low, high
 
     def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Current ``(aff_low, aff_high)`` matrices, recombining dirty pairs only."""
-        for pair in self._dirty:
-            row, col = self._pair_position[pair]
-            if pair in self._static_seen:
-                static_low = static_high = self._static_seen[pair]
+        dirty = np.flatnonzero(self._dirty)
+        if dirty.size:
+            static_low, static_high = self._component_bounds(
+                self._static_val[dirty],
+                self._static_seen[dirty],
+                self._static_owner[dirty],
+                self._static_lists,
+            )
+            periodic_low: list[np.ndarray] = []
+            periodic_high: list[np.ndarray] = []
+            for t, period in enumerate(self._period_indices):
+                low, high = self._component_bounds(
+                    self._periodic_val[t, dirty],
+                    self._periodic_seen[t, dirty],
+                    self._periodic_owner[t, dirty],
+                    self._periodic_lists[period],
+                )
+                periodic_low.append(low)
+                periodic_high.append(high)
+
+            if self._combine_batch is not None:
+                low = self._combine_batch(static_low, periodic_low)
+                high = self._combine_batch(static_high, periodic_high)
             else:
-                static_low = 0.0
-                owner = self._static_owner.get(pair)
-                static_high = owner.cursor_score if owner is not None else 0.0
-            periodic_low: list[float] = []
-            periodic_high: list[float] = []
-            for period in self._period_indices:
-                seen = self._periodic_seen.get((period, pair))
-                if seen is not None:
-                    periodic_low.append(seen)
-                    periodic_high.append(seen)
-                else:
-                    periodic_low.append(0.0)
-                    owner = self._periodic_owner[period].get(pair)
-                    periodic_high.append(owner.cursor_score if owner is not None else 0.0)
-            low = self._combine(static_low, periodic_low)
-            high = self._combine(static_high, periodic_high)
-            self._aff_low[row, col] = self._aff_low[col, row] = low
-            self._aff_high[row, col] = self._aff_high[col, row] = high
-        self._dirty.clear()
+                low = np.asarray(
+                    [
+                        self._combine(
+                            float(static_low[j]), [float(p[j]) for p in periodic_low]
+                        )
+                        for j in range(dirty.size)
+                    ]
+                )
+                high = np.asarray(
+                    [
+                        self._combine(
+                            float(static_high[j]), [float(p[j]) for p in periodic_high]
+                        )
+                        for j in range(dirty.size)
+                    ]
+                )
+
+            rows = self._rows[dirty]
+            cols = self._cols[dirty]
+            self._aff_low[rows, cols] = low
+            self._aff_low[cols, rows] = low
+            self._aff_high[rows, cols] = high
+            self._aff_high[cols, rows] = high
+            self._dirty[:] = False
         return self._aff_low, self._aff_high
 
 

@@ -61,7 +61,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.affinity import ComputedAffinities, combine_continuous, combine_discrete
+from repro.core.affinity import (
+    ComputedAffinities,
+    combine_continuous,
+    combine_continuous_batch,
+    combine_discrete,
+    combine_discrete_batch,
+)
 from repro.core.bounds import PairwiseAffinityBounds
 from repro.core.buffer import ColumnarCandidateBuffer
 from repro.core.consensus import ConsensusFunction
@@ -168,11 +174,43 @@ class GrecaIndex:
                 raise AlgorithmError(
                     f"negative absolute preference for user {member}, item {self.items[col]}"
                 )
-        self._apref_matrix = matrix
-        self._item_col: dict[int, int] = {item: col for col, item in enumerate(self.items)}
-        self._repr_rank: np.ndarray | None = None
-        self._item_objects: np.ndarray | None = None
+        self._install_columns(self.members, self.items, matrix, time_model, max_apref)
+        self._install_affinities(static, periodic, averages)
 
+    def _install_columns(
+        self,
+        members: tuple[int, ...],
+        items: tuple[int, ...],
+        matrix: np.ndarray,
+        time_model: str,
+        max_apref: float | None,
+        item_col: dict[int, int] | None = None,
+        repr_rank: np.ndarray | None = None,
+        item_objects: np.ndarray | None = None,
+    ) -> None:
+        """Install the columnar substrate (optionally shared with a sibling index)."""
+        self.members = members
+        self.items = items
+        self.time_model = time_model
+        self._apref_matrix = matrix
+        self._item_col: dict[int, int] = (
+            item_col if item_col is not None else {item: col for col, item in enumerate(items)}
+        )
+        self._repr_rank = repr_rank
+        self._item_objects = item_objects
+        if max_apref is not None:
+            self.max_apref = float(max_apref)
+        else:
+            self.max_apref = max(float(matrix.max()), 1e-9)
+        self.scale = default_scale(self.max_apref, len(members))
+
+    def _install_affinities(
+        self,
+        static: Mapping[tuple[int, int], float],
+        periodic: Mapping[int, Mapping[tuple[int, int], float]] | None,
+        averages: Mapping[int, float] | None,
+    ) -> None:
+        """Install (canonicalised) static/periodic affinity values and averages."""
         self._static = {self._pair(*pair): float(value) for pair, value in static.items()}
         self._periodic: dict[int, dict[tuple[int, int], float]] = {}
         for period_index, values in (periodic or {}).items():
@@ -184,11 +222,96 @@ class GrecaIndex:
         for period_index in self.period_indices:
             self._averages.setdefault(period_index, 0.0)
 
-        observed_max = float(matrix.max())
-        self.max_apref = float(max_apref) if max_apref is not None else max(observed_max, 1e-9)
-        self.scale = default_scale(self.max_apref, len(self.members))
-
     # -- constructors --------------------------------------------------------------------
+
+    @classmethod
+    def _from_columns(
+        cls,
+        members: tuple[int, ...],
+        items: tuple[int, ...],
+        matrix: np.ndarray,
+        static: Mapping[tuple[int, int], float],
+        periodic: Mapping[int, Mapping[tuple[int, int], float]] | None,
+        averages: Mapping[int, float] | None,
+        time_model: str,
+        max_apref: float | None,
+        item_col: dict[int, int] | None = None,
+        repr_rank: np.ndarray | None = None,
+        item_objects: np.ndarray | None = None,
+    ) -> "GrecaIndex":
+        """Build an index directly from an existing columnar substrate.
+
+        The matrix (and the optional tie-break ranking / item-object caches)
+        are *shared*, not copied: the index never mutates them.
+        """
+        if time_model not in (TIME_MODEL_DISCRETE, TIME_MODEL_CONTINUOUS):
+            raise AlgorithmError(f"unknown time model {time_model!r}")
+        instance = cls.__new__(cls)
+        instance._install_columns(
+            members, items, matrix, time_model, max_apref, item_col, repr_rank, item_objects
+        )
+        instance._install_affinities(static, periodic, averages)
+        return instance
+
+    def with_affinities(
+        self,
+        static: Mapping[tuple[int, int], float],
+        periodic: Mapping[int, Mapping[tuple[int, int], float]] | None = None,
+        averages: Mapping[int, float] | None = None,
+        time_model: str | None = None,
+    ) -> "GrecaIndex":
+        """A sibling index with different affinity data over the same preferences.
+
+        The columnar substrate (preference matrix, item universe, tie-break
+        ranking) is shared, so deriving a per-period index costs only the
+        affinity dictionaries — this is what lets figure drivers sweep the
+        query period without paying per-point index construction.
+        """
+        return GrecaIndex._from_columns(
+            self.members,
+            self.items,
+            self._apref_matrix,
+            static,
+            periodic,
+            averages,
+            self.time_model if time_model is None else time_model,
+            self.max_apref,
+            item_col=self._item_col,
+            repr_rank=self._tie_break_ranking(),
+            item_objects=self._item_object_array(),
+        )
+
+    def restrict_items(self, items: Sequence[int]) -> "GrecaIndex":
+        """A sibling index over a subset of the candidate items.
+
+        The preference matrix is column-sliced and the global ``repr``
+        tie-break ranking is sliced alongside it (a restriction of a ranking
+        induces the same relative order, so list construction and the
+        candidate buffer behave exactly as if the ranking had been recomputed
+        for the subset).  The parent's ``max_apref``/``scale`` are kept:
+        construct the parent with an explicit ``max_apref`` (as the
+        recommender does) when bit-identical equivalence with fresh
+        per-subset construction is required.
+        """
+        requested = sorted(set(items))
+        if not requested:
+            raise AlgorithmError("the restricted item universe is empty")
+        try:
+            cols = np.asarray([self._item_col[item] for item in requested], dtype=np.intp)
+        except KeyError as error:
+            raise AlgorithmError(f"unknown item in restriction: {error.args[0]!r}") from None
+        return GrecaIndex._from_columns(
+            self.members,
+            tuple(requested),
+            self._apref_matrix[:, cols],
+            self._static,
+            self._periodic,
+            self._averages,
+            self.time_model,
+            self.max_apref,
+            repr_rank=self._tie_break_ranking()[cols],
+            item_objects=self._item_object_array()[cols],
+        )
 
     @classmethod
     def from_computed(
@@ -264,6 +387,20 @@ class GrecaIndex:
         if self.time_model == TIME_MODEL_DISCRETE:
             return combine_discrete(static, list(periodic), averages)
         return combine_continuous(static, list(periodic), averages)
+
+    def combine_batch(
+        self, static: np.ndarray, periodic: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Vectorised :meth:`combine` over arrays of pair components.
+
+        ``static`` holds one static component per pair; ``periodic`` holds
+        one same-shaped array per period (ordered like ``period_indices``).
+        Elementwise bit-identical to calling :meth:`combine` per pair.
+        """
+        averages = [self._averages.get(index, 0.0) for index in self.period_indices]
+        if self.time_model == TIME_MODEL_DISCRETE:
+            return combine_discrete_batch(static, periodic, averages)
+        return combine_continuous_batch(static, periodic, averages)
 
     def affinity(self, left: int, right: int) -> float:
         """The exact combined affinity of a pair at the query period."""
@@ -378,6 +515,79 @@ class GrecaIndex:
         return n * len(self.items) + n_pairs * (1 + len(self.period_indices))
 
 
+class GrecaIndexFactory:
+    """Derives :class:`GrecaIndex` instances for one group from a shared substrate.
+
+    Figure drivers sweep one knob — query period, item count, ``k``,
+    consensus — over a fixed set of groups, and after the batched engine
+    refactor the per-point ``{user: {item: apref}}``-to-matrix conversion
+    rivals the engine runtime itself.  The factory pays that conversion once
+    per group; :meth:`build` then derives each sweep point's index by sharing
+    the columnar substrate (and memoising column-sliced substrates per item
+    subset), so only the small per-period affinity dictionaries are rebuilt.
+
+    Indexes derived this way are bit-identical — results *and* access
+    accounting — to fresh ``GrecaIndex(members, aprefs, ...)`` construction
+    at every point, provided ``max_apref`` is pinned (the recommender pins it
+    to the rating-scale maximum).  ``tests/test_engine_properties.py`` and
+    the golden-grid reuse test enforce this.
+
+    Parameters
+    ----------
+    members / aprefs / max_apref:
+        As for :class:`GrecaIndex`.  Supply ``max_apref`` explicitly so that
+        restricted indexes keep the same normalisation constant as fresh
+        per-subset construction (otherwise the observed maximum may differ
+        between the full universe and a subset).
+    """
+
+    def __init__(
+        self,
+        members: Sequence[int],
+        aprefs: Mapping[int, Mapping[int, float]],
+        max_apref: float | None = None,
+    ) -> None:
+        self._base = GrecaIndex(
+            members=members, aprefs=aprefs, static={}, max_apref=max_apref
+        )
+        # Materialise the shared caches once so every derived index reuses them.
+        self._base._tie_break_ranking()
+        self._base._item_object_array()
+        self._restricted: dict[tuple[int, ...], GrecaIndex] = {}
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """The group members, in index order."""
+        return self._base.members
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """The full candidate item universe."""
+        return self._base.items
+
+    def build(
+        self,
+        static: Mapping[tuple[int, int], float],
+        periodic: Mapping[int, Mapping[tuple[int, int], float]] | None = None,
+        averages: Mapping[int, float] | None = None,
+        time_model: str = TIME_MODEL_DISCRETE,
+        items: Sequence[int] | None = None,
+    ) -> GrecaIndex:
+        """An index for the given affinity data (optionally item-restricted)."""
+        base = self._base
+        if items is not None:
+            # Canonical key: restrict_items sorts and dedups, so equivalent
+            # subsets must share one memoised substrate.
+            key = tuple(sorted(set(items)))
+            base = self._restricted.get(key)
+            if base is None:
+                base = self._base.restrict_items(items)
+                self._restricted[key] = base
+        return base.with_affinities(
+            static, periodic=periodic, averages=averages, time_model=time_model
+        )
+
+
 @dataclass(frozen=True)
 class GrecaResult:
     """Outcome of one GRECA execution."""
@@ -443,7 +653,12 @@ class Greca:
         counter = AccessCounter()
         preference_lists, static_lists, periodic_lists = index.build_lists(counter)
         affinity_bounds = PairwiseAffinityBounds(
-            index.members, index.period_indices, index.combine, static_lists, periodic_lists
+            index.members,
+            index.period_indices,
+            index.combine,
+            static_lists,
+            periodic_lists,
+            combine_batch=index.combine_batch,
         )
         all_lists: list[SortedAccessList] = list(preference_lists) + affinity_bounds.lists
         total = total_entries(all_lists)

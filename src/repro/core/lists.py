@@ -285,6 +285,18 @@ class SortedAccessList(Generic[KeyT]):
         scores.flags.writeable = False  # consumers must not corrupt the backing array
         return self._keys[start:stop], scores
 
+    def drain(self) -> int:
+        """Read every remaining entry in one bulk call; returns the count read.
+
+        Equivalent — in cursor state and recorded SAs — to calling
+        :meth:`sequential_access` until exhaustion, which is exactly the
+        naive full-scan access pattern.
+        """
+        remaining = self.remaining
+        if remaining:
+            self.sequential_block(remaining)
+        return remaining
+
     def random_access(self, key: KeyT) -> float:
         """Look up the score of ``key`` (one RA); missing keys score 0."""
         self.counter.record_random()

@@ -32,7 +32,13 @@ from repro.core.affinity import (
 )
 from repro.core.baseline import NaiveFullScan, ThresholdAlgorithmBaseline
 from repro.core.consensus import ConsensusFunction, make_consensus
-from repro.core.greca import Greca, GrecaIndex, TIME_MODEL_CONTINUOUS, TIME_MODEL_DISCRETE
+from repro.core.greca import (
+    Greca,
+    GrecaIndex,
+    GrecaIndexFactory,
+    TIME_MODEL_CONTINUOUS,
+    TIME_MODEL_DISCRETE,
+)
 from repro.core.preference import PreferenceModel
 from repro.core.timeline import Period, Timeline
 from repro.data.ratings import MAX_RATING, RatingsDataset
@@ -186,6 +192,99 @@ class GroupRecommender:
 
     # -- index construction ----------------------------------------------------------------------
 
+    def affinity_components(
+        self,
+        group: Sequence[int],
+        period: Period | None = None,
+        affinity: str = AFFINITY_DISCRETE,
+    ) -> tuple[
+        dict[tuple[int, int], float],
+        dict[int, dict[tuple[int, int], float]],
+        dict[int, float],
+        str,
+    ]:
+        """The ``(static, periodic, averages, time_model)`` inputs of a GRECA index.
+
+        These are the per-(group, period) affinity dictionaries — cheap to
+        rebuild at every sweep point, unlike the preference substrate that
+        :meth:`index_factory` shares across points.
+        """
+        if affinity not in AFFINITY_CHOICES:
+            raise ConfigurationError(
+                f"unknown affinity configuration {affinity!r}; expected one of {AFFINITY_CHOICES}"
+            )
+        group = list(group)
+        if affinity == AFFINITY_NONE:
+            return {}, {}, {}, TIME_MODEL_DISCRETE
+
+        computed = self.computed_affinities
+        if period is None:
+            if self.timeline is None:
+                raise ConfigurationError("a timeline is required for temporal affinities")
+            period = self.timeline.current
+        static: dict[tuple[int, int], float] = {}
+        for index, left in enumerate(group):
+            for right in group[index + 1 :]:
+                static[(left, right)] = computed.static_normalized(left, right)
+        periodic: dict[int, dict[tuple[int, int], float]] = {}
+        averages: dict[int, float] = {}
+        if affinity in (AFFINITY_DISCRETE, AFFINITY_CONTINUOUS):
+            for period_index, past in enumerate(computed.timeline.periods_until(period)):
+                values = {}
+                for index, left in enumerate(group):
+                    for right in group[index + 1 :]:
+                        values[(left, right)] = computed.periodic_normalized(left, right, past)
+                periodic[period_index] = values
+                averages[period_index] = computed.population_average_normalized(past)
+            time_model = (
+                TIME_MODEL_CONTINUOUS
+                if affinity == AFFINITY_CONTINUOUS
+                else TIME_MODEL_DISCRETE
+            )
+        else:  # time-agnostic: half static + half overall likes, no drift
+            model = TimeAgnosticAffinityModel(computed)
+            static = {}
+            for index, left in enumerate(group):
+                for right in group[index + 1 :]:
+                    static[(left, right)] = model.affinity(left, right)
+            time_model = TIME_MODEL_DISCRETE
+        return static, periodic, averages, time_model
+
+    def index_factory(
+        self,
+        group: Sequence[int],
+        exclude_rated: bool = True,
+        items: Sequence[int] | None = None,
+    ) -> GrecaIndexFactory:
+        """A :class:`GrecaIndexFactory` for one group's candidate universe.
+
+        The factory pays the apref-dictionary-to-matrix conversion once;
+        combining it with :meth:`affinity_components` yields per-period /
+        per-item-subset indexes without per-point substrate construction.
+        The normalisation constant is pinned to the rating-scale maximum, so
+        factory-derived indexes are bit-identical to :meth:`build_index`.
+        """
+        self._require_fitted()
+        group = list(group)
+        if len(group) < 2:
+            raise GroupError("group recommendation requires at least two members")
+
+        candidates = list(items) if items is not None else list(self.ratings.items)
+        if exclude_rated:
+            rated: set[int] = set()
+            for member in group:
+                if self.ratings.has_user(member):
+                    rated.update(self.ratings.user_ratings(member))
+            candidates = [item for item in candidates if item not in rated]
+        if not candidates:
+            raise AlgorithmError("no candidate items remain after exclusions")
+
+        aprefs: dict[int, dict[int, float]] = {}
+        for member in group:
+            predictions = self.aprefs_of(member)
+            aprefs[member] = {item: predictions.get(item, 0.0) for item in candidates}
+        return GrecaIndexFactory(members=group, aprefs=aprefs, max_apref=MAX_RATING)
+
     def build_index(
         self,
         group: Sequence[int],
@@ -195,6 +294,11 @@ class GroupRecommender:
         items: Sequence[int] | None = None,
     ) -> GrecaIndex:
         """Build the GRECA index (lists) for a group at a period.
+
+        One-shot composition of :meth:`index_factory` and
+        :meth:`affinity_components`; hold the factory instead when building
+        many indexes for the same group (sweeps over periods, item subsets,
+        ``k`` or consensus functions).
 
         Parameters
         ----------
@@ -210,76 +314,12 @@ class GroupRecommender:
         items:
             Optional explicit candidate item universe.
         """
-        self._require_fitted()
-        if affinity not in AFFINITY_CHOICES:
-            raise ConfigurationError(
-                f"unknown affinity configuration {affinity!r}; expected one of {AFFINITY_CHOICES}"
-            )
-        group = list(group)
-        if len(group) < 2:
-            raise GroupError("group recommendation requires at least two members")
-
-        candidates = list(items) if items is not None else list(self.ratings.items)
-        if exclude_rated:
-            rated: set[int] = set()
-            for member in group:
-                if self.ratings.has_user(member):
-                    rated.update(self.ratings.user_ratings(member))
-            candidates = [item for item in candidates if item not in rated]
-        if not candidates:
-            raise AlgorithmError("no candidate items remain after exclusions")
-
-        aprefs = {
-            member: {item: self.aprefs_of(member).get(item, 0.0) for item in candidates}
-            for member in group
-        }
-
-        if affinity == AFFINITY_NONE:
-            static = {}
-            periodic: dict[int, dict[tuple[int, int], float]] = {}
-            averages: dict[int, float] = {}
-            time_model = TIME_MODEL_DISCRETE
-        else:
-            computed = self.computed_affinities
-            if period is None:
-                if self.timeline is None:
-                    raise ConfigurationError("a timeline is required for temporal affinities")
-                period = self.timeline.current
-            static = {}
-            for index, left in enumerate(group):
-                for right in group[index + 1 :]:
-                    static[(left, right)] = computed.static_normalized(left, right)
-            periodic = {}
-            averages = {}
-            if affinity in (AFFINITY_DISCRETE, AFFINITY_CONTINUOUS):
-                for period_index, past in enumerate(computed.timeline.periods_until(period)):
-                    values = {}
-                    for index, left in enumerate(group):
-                        for right in group[index + 1 :]:
-                            values[(left, right)] = computed.periodic_normalized(left, right, past)
-                    periodic[period_index] = values
-                    averages[period_index] = computed.population_average_normalized(past)
-                time_model = (
-                    TIME_MODEL_CONTINUOUS
-                    if affinity == AFFINITY_CONTINUOUS
-                    else TIME_MODEL_DISCRETE
-                )
-            else:  # time-agnostic: half static + half overall likes, no drift
-                model = TimeAgnosticAffinityModel(computed)
-                static = {}
-                for index, left in enumerate(group):
-                    for right in group[index + 1 :]:
-                        static[(left, right)] = model.affinity(left, right)
-                time_model = TIME_MODEL_DISCRETE
-
-        return GrecaIndex(
-            members=group,
-            aprefs=aprefs,
-            static=static,
-            periodic=periodic,
-            averages=averages,
-            time_model=time_model,
-            max_apref=MAX_RATING,
+        static, periodic, averages, time_model = self.affinity_components(
+            group, period=period, affinity=affinity
+        )
+        factory = self.index_factory(group, exclude_rated=exclude_rated, items=items)
+        return factory.build(
+            static, periodic=periodic, averages=averages, time_model=time_model
         )
 
     # -- recommendation ------------------------------------------------------------------------------

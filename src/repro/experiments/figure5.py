@@ -93,7 +93,12 @@ def run(
     group_sizes: Sequence[int] = DEFAULT_GROUP_SIZES,
     item_fractions: Sequence[float] = DEFAULT_ITEM_FRACTIONS,
 ) -> Figure5Result:
-    """Regenerate Figure 5 on the (possibly scaled-down) substrate."""
+    """Regenerate Figure 5 on the (possibly scaled-down) substrate.
+
+    Index construction is shared through the environment's reuse layer: the
+    ``k`` sweep reuses each group's index outright, and the item-count sweep
+    column-slices the group's columnar substrate instead of rebuilding it.
+    """
     environment = environment or ScalabilityEnvironment(config)
     base_groups = environment.random_groups()
 

@@ -77,9 +77,10 @@ def run(
         values = []
         accesses = []
         for group in groups:
-            index = environment.recommender.build_index(
-                list(group), period=period, affinity="discrete", exclude_rated=False
-            )
+            # The reuse layer shares each group's columnar preference
+            # substrate across all query periods; only the per-period
+            # affinity dictionaries are rebuilt.
+            index = environment.cached_index(group, period=period)
             result = Greca(consensus, k=environment.config.k).run(index)
             values.append(result.percent_sequential_accesses)
             accesses.append(result.sequential_accesses)

@@ -10,6 +10,17 @@ list entirely (lower is better; the paper reports savings of 75% or more).
 :class:`ScalabilityEnvironment` builds the shared substrate once (dataset,
 social network, fitted recommender, participant pool) so that the individual
 figure drivers only loop over their parameter of interest.
+
+The environment also owns the **index-reuse layer**: one
+:class:`~repro.core.greca.GrecaIndexFactory` per group (sharing the columnar
+preference substrate across every sweep point) and a memo of fully built
+indexes keyed by ``(group, affinity, period, n_items)``.  Sweeping ``k`` or
+the consensus function therefore reuses the exact same index object, and
+sweeping the period or the item count only rebuilds the small affinity
+dictionaries — never the preference matrix.  Cached indexes are immutable
+between runs (every :meth:`Greca.run` materialises fresh lists/counters), and
+the reuse layer is proven bit-identical to per-point construction by
+``tests/test_engine_properties.py`` and the golden-grid reuse test.
 """
 
 from __future__ import annotations
@@ -20,7 +31,7 @@ from statistics import mean, stdev
 from typing import Sequence
 
 from repro.core.consensus import ConsensusFunction, make_consensus
-from repro.core.greca import Greca
+from repro.core.greca import Greca, GrecaIndex, GrecaIndexFactory
 from repro.core.recommender import GroupRecommender
 from repro.core.timeline import Period, Timeline, one_year_timeline
 from repro.data.movielens import MovieLensConfig, generate_movielens_like
@@ -113,6 +124,53 @@ class ScalabilityEnvironment:
             affinity_universe=self.participants,
         ).fit()
         self.former = GroupFormer(self.ratings, candidates=self.participants, seed=config.seed)
+        self._index_factories: dict[tuple[int, ...], GrecaIndexFactory] = {}
+        self._index_cache: dict[tuple, GrecaIndex] = {}
+
+    # -- index reuse -----------------------------------------------------------------------------
+
+    def index_factory(self, group: Sequence[int]) -> GrecaIndexFactory:
+        """The (memoised) per-group index factory over the full catalogue."""
+        key = tuple(group)
+        factory = self._index_factories.get(key)
+        if factory is None:
+            factory = self.recommender.index_factory(list(group), exclude_rated=False)
+            self._index_factories[key] = factory
+        return factory
+
+    def cached_index(
+        self,
+        group: Sequence[int],
+        period: Period | None = None,
+        affinity: str = "discrete",
+        n_items: int | None = None,
+    ) -> GrecaIndex:
+        """A GRECA index for one sweep point, built through the reuse layer.
+
+        Bit-identical to ``recommender.build_index(group, period=period,
+        affinity=affinity, exclude_rated=False, items=items[:n_items])`` —
+        the scan-equivalence tests enforce this — but sweep points sharing a
+        group reuse the columnar preference substrate, and repeated points
+        reuse the index object outright.
+        """
+        if period is None and self.timeline is not None:
+            period = self.timeline.current
+        key = (tuple(group), affinity, period, n_items)
+        index = self._index_cache.get(key)
+        if index is None:
+            static, periodic, averages, time_model = self.recommender.affinity_components(
+                list(group), period=period, affinity=affinity
+            )
+            items = list(self.ratings.items[:n_items]) if n_items is not None else None
+            index = self.index_factory(group).build(
+                static,
+                periodic=periodic,
+                averages=averages,
+                time_model=time_model,
+                items=items,
+            )
+            self._index_cache[key] = index
+        return index
 
     # -- groups ----------------------------------------------------------------------------------
 
@@ -131,10 +189,7 @@ class ScalabilityEnvironment:
         (``benchmarks/test_bench_engine.py``) all measure exactly this
         workload, so it is defined in one place.
         """
-        return [
-            self.recommender.build_index(list(group), affinity="discrete", exclude_rated=False)
-            for group in self.random_groups()
-        ]
+        return [self.cached_index(group) for group in self.random_groups()]
 
     # -- measurement ------------------------------------------------------------------------------
 
@@ -147,22 +202,13 @@ class ScalabilityEnvironment:
         period: Period | None = None,
         n_items: int | None = None,
     ) -> float:
-        """%SA of one GRECA run for one group."""
+        """%SA of one GRECA run for one group (index built through the reuse layer)."""
         consensus_fn = (
             consensus
             if isinstance(consensus, ConsensusFunction)
             else make_consensus(consensus or self.config.consensus)
         )
-        items = None
-        if n_items is not None:
-            items = list(self.ratings.items[:n_items])
-        index = self.recommender.build_index(
-            list(group),
-            period=period,
-            affinity=affinity,
-            exclude_rated=False,
-            items=items,
-        )
+        index = self.cached_index(group, period=period, affinity=affinity, n_items=n_items)
         result = Greca(consensus_fn, k=k or self.config.k).run(index)
         return result.percent_sequential_accesses
 

@@ -85,8 +85,14 @@ TOPK_CASES: tuple[dict[str, Any], ...] = tuple(
 )
 
 
-def build_greca_case(case: dict[str, Any]) -> tuple[GrecaIndex, Greca]:
-    """Materialise one GRECA grid case (index + configured algorithm)."""
+def greca_case_inputs(case: dict[str, Any]) -> dict[str, Any]:
+    """The raw :class:`GrecaIndex` constructor inputs of one grid case.
+
+    Exposed separately so the index-reuse tests can feed the *same* inputs
+    through :class:`~repro.core.greca.GrecaIndexFactory` and compare against
+    fresh construction.  The draw order is frozen — it determines the golden
+    values.
+    """
     rng = random.Random(case["seed"])
     members = list(range(1, case["n_members"] + 1))
     items = list(range(101, 101 + case["n_items"]))
@@ -102,7 +108,7 @@ def build_greca_case(case: dict[str, Any]) -> tuple[GrecaIndex, Greca]:
         for period in range(case["n_periods"])
     }
     averages = {period: round(rng.uniform(0.0, 0.5), 3) for period in range(case["n_periods"])}
-    index = GrecaIndex(
+    return dict(
         members=members,
         aprefs=aprefs,
         static=static,
@@ -110,6 +116,11 @@ def build_greca_case(case: dict[str, Any]) -> tuple[GrecaIndex, Greca]:
         averages=averages,
         time_model=case["time_model"],
     )
+
+
+def build_greca_case(case: dict[str, Any]) -> tuple[GrecaIndex, Greca]:
+    """Materialise one GRECA grid case (index + configured algorithm)."""
+    index = GrecaIndex(**greca_case_inputs(case))
     algorithm = Greca(
         make_consensus(case["consensus"]),
         k=case["k"],
@@ -130,6 +141,38 @@ def run_greca_case(case: dict[str, Any]) -> dict[str, Any]:
         "items": list(result.items),
         "rounds": result.rounds,
         "total_entries": result.total_entries,
+    }
+
+
+def run_baseline_case(
+    case: dict[str, Any], algorithm_name: str, batched: bool = True
+) -> dict[str, Any]:
+    """Run a baseline on one GRECA grid case and summarise the equivalence facts.
+
+    ``batched=False`` replays the retained per-entry reference interpreter —
+    the path the golden values are captured from; ``batched=True`` (the
+    default, and what the equivalence tests run) exercises the batched
+    columnar port.
+    """
+    from repro.core.baseline import NaiveFullScan, ThresholdAlgorithmBaseline
+
+    index, _ = build_greca_case(case)
+    consensus = make_consensus(case["consensus"])
+    if algorithm_name == "naive":
+        runner = NaiveFullScan(consensus, k=case["k"], batched=batched)
+    elif algorithm_name == "ta_baseline":
+        runner = ThresholdAlgorithmBaseline(consensus, k=case["k"], batched=batched)
+    else:  # pragma: no cover - guarded by the callers
+        raise ValueError(f"unknown baseline {algorithm_name!r}")
+    result = runner.run(index)
+    return {
+        "case_id": case["case_id"],
+        "algorithm": algorithm_name,
+        "sequential_accesses": result.sequential_accesses,
+        "random_accesses": result.random_accesses,
+        "items": list(result.items),
+        "total_entries": result.total_entries,
+        "k": result.k,
     }
 
 

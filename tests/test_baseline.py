@@ -38,8 +38,15 @@ class TestNaiveFullScan:
         result = NaiveFullScan(AVERAGE_PREFERENCE, k=5).run(index)
         assert result.sequential_accesses == index.total_index_entries()
         assert result.random_accesses == 0
-        assert result.percent_sequential_accesses == pytest.approx(100.0)
-        assert result.percent_total_accesses == pytest.approx(100.0)
+        # Regression: %SA is *exactly* 100.0 (SA == total entries, so the
+        # ratio is exact in floating point), not merely approximately so.
+        assert result.percent_sequential_accesses == 100.0
+        assert result.percent_total_accesses == 100.0
+
+    def test_batched_matches_per_entry_reference(self, index):
+        batched = NaiveFullScan(AVERAGE_PREFERENCE, k=5, batched=True).run(index)
+        reference = NaiveFullScan(AVERAGE_PREFERENCE, k=5, batched=False).run(index)
+        assert batched == reference
 
     def test_returns_exact_top_k(self, index):
         result = NaiveFullScan(AVERAGE_PREFERENCE, k=4).run(index)
@@ -72,6 +79,59 @@ class TestThresholdAlgorithmBaseline:
     def test_uses_random_accesses(self, index):
         result = ThresholdAlgorithmBaseline(AVERAGE_PREFERENCE, k=3).run(index)
         assert result.random_accesses > 0
+
+    def test_batched_matches_per_entry_reference(self, index):
+        for name in ("AP", "MO", "PD"):
+            consensus = make_consensus(name)
+            batched = ThresholdAlgorithmBaseline(consensus, k=3, batched=True).run(index)
+            reference = ThresholdAlgorithmBaseline(consensus, k=3, batched=False).run(index)
+            assert batched.items == reference.items
+            assert batched.sequential_accesses == reference.sequential_accesses
+            assert batched.random_accesses == reference.random_accesses
+            assert batched.total_entries == reference.total_entries
+            for item in batched.items:
+                assert batched.scores[item] == pytest.approx(reference.scores[item], abs=1e-9)
+
+    def test_random_access_formula_hand_computed(self):
+        """RA count follows the paper's Section 3.1 cost model, hand-verified.
+
+        Scoring an item random-accesses the ``n - 1`` other preference lists,
+        and the first scored item additionally resolves every pair's affinity
+        components: ``T * n(n-1)/2`` periodic accesses (the cost the paper
+        highlights) plus the ``n(n-1)/2`` static ones.  With uniform
+        preferences the threshold never drops below the exact scores, so the
+        scan runs to exhaustion and every item is scored.
+        """
+        members = [1, 2, 3]
+        items = [10, 11, 12, 13]
+        aprefs = {member: {item: 3.0 for item in items} for member in members}
+        static = {(1, 2): 0.5, (1, 3): 0.25, (2, 3): 0.75}
+        periodic = {
+            0: {(1, 2): 0.4, (1, 3): 0.1, (2, 3): 0.2},
+            1: {(1, 2): 0.3, (1, 3): 0.2, (2, 3): 0.1},
+        }
+        averages = {0: 0.2, 1: 0.1}
+        index = GrecaIndex(
+            members=members,
+            aprefs=aprefs,
+            static=static,
+            periodic=periodic,
+            averages=averages,
+            max_apref=5.0,
+        )
+        n, n_periods = len(members), len(index.period_indices)
+        n_pairs = n * (n - 1) // 2
+        n_scored = len(items)  # full scan: every item is encountered and scored
+
+        for batched in (True, False):
+            result = ThresholdAlgorithmBaseline(
+                AVERAGE_PREFERENCE, k=2, batched=batched
+            ).run(index)
+            # 4 items x 2 preference RAs + 3 pairs x (1 static + 2 periodic) = 17.
+            assert result.random_accesses == n_scored * (n - 1) + n_pairs * (1 + n_periods)
+            assert result.random_accesses == 17
+            # The scan exhausts the preference lists (3 members x 4 items).
+            assert result.sequential_accesses == n * len(items) == 12
 
     def test_greca_needs_no_random_accesses_unlike_ta(self, index):
         """Section 3.1: GRECA avoids the RAs that a TA-style approach incurs."""

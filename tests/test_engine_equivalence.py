@@ -17,7 +17,15 @@ import os
 
 import pytest
 
-from engine_grid import GRECA_CASES, TOPK_CASES, run_greca_case, run_topk_case
+from engine_grid import (
+    GRECA_CASES,
+    TOPK_CASES,
+    build_greca_case,
+    greca_case_inputs,
+    run_baseline_case,
+    run_greca_case,
+    run_topk_case,
+)
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "engine_golden.json")
 
@@ -59,11 +67,63 @@ def test_ta_matches_seed_engine(golden, case):
     assert run_topk_case(case, "ta") == expected
 
 
+@pytest.mark.parametrize("case", GRECA_CASES, ids=lambda case: case["case_id"])
+def test_naive_baseline_matches_per_entry_reference(golden, case):
+    """Batched NaiveFullScan: SA/RA counts and items match the reference capture."""
+    expected = _golden_record(golden, "naive", case["case_id"])
+    assert run_baseline_case(case, "naive") == expected
+
+
+@pytest.mark.parametrize("case", GRECA_CASES, ids=lambda case: case["case_id"])
+def test_ta_baseline_matches_per_entry_reference(golden, case):
+    """Batched TA baseline: SA/RA counts and items match the reference capture."""
+    expected = _golden_record(golden, "ta_baseline", case["case_id"])
+    assert run_baseline_case(case, "ta_baseline") == expected
+
+
+def test_naive_golden_records_read_every_entry(golden):
+    """Regression: the naive scan is exactly 100% SA on every grid instance."""
+    for record in golden["naive"]:
+        assert record["sequential_accesses"] == record["total_entries"]
+        assert record["random_accesses"] == 0
+
+
+@pytest.mark.parametrize(
+    "case",
+    [GRECA_CASES[1], GRECA_CASES[8], GRECA_CASES[12]],
+    ids=lambda case: case["case_id"],
+)
+def test_index_reuse_layer_is_bit_identical(case):
+    """Factory-derived indexes replay GRECA bit-for-bit vs fresh construction.
+
+    The reuse layer (shared columnar substrate + per-point affinity
+    dictionaries) must be observationally indistinguishable from building a
+    fresh ``GrecaIndex`` at every sweep point.
+    """
+    from repro.core.greca import GrecaIndexFactory
+
+    index, algorithm = build_greca_case(case)
+    inputs = greca_case_inputs(case)
+    factory = GrecaIndexFactory(
+        inputs["members"], inputs["aprefs"], max_apref=index.max_apref
+    )
+    derived = factory.build(
+        inputs["static"],
+        periodic=inputs["periodic"],
+        averages=inputs["averages"],
+        time_model=inputs["time_model"],
+    )
+    fresh_result = algorithm.run(index)
+    derived_result = algorithm.run(derived)
+    assert fresh_result == derived_result
+
+
 def test_grid_covers_every_golden_record(golden):
     """Every frozen golden record is exercised (no silently dropped cases)."""
-    assert {case["case_id"] for case in GRECA_CASES} == {
-        record["case_id"] for record in golden["greca"]
-    }
+    for section in ("greca", "naive", "ta_baseline"):
+        assert {case["case_id"] for case in GRECA_CASES} == {
+            record["case_id"] for record in golden[section]
+        }
     for section in ("nra", "ta"):
         assert {case["case_id"] for case in TOPK_CASES} == {
             record["case_id"] for record in golden[section]

@@ -1,0 +1,246 @@
+"""Property-based / metamorphic equivalence tests for the batched engine.
+
+The golden grid (``tests/test_engine_equivalence.py``) freezes a fixed set of
+instances; this module complements it with *randomized* substrates (seeded,
+hand-rolled generators — no extra dependencies) and asserts structural
+properties that must hold on every instance:
+
+* the batched baselines report the same items, scores and SA/RA counts as
+  the retained per-entry reference interpreters;
+* GRECA's top-k scores match the :class:`NaiveFullScan` exact oracle;
+* access metrics are invariant under permutations of the member order and of
+  the dictionary insertion orders (the engine may not depend on incidental
+  input ordering);
+* the naive scan's %SA is exactly 100;
+* indexes derived through the reuse layer (:class:`GrecaIndexFactory`,
+  shared or column-sliced substrate) produce bit-identical GRECA runs to
+  fresh per-point construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.baseline import NaiveFullScan, ThresholdAlgorithmBaseline
+from repro.core.consensus import make_consensus
+from repro.core.greca import Greca, GrecaIndex, GrecaIndexFactory
+
+#: One case per seed; >= 50 randomized cases as required by the harness.
+SEEDS = tuple(range(56))
+
+CONSENSUS_NAMES = ("AP", "MO", "PD", "PD V1", "PD V2")
+TIME_MODELS = ("discrete", "continuous")
+
+#: Pinned normalisation constant (aprefs are drawn from [0, 5]) so that
+#: restricted indexes share the scale of fresh per-subset construction.
+MAX_APREF = 5.0
+
+
+def random_case(seed: int) -> dict:
+    """Raw inputs of one randomized GRECA instance (deterministic per seed)."""
+    rng = random.Random(987_000 + seed)
+    n_members = rng.randint(2, 6)
+    n_items = rng.randint(5, 60)
+    n_periods = rng.randint(0, 4)
+    members = rng.sample(range(1, 60), n_members)
+    items = rng.sample(range(100, 500), n_items)
+    aprefs = {
+        member: {item: round(rng.uniform(0.0, 5.0), 3) for item in items}
+        for member in members
+    }
+    pairs = [(left, right) for i, left in enumerate(members) for right in members[i + 1 :]]
+    return dict(
+        members=members,
+        items=items,
+        aprefs=aprefs,
+        static={pair: round(rng.uniform(0.0, 1.0), 3) for pair in pairs},
+        periodic={
+            period: {pair: round(rng.uniform(0.0, 1.0), 3) for pair in pairs}
+            for period in range(n_periods)
+        },
+        averages={period: round(rng.uniform(0.0, 0.5), 3) for period in range(n_periods)},
+        time_model=rng.choice(TIME_MODELS),
+        consensus=rng.choice(CONSENSUS_NAMES),
+        k=rng.randint(1, n_items),
+    )
+
+
+def build_index(case: dict, max_apref: float | None = MAX_APREF) -> GrecaIndex:
+    """Materialise the index of one randomized case."""
+    return GrecaIndex(
+        members=case["members"],
+        aprefs=case["aprefs"],
+        static=case["static"],
+        periodic=case["periodic"],
+        averages=case["averages"],
+        time_model=case["time_model"],
+        max_apref=max_apref,
+    )
+
+
+def assert_baseline_results_equal(batched, reference) -> None:
+    """Batched and per-entry baseline runs must be observationally identical."""
+    assert batched.items == reference.items
+    assert batched.sequential_accesses == reference.sequential_accesses
+    assert batched.random_accesses == reference.random_accesses
+    assert batched.total_entries == reference.total_entries
+    assert batched.k == reference.k
+    assert set(batched.scores) == set(reference.scores)
+    for item, score in batched.scores.items():
+        assert score == pytest.approx(reference.scores[item], abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_naive_matches_per_entry_reference(seed):
+    """NaiveFullScan: bulk drains report exactly what the per-entry loop did."""
+    case = random_case(seed)
+    index = build_index(case)
+    consensus = make_consensus(case["consensus"])
+    batched = NaiveFullScan(consensus, k=case["k"], batched=True).run(index)
+    reference = NaiveFullScan(consensus, k=case["k"], batched=False).run(index)
+    assert_baseline_results_equal(batched, reference)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_ta_matches_per_entry_reference(seed):
+    """TA baseline: the analytic replay equals the per-entry interpreter."""
+    case = random_case(seed)
+    index = build_index(case)
+    consensus = make_consensus(case["consensus"])
+    batched = ThresholdAlgorithmBaseline(consensus, k=case["k"], batched=True).run(index)
+    reference = ThresholdAlgorithmBaseline(consensus, k=case["k"], batched=False).run(index)
+    assert_baseline_results_equal(batched, reference)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_greca_topk_matches_naive_oracle(seed):
+    """GRECA's top-k exact scores equal the naive full-scan oracle's top-k."""
+    case = random_case(seed)
+    index = build_index(case)
+    consensus = make_consensus(case["consensus"])
+    k = case["k"]
+    greca = Greca(consensus, k=k).run(index)
+    oracle = NaiveFullScan(consensus, k=k).run(index)
+    assert len(greca.items) == oracle.k == k
+    greca_scores = sorted(greca.exact_scores[item] for item in greca.items)
+    oracle_scores = sorted(oracle.scores.values())
+    assert greca_scores == pytest.approx(oracle_scores, abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_naive_percent_sa_is_exactly_100(seed):
+    """The naive scan reads every entry: %SA must be *exactly* 100.0."""
+    case = random_case(seed)
+    index = build_index(case)
+    result = NaiveFullScan(make_consensus(case["consensus"]), k=case["k"]).run(index)
+    assert result.sequential_accesses == result.total_entries == index.total_index_entries()
+    assert result.random_accesses == 0
+    assert result.percent_sequential_accesses == 100.0
+
+
+def permuted_case(case: dict, seed: int) -> dict:
+    """The same instance with shuffled member order and dict insertion orders."""
+    rng = random.Random(555_000 + seed)
+    members = list(case["members"])
+    rng.shuffle(members)
+
+    def shuffled(mapping: dict) -> dict:
+        keys = list(mapping)
+        rng.shuffle(keys)
+        return {key: mapping[key] for key in keys}
+
+    return dict(
+        case,
+        members=members,
+        aprefs={member: shuffled(case["aprefs"][member]) for member in members},
+        static=shuffled(case["static"]),
+        periodic={period: shuffled(values) for period, values in case["periodic"].items()},
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_access_metrics_invariant_under_member_permutation(seed):
+    """%SA (and RA counts) may not depend on member order or dict ordering.
+
+    The round-robin advances every list in lockstep and all consensus
+    aggregations are symmetric across members, so permuting the group (or
+    the incidental insertion order of the input dictionaries) must leave the
+    access accounting — the paper's headline metric — unchanged.
+    """
+    case = random_case(seed)
+    twisted = permuted_case(case, seed)
+    consensus = make_consensus(case["consensus"])
+    k = case["k"]
+
+    greca = Greca(consensus, k=k).run(build_index(case))
+    greca_twisted = Greca(consensus, k=k).run(build_index(twisted))
+    assert greca.sequential_accesses == greca_twisted.sequential_accesses
+    assert greca.random_accesses == greca_twisted.random_accesses
+    assert greca.total_entries == greca_twisted.total_entries
+    assert greca.percent_sequential_accesses == greca_twisted.percent_sequential_accesses
+    assert greca.items == greca_twisted.items
+
+    ta = ThresholdAlgorithmBaseline(consensus, k=k).run(build_index(case))
+    ta_twisted = ThresholdAlgorithmBaseline(consensus, k=k).run(build_index(twisted))
+    assert ta.sequential_accesses == ta_twisted.sequential_accesses
+    assert ta.random_accesses == ta_twisted.random_accesses
+    assert ta.items == ta_twisted.items
+
+
+def assert_greca_results_identical(left, right) -> None:
+    """Two GRECA runs must agree on every observable, bit for bit."""
+    assert left.items == right.items
+    assert left.bounds == right.bounds
+    assert left.exact_scores == right.exact_scores
+    assert left.sequential_accesses == right.sequential_accesses
+    assert left.random_accesses == right.random_accesses
+    assert left.total_entries == right.total_entries
+    assert left.rounds == right.rounds
+    assert left.stopping == right.stopping
+    assert left.k == right.k
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_index_factory_reuse_is_bit_identical(seed):
+    """Factory-derived indexes behave exactly like fresh per-point construction."""
+    case = random_case(seed)
+    consensus = make_consensus(case["consensus"])
+    algorithm = Greca(consensus, k=case["k"])
+    factory = GrecaIndexFactory(case["members"], case["aprefs"], max_apref=MAX_APREF)
+
+    fresh = algorithm.run(build_index(case))
+    derived = algorithm.run(
+        factory.build(
+            case["static"],
+            periodic=case["periodic"],
+            averages=case["averages"],
+            time_model=case["time_model"],
+        )
+    )
+    assert_greca_results_identical(fresh, derived)
+
+    # Column-sliced substrate: restriction to a random item subset.
+    rng = random.Random(314_000 + seed)
+    n_subset = max(case["k"], (len(case["items"]) + 1) // 2)
+    subset = rng.sample(case["items"], min(n_subset, len(case["items"])))
+    sub_case = dict(
+        case,
+        items=subset,
+        aprefs={
+            member: {item: prefs[item] for item in subset}
+            for member, prefs in case["aprefs"].items()
+        },
+    )
+    fresh_subset = algorithm.run(build_index(sub_case))
+    derived_subset = algorithm.run(
+        factory.build(
+            case["static"],
+            periodic=case["periodic"],
+            averages=case["averages"],
+            time_model=case["time_model"],
+            items=subset,
+        )
+    )
+    assert_greca_results_identical(fresh_subset, derived_subset)
