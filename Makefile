@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all test test-fast bench bench-engine bench-record bench-all golden
+.PHONY: all test test-fast test-parallel test-slow bench bench-engine bench-record bench-record-paper bench-all golden
 
 # Default: the fast equivalence suite (golden grid + property/metamorphic
 # tests) plus the perf budget gate, so access-equivalence and performance
@@ -18,6 +18,18 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q
 
+# Serial ≡ parallel equivalence of the sharded group-evaluation layer
+# (shard planner, process workers, order-restoring merge; shard counts
+# {1, 2, 3, 7} plus random-partition property cases).
+test-parallel:
+	$(PYTHON) -m pytest tests/test_parallel_equivalence.py -q
+
+# Minutes-scale opt-in tests (full MovieLens-1M synthetic substrate,
+# Table 5 headline statistics).  Gated behind the `slow` marker via
+# REPRO_RUN_SLOW so plain `pytest` stays fast.
+test-slow:
+	REPRO_RUN_SLOW=1 $(PYTHON) -m pytest tests/ -q -m slow
+
 # Fail-fast perf gate: one scalability point (3,900 items, 8 groups) under a
 # wall-clock budget.  Exits non-zero when the engine regresses past the budget.
 bench:
@@ -30,6 +42,13 @@ bench-engine:
 # Append a measured engine record to BENCH_engine.json (LABEL=... required).
 bench-record:
 	$(PYTHON) scripts/bench_engine.py --label $(LABEL)
+
+# Append the sharded paper-scale point (full MovieLens-1M substrate, serial
+# vs N process workers; minutes — builds the 1M-rating environment).
+# Usage: make bench-record-paper LABEL=... [WORKERS=4]
+WORKERS ?= 4
+bench-record-paper:
+	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --paper-scale --workers $(WORKERS)
 
 # Every paper figure/table benchmark (minutes).
 bench-all:

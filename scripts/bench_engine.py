@@ -23,6 +23,15 @@ Four measurements are taken:
 Each invocation *appends* one record to ``BENCH_engine.json`` so the perf
 trajectory accumulates across PRs; the access-count checksum in the record
 doubles as a guard that a faster engine still performs identical work.
+
+``--paper-scale`` records a different point instead: the full MovieLens-1M
+substrate (6,040 users × 3,952 movies × 1,000,209 synthetic ratings) with
+every default group evaluated at every query period, serial versus the
+sharded process-worker path (``make bench-record-paper``).  The record keeps
+the host's usable-CPU count alongside the speedup: process sharding can only
+beat serial when the host actually grants cores, so a single-CPU container
+measures shipment/merge overhead (speedup < 1) while a ≥ 4-core host is
+where the ≥ 1.5× expectation at 4 workers applies.
 """
 
 from __future__ import annotations
@@ -157,6 +166,42 @@ def bench_micro_access() -> dict[str, object]:
     return record
 
 
+def bench_parallel_paper_scale(n_workers: int = 4) -> dict[str, object]:
+    """Serial vs sharded evaluation over the full Table 5-scale substrate."""
+    from repro.experiments.scalability import ScalabilityConfig, run_paper_scale
+
+    config = ScalabilityConfig.paper_scale()
+    result = run_paper_scale(n_workers=n_workers, config=config)
+    print(result.format_summary())
+    if not result.identical:  # the record must never hide an equivalence break
+        raise SystemExit("paper-scale sharded records diverged from serial")
+    record: dict[str, object] = {}
+    if result.n_cpus < result.n_workers:
+        record["note"] = (
+            f"host grants {result.n_cpus} cpu(s) for {result.n_workers} workers: "
+            "this point measures shipment/merge overhead, not parallel speedup; "
+            "the >=1.5x expectation applies on hosts with >= n_workers cores"
+        )
+    record.update(
+        n_users=config.n_users,
+        n_items=config.n_items,
+        n_ratings=config.n_ratings,
+        n_groups=result.n_groups,
+        n_periods=result.n_periods,
+        n_tasks=result.n_tasks,
+        n_workers=result.n_workers,
+        n_cpus=result.n_cpus,
+        setup_seconds=round(result.setup_seconds, 4),
+        serial_seconds=round(result.serial_seconds, 4),
+        sharded_seconds=round(result.sharded_seconds, 4),
+        speedup=round(result.speedup, 3),
+        sa_checksum=result.sa_checksum,
+        mean_percent_sa=round(result.stats.mean_percent_sa, 3),
+        identical=result.identical,
+    )
+    return record
+
+
 def git_revision() -> str:
     try:
         return subprocess.run(
@@ -174,17 +219,34 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", required=True, help="short tag for this measurement")
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="record the sharded paper-scale point (full MovieLens-1M substrate, "
+        "serial vs process workers) instead of the default engine sections",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count for the --paper-scale sharded run (default: 4)",
+    )
     args = parser.parse_args(argv)
 
     record = {
         "label": args.label,
         "git": git_revision(),
         "python": platform.python_version(),
-        "greca_end_to_end": bench_greca_end_to_end(repeats=args.repeats),
-        "baselines": bench_baselines(repeats=args.repeats),
-        "figure_suite": bench_figure_suite(),
-        "micro_sequential": bench_micro_access(),
     }
+    if args.paper_scale:
+        record["parallel_paper_scale"] = bench_parallel_paper_scale(n_workers=args.workers)
+    else:
+        record.update(
+            greca_end_to_end=bench_greca_end_to_end(repeats=args.repeats),
+            baselines=bench_baselines(repeats=args.repeats),
+            figure_suite=bench_figure_suite(),
+            micro_sequential=bench_micro_access(),
+        )
 
     target = os.path.join(ROOT, "BENCH_engine.json")
     history = []

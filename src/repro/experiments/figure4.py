@@ -79,6 +79,8 @@ def run(
     start: int = 0,
     span_days: int = 365,
     seed: int = 29,
+    n_workers: int | None = None,
+    executor=None,
 ) -> Figure4Result:
     """Regenerate Figure 4.
 
@@ -92,6 +94,11 @@ def run(
         The observation window.
     seed:
         Seed for the generated cohort when ``social`` is omitted.
+    n_workers / executor:
+        Accepted so the runner can pass the same parallelism knobs to every
+        figure 4-8 driver; this figure measures per-granularity period
+        statistics (no group evaluation), so the knobs have nothing to shard
+        and the driver always runs serially.
     """
     end = start + span_days * 86_400 - 1
     if social is None:

@@ -92,30 +92,37 @@ def run(
     k_values: Sequence[int] = DEFAULT_K_VALUES,
     group_sizes: Sequence[int] = DEFAULT_GROUP_SIZES,
     item_fractions: Sequence[float] = DEFAULT_ITEM_FRACTIONS,
+    n_workers: int | None = None,
+    executor=None,
 ) -> Figure5Result:
     """Regenerate Figure 5 on the (possibly scaled-down) substrate.
 
     Index construction is shared through the environment's reuse layer: the
     ``k`` sweep reuses each group's index outright, and the item-count sweep
     column-slices the group's columnar substrate instead of rebuilding it.
+    ``n_workers=`` / ``executor=`` shard each sweep point's group evaluations
+    across process workers (serial reference semantics by default).
     """
     environment = environment or ScalabilityEnvironment(config)
     base_groups = environment.random_groups()
+    knobs = dict(n_workers=n_workers, executor=executor)
 
     varying_k = {
-        k: environment.average_percent_sa(base_groups, k=k) for k in k_values
+        k: environment.average_percent_sa(base_groups, k=k, **knobs) for k in k_values
     }
 
     varying_group_size = {}
     for size in group_sizes:
         groups = environment.random_groups(group_size=size)
-        varying_group_size[size] = environment.average_percent_sa(groups)
+        varying_group_size[size] = environment.average_percent_sa(groups, **knobs)
 
     n_catalogue = len(environment.ratings.items)
     varying_items = {}
     for fraction in item_fractions:
         n_items = max(environment.config.k + 1, int(round(fraction * n_catalogue)))
-        varying_items[n_items] = environment.average_percent_sa(base_groups, n_items=n_items)
+        varying_items[n_items] = environment.average_percent_sa(
+            base_groups, n_items=n_items, **knobs
+        )
 
     return Figure5Result(
         varying_k=varying_k,

@@ -17,8 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.core.greca import Greca
-from repro.core.consensus import make_consensus
 from repro.experiments.scalability import (
     AccessStats,
     ScalabilityConfig,
@@ -65,25 +63,29 @@ def run(
     environment: ScalabilityEnvironment | None = None,
     config: ScalabilityConfig | None = None,
     groups: Sequence[Sequence[int]] | None = None,
+    n_workers: int | None = None,
+    executor=None,
 ) -> Figure6Result:
-    """Regenerate Figure 6: one GRECA run per group per query period."""
+    """Regenerate Figure 6: one GRECA run per group per query period.
+
+    The reuse layer shares each group's columnar preference substrate across
+    all query periods; only the per-period affinity dictionaries are rebuilt.
+    ``n_workers=`` / ``executor=`` shard each period's group runs across
+    process workers (serial reference semantics by default).
+    """
     environment = environment or ScalabilityEnvironment(config)
     groups = groups or environment.random_groups()
-    consensus = make_consensus(environment.config.consensus)
 
     percent_sa: dict[int, AccessStats] = {}
     mean_accesses: dict[int, float] = {}
     for period_index, period in enumerate(environment.timeline):
-        values = []
-        accesses = []
-        for group in groups:
-            # The reuse layer shares each group's columnar preference
-            # substrate across all query periods; only the per-period
-            # affinity dictionaries are rebuilt.
-            index = environment.cached_index(group, period=period)
-            result = Greca(consensus, k=environment.config.k).run(index)
-            values.append(result.percent_sequential_accesses)
-            accesses.append(result.sequential_accesses)
-        percent_sa[period_index] = summarize_percent_sa(values)
-        mean_accesses[period_index] = sum(accesses) / len(accesses)
+        records = environment.run_records(
+            groups, period=period, n_workers=n_workers, executor=executor
+        )
+        percent_sa[period_index] = summarize_percent_sa(
+            [record.percent_sa for record in records]
+        )
+        mean_accesses[period_index] = sum(
+            record.sequential_accesses for record in records
+        ) / len(records)
     return Figure6Result(percent_sa=percent_sa, mean_accesses=mean_accesses)

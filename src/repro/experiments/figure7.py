@@ -20,7 +20,6 @@ from repro.experiments.scalability import (
     AccessStats,
     ScalabilityConfig,
     ScalabilityEnvironment,
-    summarize_percent_sa,
 )
 from repro.groups.formation import GroupFormer
 
@@ -89,8 +88,10 @@ def run(
     config: ScalabilityConfig | None = None,
     n_groups_per_class: int = 4,
     group_size: int | None = None,
+    n_workers: int | None = None,
+    executor=None,
 ) -> Figure7Result:
-    """Regenerate Figure 7."""
+    """Regenerate Figure 7 (``n_workers=`` shards each class's group runs)."""
     environment = environment or ScalabilityEnvironment(config)
     group_size = group_size or environment.config.group_size
     per_class = _class_groups(
@@ -99,6 +100,7 @@ def run(
 
     percent_sa = {}
     for group_class, groups in per_class.items():
-        values = [environment.percent_sa(group) for group in groups]
-        percent_sa[group_class] = summarize_percent_sa(values)
+        percent_sa[group_class] = environment.average_percent_sa(
+            groups, n_workers=n_workers, executor=executor
+        )
     return Figure7Result(percent_sa=percent_sa)

@@ -68,13 +68,21 @@ def run(
     environment: ScalabilityEnvironment | None = None,
     config: ScalabilityConfig | None = None,
     groups: Sequence[Sequence[int]] | None = None,
+    n_workers: int | None = None,
+    executor=None,
 ) -> Figure8Result:
-    """Regenerate Figure 8 on the shared substrate."""
+    """Regenerate Figure 8 on the shared substrate.
+
+    ``n_workers=`` / ``executor=`` shard each consensus function's group
+    runs across process workers (serial reference semantics by default).
+    """
     environment = environment or ScalabilityEnvironment(config)
     groups = groups or environment.random_groups()
 
     percent_sa = {
-        name: environment.average_percent_sa(groups, consensus=name)
+        name: environment.average_percent_sa(
+            groups, consensus=name, n_workers=n_workers, executor=executor
+        )
         for name in CONSENSUS_FUNCTIONS
     }
     return Figure8Result(percent_sa=percent_sa)

@@ -8,6 +8,9 @@ Usage::
     python -m repro.experiments.runner --quick         # perf smoke gate (one
                                                        # scalability point under
                                                        # a time budget)
+    python -m repro.experiments.runner --workers 4     # shard group evaluation
+                                                       # across 4 process workers
+                                                       # (bit-identical results)
 
 Each experiment prints the same rows/series the paper reports (with the
 paper's own values alongside where they are known).  Quality experiments
@@ -48,12 +51,18 @@ EXPERIMENTS = (
 )
 
 
-def run_all(names: Iterable[str] | None = None, print_fn: Callable[[str], None] = print) -> dict[str, object]:
+def run_all(
+    names: Iterable[str] | None = None,
+    print_fn: Callable[[str], None] = print,
+    n_workers: int | None = None,
+) -> dict[str, object]:
     """Run the selected experiments (all of them by default) and print their tables.
 
     Returns a mapping from experiment name to its result object, so that the
     function is also usable programmatically (EXPERIMENTS.md was produced from
-    these results).
+    these results).  ``n_workers`` shards the group evaluations of the
+    figure 4-8 drivers across process workers (results are bit-identical to
+    the serial run).
     """
     selected = list(names) if names else list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
@@ -89,15 +98,15 @@ def run_all(names: Iterable[str] | None = None, print_fn: Callable[[str], None] 
         elif name == "figure3":
             result = figure3.run(environment=study_environment())
         elif name == "figure4":
-            result = figure4.run()
+            result = figure4.run(n_workers=n_workers)
         elif name == "figure5":
-            result = figure5.run(environment=scalability_environment())
+            result = figure5.run(environment=scalability_environment(), n_workers=n_workers)
         elif name == "figure6":
-            result = figure6.run(environment=scalability_environment())
+            result = figure6.run(environment=scalability_environment(), n_workers=n_workers)
         elif name == "figure7":
-            result = figure7.run(environment=scalability_environment())
+            result = figure7.run(environment=scalability_environment(), n_workers=n_workers)
         else:
-            result = figure8.run(environment=scalability_environment())
+            result = figure8.run(environment=scalability_environment(), n_workers=n_workers)
         results[name] = result
         print_fn(result.format_table())
     return results
@@ -114,7 +123,17 @@ def main(argv: list[str] | None = None) -> int:
         help="perf smoke: run one scalability point under a time budget and "
         "exit non-zero when the budget is blown",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard group evaluations across N process workers "
+        "(default: serial; results are bit-identical either way)",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers <= 0:
+        raise SystemExit("--workers must be positive")
     if args.list:
         print("\n".join(EXPERIMENTS))
         return 0
@@ -123,10 +142,10 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit("--quick does not combine with experiment names")
         from repro.experiments.scalability import run_quick_smoke
 
-        result = run_quick_smoke()
+        result = run_quick_smoke(n_workers=args.workers)
         print(result.format_summary())
         return 0 if result.within_budget else 1
-    run_all(args.experiments or None)
+    run_all(args.experiments or None, n_workers=args.workers)
     return 0
 
 

@@ -21,10 +21,22 @@ dictionaries — never the preference matrix.  Cached indexes are immutable
 between runs (every :meth:`Greca.run` materialises fresh lists/counters), and
 the reuse layer is proven bit-identical to per-point construction by
 ``tests/test_engine_properties.py`` and the golden-grid reuse test.
+
+Group evaluation is embarrassingly parallel — every figure averages over
+independent groups sharing a read-only substrate — so the measurement
+methods accept ``n_workers=`` / ``executor=`` knobs routing the runs through
+:mod:`repro.parallel`: tasks are sharded across process workers, each worker
+receives the memoised per-group factories of its shard (pickled once per
+shard, never rebuilt), and the per-shard records merge back deterministically
+in group order.  Serial stays the default and the reference semantics;
+``tests/test_parallel_equivalence.py`` proves the sharded path bit-identical
+to it.  :func:`run_paper_scale` drives the full Table 5-scale substrate
+(:meth:`ScalabilityConfig.paper_scale`) through that layer.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from statistics import mean, stdev
@@ -34,11 +46,25 @@ from repro.core.consensus import ConsensusFunction, make_consensus
 from repro.core.greca import Greca, GrecaIndex, GrecaIndexFactory
 from repro.core.recommender import GroupRecommender
 from repro.core.timeline import Period, Timeline, one_year_timeline
-from repro.data.movielens import MovieLensConfig, generate_movielens_like
+from repro.data.movielens import (
+    MOVIELENS_1M_MOVIES,
+    MOVIELENS_1M_RATINGS,
+    MOVIELENS_1M_USERS,
+    MovieLensConfig,
+    generate_movielens_like,
+)
 from repro.data.ratings import RatingsDataset
 from repro.data.social import SocialConfig, SocialNetwork, SocialNetworkGenerator
 from repro.exceptions import ConfigurationError
 from repro.groups.formation import GroupFormer
+from repro.parallel import (
+    GroupEvalTask,
+    GroupRunRecord,
+    ShardExecutor,
+    evaluate_tasks,
+    group_key,
+    record_from_result,
+)
 
 #: Paper defaults (Section 4.2, "Experiment Settings").
 DEFAULT_N_GROUPS = 20
@@ -73,6 +99,26 @@ class ScalabilityConfig:
             raise ConfigurationError("need at least group_size participants")
         if self.n_groups <= 0 or self.group_size < 2:
             raise ConfigurationError("n_groups must be positive and group_size >= 2")
+
+    @classmethod
+    def paper_scale(cls, seed: int = 17) -> "ScalabilityConfig":
+        """The paper's full MovieLens-1M substrate (Section 4.2, Table 5).
+
+        6,040 users, 3,952 movies, 1,000,209 synthetic ratings, the paper's
+        20 random groups of 6 over 48 study-scale participants.  Building
+        this environment takes on the order of a minute (dataset generation
+        plus CF fitting), which is why it lives behind an explicit preset —
+        the sharded paper-scale bench (``scripts/bench_engine.py
+        --paper-scale``) and the slow MovieLens scale test are its users.
+        """
+        return cls(
+            n_users=MOVIELENS_1M_USERS,
+            n_items=MOVIELENS_1M_MOVIES,
+            n_ratings=MOVIELENS_1M_RATINGS,
+            n_participants=48,
+            n_groups=DEFAULT_N_GROUPS,
+            seed=seed,
+        )
 
 
 @dataclass(frozen=True)
@@ -129,9 +175,29 @@ class ScalabilityEnvironment:
 
     # -- index reuse -----------------------------------------------------------------------------
 
+    @staticmethod
+    def _memo_key(
+        group: Sequence[int], affinity: str, period: Period | None, n_items: int | None
+    ) -> tuple:
+        """Canonical memo key for one sweep point.
+
+        Built exclusively from hashable, shipment-stable values: the group as
+        a tuple of python ints (never the caller's list, never numpy
+        integers), the affinity name as ``str`` and ``n_items`` as a plain
+        ``int``.  The same canonical group key addresses the factory cache,
+        so the parallel layer can ship memoised factories to workers keyed
+        identically on both sides of the pickle boundary.
+        """
+        return (
+            group_key(group),
+            str(affinity),
+            period,
+            None if n_items is None else int(n_items),
+        )
+
     def index_factory(self, group: Sequence[int]) -> GrecaIndexFactory:
         """The (memoised) per-group index factory over the full catalogue."""
-        key = tuple(group)
+        key = group_key(group)
         factory = self._index_factories.get(key)
         if factory is None:
             factory = self.recommender.index_factory(list(group), exclude_rated=False)
@@ -155,7 +221,7 @@ class ScalabilityEnvironment:
         """
         if period is None and self.timeline is not None:
             period = self.timeline.current
-        key = (tuple(group), affinity, period, n_items)
+        key = self._memo_key(group, affinity, period, n_items)
         index = self._index_cache.get(key)
         if index is None:
             static, periodic, averages, time_model = self.recommender.affinity_components(
@@ -193,6 +259,13 @@ class ScalabilityEnvironment:
 
     # -- measurement ------------------------------------------------------------------------------
 
+    def _consensus_fn(
+        self, consensus: str | ConsensusFunction | None
+    ) -> ConsensusFunction:
+        if isinstance(consensus, ConsensusFunction):
+            return consensus
+        return make_consensus(consensus or self.config.consensus)
+
     def percent_sa(
         self,
         group: Sequence[int],
@@ -203,14 +276,115 @@ class ScalabilityEnvironment:
         n_items: int | None = None,
     ) -> float:
         """%SA of one GRECA run for one group (index built through the reuse layer)."""
-        consensus_fn = (
-            consensus
-            if isinstance(consensus, ConsensusFunction)
-            else make_consensus(consensus or self.config.consensus)
-        )
+        consensus_fn = self._consensus_fn(consensus)
         index = self.cached_index(group, period=period, affinity=affinity, n_items=n_items)
         result = Greca(consensus_fn, k=k or self.config.k).run(index)
         return result.percent_sequential_accesses
+
+    def task_for(
+        self,
+        group: Sequence[int],
+        k: int | None = None,
+        consensus: str | ConsensusFunction | None = None,
+        affinity: str = "discrete",
+        period: Period | None = None,
+        n_items: int | None = None,
+    ) -> GroupEvalTask:
+        """Materialise one sweep point as a shippable :class:`GroupEvalTask`.
+
+        Resolves everything a worker must not touch — the consensus function,
+        the query period, the affinity dictionaries, the restricted item
+        tuple — and warms the group's factory in the (memoised) factory
+        cache, so dispatching the task ships the cached factory instead of
+        rebuilding the preference substrate per worker.
+        """
+        if period is None and self.timeline is not None:
+            period = self.timeline.current
+        static, periodic, averages, time_model = self.recommender.affinity_components(
+            list(group), period=period, affinity=affinity
+        )
+        self.index_factory(group)  # warm the shared substrate before shipping
+        items = (
+            tuple(self.ratings.items[: int(n_items)]) if n_items is not None else None
+        )
+        return GroupEvalTask(
+            group=group_key(group),
+            k=int(k or self.config.k),
+            consensus=self._consensus_fn(consensus),
+            static=static,
+            periodic=periodic,
+            averages=averages,
+            time_model=time_model,
+            items=items,
+        )
+
+    def evaluate(
+        self,
+        tasks: Sequence[GroupEvalTask],
+        n_workers: int | None = None,
+        executor: ShardExecutor | str | None = None,
+    ) -> list[GroupRunRecord]:
+        """Evaluate materialised tasks, serially or through the sharded layer.
+
+        Without parallel knobs the tasks run in-process in task order through
+        the same ``factory.build`` + :class:`Greca` path the workers use —
+        the serial reference semantics.  With ``n_workers`` (and/or an
+        explicit ``executor``) the tasks are partitioned into shards, each
+        worker receives the pickled factories of its shard's groups, and the
+        per-shard records are merged back deterministically in task order —
+        bit-identical to the serial run (``tests/test_parallel_equivalence
+        .py``).
+        """
+        if n_workers is None and executor is None:
+            from repro.parallel.worker import run_task
+
+            return [run_task(task, self.index_factory(task.group)) for task in tasks]
+        for task in tasks:  # warm any factory not already memoised by task_for
+            self.index_factory(task.group)
+        return evaluate_tasks(
+            tasks,
+            self._index_factories,
+            n_shards=n_workers,
+            executor=executor,
+        )
+
+    def run_records(
+        self,
+        groups: Sequence[Sequence[int]],
+        k: int | None = None,
+        consensus: str | ConsensusFunction | None = None,
+        affinity: str = "discrete",
+        period: Period | None = None,
+        n_items: int | None = None,
+        n_workers: int | None = None,
+        executor: ShardExecutor | str | None = None,
+    ) -> list[GroupRunRecord]:
+        """One GRECA run record per group, in group order.
+
+        Serial (the default) goes through :meth:`cached_index`, so repeated
+        sweep points reuse finished index objects outright; the sharded path
+        (``n_workers=`` / ``executor=``) ships each shard the memoised
+        factories of its groups and rebuilds the per-point indexes
+        worker-side — a bit-identical computation by the reuse layer's
+        equivalence guarantee.
+        """
+        if n_workers is None and executor is None:
+            consensus_fn = self._consensus_fn(consensus)
+            records = []
+            for group in groups:
+                index = self.cached_index(
+                    group, period=period, affinity=affinity, n_items=n_items
+                )
+                result = Greca(consensus_fn, k=k or self.config.k).run(index)
+                records.append(record_from_result(group_key(group), result))
+            return records
+        tasks = [
+            self.task_for(
+                group, k=k, consensus=consensus, affinity=affinity, period=period, n_items=n_items
+            )
+            for group in groups
+        ]
+        return self.evaluate(tasks, n_workers=n_workers, executor=executor)
 
     def average_percent_sa(
         self,
@@ -220,15 +394,27 @@ class ScalabilityEnvironment:
         affinity: str = "discrete",
         period: Period | None = None,
         n_items: int | None = None,
+        n_workers: int | None = None,
+        executor: ShardExecutor | str | None = None,
     ) -> AccessStats:
-        """Average %SA over a collection of groups (one GRECA run each)."""
-        values = [
-            self.percent_sa(
-                group, k=k, consensus=consensus, affinity=affinity, period=period, n_items=n_items
-            )
-            for group in groups
-        ]
-        return summarize_percent_sa(values)
+        """Average %SA over a collection of groups (one GRECA run each).
+
+        ``n_workers=`` / ``executor=`` route the runs through the sharded
+        layer; the per-group %SA values are merged back in group order before
+        averaging, so the reported mean and standard error are bit-identical
+        to the serial run.
+        """
+        records = self.run_records(
+            groups,
+            k=k,
+            consensus=consensus,
+            affinity=affinity,
+            period=period,
+            n_items=n_items,
+            n_workers=n_workers,
+            executor=executor,
+        )
+        return summarize_percent_sa([record.percent_sa for record in records])
 
 
 # -- perf smoke gate ----------------------------------------------------------------------------
@@ -251,6 +437,8 @@ class QuickSmokeResult:
     measure_seconds: float
     total_budget: float
     measure_budget: float
+    n_workers: int | None = None
+    sharded: bool = False
 
     @property
     def within_budget(self) -> bool:
@@ -261,9 +449,15 @@ class QuickSmokeResult:
     def format_summary(self) -> str:
         """One-paragraph human-readable summary for the CLI."""
         verdict = "OK" if self.within_budget else "OVER BUDGET"
+        if not self.sharded:
+            workers = "serial"
+        elif self.n_workers is not None:
+            workers = f"{self.n_workers} workers"
+        else:
+            workers = "sharded"  # custom executor, worker count unknown here
         return (
             f"quick smoke [{verdict}]: mean %SA={self.stats.mean_percent_sa:.2f} "
-            f"(±{self.stats.std_error:.2f}, {self.stats.n_runs} groups) | "
+            f"(±{self.stats.std_error:.2f}, {self.stats.n_runs} groups, {workers}) | "
             f"setup {self.setup_seconds:.2f}s + measure {self.measure_seconds:.2f}s "
             f"(budgets: total {self.total_budget:.0f}s, measure {self.measure_budget:.1f}s)"
         )
@@ -273,6 +467,8 @@ def run_quick_smoke(
     total_budget: float = QUICK_SMOKE_TOTAL_BUDGET,
     measure_budget: float = QUICK_SMOKE_MEASURE_BUDGET,
     config: ScalabilityConfig | None = None,
+    n_workers: int | None = None,
+    executor: ShardExecutor | str | None = None,
 ) -> QuickSmokeResult:
     """Run one default scalability point under a wall-clock budget.
 
@@ -282,23 +478,154 @@ def run_quick_smoke(
     paper's 3,900-item point, and reports whether the setup-plus-measurement
     time fits the budgets.  Callers (the Makefile, CI) should fail when
     :attr:`QuickSmokeResult.within_budget` is ``False``.
+
+    Serial (the default, and what the budgets are calibrated against)
+    measures the engine alone over pre-built indexes.  With ``n_workers=``
+    the measured phase instead routes the same groups through the sharded
+    layer, so it additionally covers shard planning, factory shipment and the
+    order-restoring merge — the statistics are bit-identical either way.
     """
     start = time.perf_counter()
     environment = ScalabilityEnvironment(config)
     consensus = make_consensus(environment.config.consensus)
-    indexes = environment.build_default_indexes()
+    # One draw of the default groups serves both paths (random_groups draws
+    # fresh groups per call).
+    groups = environment.random_groups()
+    serial = n_workers is None and executor is None
+    if serial:
+        # cached_index pre-builds exactly what build_default_indexes would.
+        indexes = [environment.cached_index(group) for group in groups]
+    else:
+        # The sharded path never touches finished indexes — workers rebuild
+        # them from the factories — so setup only warms what ships.
+        for group in groups:
+            environment.index_factory(group)
     setup_seconds = time.perf_counter() - start
 
-    # Measure the engine only: indexes are pre-built, so the measured phase is
-    # exactly what BENCH_engine.json tracks (list build + algorithm + result).
-    start = time.perf_counter()
-    results = [Greca(consensus, k=environment.config.k).run(index) for index in indexes]
-    measure_seconds = time.perf_counter() - start
-    stats = summarize_percent_sa([result.percent_sequential_accesses for result in results])
+    if serial:
+        # Measure the engine only: indexes are pre-built, so the measured
+        # phase is exactly what BENCH_engine.json tracks (list build +
+        # algorithm + result).
+        start = time.perf_counter()
+        results = [Greca(consensus, k=environment.config.k).run(index) for index in indexes]
+        measure_seconds = time.perf_counter() - start
+        values = [result.percent_sequential_accesses for result in results]
+    else:
+        start = time.perf_counter()
+        records = environment.run_records(groups, n_workers=n_workers, executor=executor)
+        measure_seconds = time.perf_counter() - start
+        values = [record.percent_sa for record in records]
+    stats = summarize_percent_sa(values)
     return QuickSmokeResult(
         stats=stats,
         setup_seconds=setup_seconds,
         measure_seconds=measure_seconds,
         total_budget=total_budget,
         measure_budget=measure_budget,
+        n_workers=n_workers,
+        sharded=not serial,
+    )
+
+
+# -- paper-scale sharded run --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PaperScaleResult:
+    """Serial-vs-sharded comparison over the full MovieLens-1M-scale substrate.
+
+    The workload is the paper's Figure 6 sweep at Table 5 scale: every
+    default random group evaluated at every query period of the timeline
+    (``n_tasks = n_groups × n_periods`` GRECA runs over the 6,040 × 3,952
+    synthetic substrate).  ``identical`` asserts the sharded records match
+    the serial ones bit-for-bit; ``speedup`` is wall-clock serial over
+    sharded.  Meaningful speedups require actual cores — ``n_cpus`` records
+    how many this host granted, and on a single-CPU host the sharded run
+    measures pure overhead (expect ``speedup < 1``; the ≥ 1.5× target at 4
+    workers applies to hosts with ≥ 4 usable cores).
+    """
+
+    stats: AccessStats
+    serial_seconds: float
+    sharded_seconds: float
+    setup_seconds: float
+    n_workers: int
+    n_tasks: int
+    n_groups: int
+    n_periods: int
+    n_cpus: int
+    sa_checksum: int
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Serial wall time over sharded wall time."""
+        if self.sharded_seconds <= 0:
+            return float("inf")
+        return self.serial_seconds / self.sharded_seconds
+
+    def format_summary(self) -> str:
+        """One-paragraph human-readable summary for the CLI."""
+        verdict = "bit-identical" if self.identical else "MISMATCH"
+        return (
+            f"paper scale [{verdict}]: {self.n_tasks} runs "
+            f"({self.n_groups} groups × {self.n_periods} periods) | "
+            f"serial {self.serial_seconds:.2f}s vs sharded {self.sharded_seconds:.2f}s "
+            f"@ {self.n_workers} workers on {self.n_cpus} cpu(s) "
+            f"→ speedup {self.speedup:.2f}× | mean %SA={self.stats.mean_percent_sa:.2f}, "
+            f"SA checksum {self.sa_checksum}"
+        )
+
+
+def run_paper_scale(
+    n_workers: int = 4,
+    executor: ShardExecutor | str | None = None,
+    config: ScalabilityConfig | None = None,
+    environment: ScalabilityEnvironment | None = None,
+) -> PaperScaleResult:
+    """Run the full MovieLens-1M-scale substrate through the sharded path.
+
+    Builds the :meth:`ScalabilityConfig.paper_scale` environment (unless one
+    is supplied), materialises the all-periods × all-groups task list once,
+    then times the serial reference evaluation against one sharded dispatch
+    at ``n_workers`` shards and verifies the merged records are
+    bit-identical.  ``scripts/bench_engine.py --paper-scale`` appends the
+    outcome to ``BENCH_engine.json``.
+    """
+    start = time.perf_counter()
+    if environment is None:
+        environment = ScalabilityEnvironment(config or ScalabilityConfig.paper_scale())
+    groups = environment.random_groups()
+    periods = list(environment.timeline)
+    # Group-major order keeps each group's tasks contiguous, so a contiguous
+    # shard plan ships every factory to at most two shards instead of all of
+    # them — shipment cost is the sharded path's main overhead at this scale.
+    tasks = [
+        environment.task_for(group, period=period)
+        for group in groups
+        for period in periods
+    ]
+    setup_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    serial_records = environment.evaluate(tasks)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded_records = environment.evaluate(tasks, n_workers=n_workers, executor=executor)
+    sharded_seconds = time.perf_counter() - start
+
+    stats = summarize_percent_sa([record.percent_sa for record in sharded_records])
+    return PaperScaleResult(
+        stats=stats,
+        serial_seconds=serial_seconds,
+        sharded_seconds=sharded_seconds,
+        setup_seconds=setup_seconds,
+        n_workers=n_workers,
+        n_tasks=len(tasks),
+        n_groups=len(groups),
+        n_periods=len(periods),
+        n_cpus=len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1),
+        sa_checksum=sum(record.sequential_accesses for record in sharded_records),
+        identical=sharded_records == serial_records,
     )

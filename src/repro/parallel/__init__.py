@@ -1,0 +1,64 @@
+"""Sharded parallel group-evaluation layer.
+
+The paper's scalability study evaluates many independent groups over one
+shared, read-only index substrate — an embarrassingly parallel workload.
+This package partitions those evaluations across process workers while
+keeping the serial semantics bit-exact:
+
+* :mod:`repro.parallel.sharding` — deterministic shard planning (any
+  partition of the task indices is a valid plan);
+* :mod:`repro.parallel.worker` — picklable task/record/payload types and the
+  worker-side loop (``factory.build`` + ``Greca.run`` per task);
+* :mod:`repro.parallel.pool` — the ``serial`` (in-process) and ``process``
+  (``concurrent.futures``) shard executors;
+* :mod:`repro.parallel.merge` — order-restoring merge of per-shard records;
+* :mod:`repro.parallel.evaluation` — the :func:`evaluate_tasks` pipeline
+  gluing the four together.
+
+Serial execution remains the reference semantics everywhere: the sharded
+path must (and, per ``tests/test_parallel_equivalence.py``, does) reproduce
+the serial records — access counts, %SA values, top-k items, stopping
+reasons — bit-for-bit for every shard count and every partition.
+"""
+
+from repro.parallel.evaluation import build_payloads, evaluate_tasks
+from repro.parallel.merge import merge_shard_records
+from repro.parallel.pool import (
+    EXECUTOR_PROCESS,
+    EXECUTOR_SERIAL,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    resolve_executor,
+)
+from repro.parallel.sharding import ShardPlan, plan_shards
+from repro.parallel.worker import (
+    GroupEvalTask,
+    GroupRunRecord,
+    ShardPayload,
+    group_key,
+    record_from_result,
+    run_shard,
+    run_task,
+)
+
+__all__ = [
+    "EXECUTOR_PROCESS",
+    "EXECUTOR_SERIAL",
+    "GroupEvalTask",
+    "GroupRunRecord",
+    "ProcessShardExecutor",
+    "SerialShardExecutor",
+    "ShardExecutor",
+    "ShardPayload",
+    "ShardPlan",
+    "build_payloads",
+    "evaluate_tasks",
+    "group_key",
+    "merge_shard_records",
+    "plan_shards",
+    "record_from_result",
+    "resolve_executor",
+    "run_shard",
+    "run_task",
+]

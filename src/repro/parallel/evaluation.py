@@ -1,0 +1,98 @@
+"""Orchestration: plan shards, build payloads, execute, merge.
+
+:func:`evaluate_tasks` is the engine-level entry point of the sharded layer:
+it takes fully materialised :class:`~repro.parallel.worker.GroupEvalTask`
+values plus the factory of every group involved, partitions the tasks,
+ships each shard its payload (tasks + the factories *it* needs) and merges
+the records back into task order.  It knows nothing about recommenders,
+environments or figures — :class:`repro.experiments.scalability
+.ScalabilityEnvironment` builds the tasks and owns the factory cache; the
+equivalence tests drive this function directly with synthetic grid cases.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.merge import merge_shard_records
+from repro.parallel.pool import SerialShardExecutor, ShardExecutor, resolve_executor
+from repro.parallel.sharding import ShardPlan, plan_shards
+from repro.parallel.worker import (
+    GroupEvalTask,
+    GroupKey,
+    GroupRunRecord,
+    ShardPayload,
+)
+
+
+def build_payloads(
+    plan: ShardPlan,
+    tasks: Sequence[GroupEvalTask],
+    factories: Mapping[GroupKey, object],
+) -> list[ShardPayload]:
+    """One payload per shard, shipping only the factories its tasks need."""
+    if plan.n_tasks != len(tasks):
+        raise ConfigurationError(
+            f"shard plan covers {plan.n_tasks} tasks, got {len(tasks)}"
+        )
+    payloads = []
+    for shard_index, indices in enumerate(plan.shards):
+        shard_tasks = tuple(tasks[index] for index in indices)
+        shard_factories = {task.group: factories[task.group] for task in shard_tasks}
+        payloads.append(
+            ShardPayload(
+                shard_index=shard_index,
+                task_indices=indices,
+                tasks=shard_tasks,
+                factories=shard_factories,
+            )
+        )
+    return payloads
+
+
+def evaluate_tasks(
+    tasks: Sequence[GroupEvalTask],
+    factories: Mapping[GroupKey, object],
+    n_shards: int | None = None,
+    executor: ShardExecutor | str | None = None,
+    plan: ShardPlan | None = None,
+) -> list[GroupRunRecord]:
+    """Evaluate tasks through the sharded pipeline; records come back in task order.
+
+    Parameters
+    ----------
+    tasks:
+        Materialised evaluations, one record produced per task.
+    factories:
+        ``{group_key: GrecaIndexFactory}`` for every group referenced by a
+        task (missing groups raise before anything is dispatched).
+    n_shards:
+        Number of shards for the default contiguous plan.  When omitted it
+        is taken from the executor's worker count (one shard per worker);
+        with no executor either, everything runs in one in-process shard —
+        still exercising the full payload/merge pipeline, but never spawning
+        a process just to execute serially.
+    executor:
+        ``"serial"``, ``"process"`` or a
+        :class:`~repro.parallel.pool.ShardExecutor` instance; defaults to
+        the process backend whenever ``n_shards`` asks for fan-out and to
+        the in-process backend otherwise.
+    plan:
+        Explicit shard plan overriding ``n_shards`` — any partition of the
+        task indices is valid and merges to the same result; the
+        shard-plan-invariance tests rely on this hook.
+    """
+    if not tasks:
+        return []
+    if executor is None and n_shards is None:
+        backend: ShardExecutor = SerialShardExecutor()
+    else:
+        backend = resolve_executor(executor, n_shards)
+    if plan is None:
+        if n_shards is None:
+            n_shards = getattr(backend, "n_workers", 1)
+        plan = plan_shards(len(tasks), n_shards)
+    payloads = build_payloads(plan, tasks, factories)
+    shard_records = backend.run(payloads)
+    return merge_shard_records(plan, shard_records)

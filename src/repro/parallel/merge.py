@@ -1,0 +1,47 @@
+"""Deterministic merging of per-shard results back into task order.
+
+The serial reference path produces one record per task, in task order; every
+downstream aggregate (the %SA mean, its standard error, access checksums) is
+computed from that ordered sequence.  Floating-point summation is not
+associative, so the sharded path must reproduce *the same sequence* — not
+just the same multiset — before anything is averaged.  The merger therefore
+scatters each shard's records back to the original task indices recorded in
+the shard plan, in shard order, and refuses plans and results that do not
+line up exactly.  Given any partition of the tasks, the merged output is
+byte-for-byte the serial sequence, which is the invariant
+``tests/test_parallel_equivalence.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.sharding import ShardPlan
+from repro.parallel.worker import GroupRunRecord
+
+
+def merge_shard_records(
+    plan: ShardPlan, shard_records: Sequence[Sequence[GroupRunRecord]]
+) -> list[GroupRunRecord]:
+    """Scatter per-shard records back into original task order.
+
+    ``shard_records[s][j]`` is the record of the ``j``-th task of shard
+    ``s`` — exactly what :func:`repro.parallel.worker.run_shard` returns for
+    :class:`~repro.parallel.worker.ShardPayload` ``s``.
+    """
+    if len(shard_records) != plan.n_shards:
+        raise ConfigurationError(
+            f"got records for {len(shard_records)} shards, plan has {plan.n_shards}"
+        )
+    merged: list[GroupRunRecord | None] = [None] * plan.n_tasks
+    for shard_index, (indices, records) in enumerate(zip(plan.shards, shard_records)):
+        if len(indices) != len(records):
+            raise ConfigurationError(
+                f"shard {shard_index} returned {len(records)} records "
+                f"for {len(indices)} tasks"
+            )
+        for task_index, record in zip(indices, records):
+            merged[task_index] = record
+    # A valid plan covers every index exactly once, so nothing can be None here.
+    return [record for record in merged if record is not None]

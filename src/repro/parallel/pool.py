@@ -1,0 +1,101 @@
+"""Shard executors: where (and how) shard payloads actually run.
+
+Two concrete executors share one tiny interface — a list of
+:class:`~repro.parallel.worker.ShardPayload` values in, one record tuple per
+shard out, *in shard order*:
+
+* :class:`SerialShardExecutor` runs every shard in-process.  It exercises the
+  full shard/merge machinery without any pickling or process management,
+  which makes it the deterministic harness the shard-plan-invariance tests
+  drive (and a useful debugging backend: drop-in, single-threaded,
+  breakpoint-friendly).
+* :class:`ProcessShardExecutor` fans shards out to a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Payloads (factories
+  included) are pickled to the workers; records are pickled back.  Results
+  are collected in submission order, so shard order — and therefore the
+  merged task order — never depends on worker scheduling.
+
+Both are stateless between calls; :class:`ProcessShardExecutor` creates its
+pool per invocation so no worker processes linger between figure runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.worker import GroupRunRecord, ShardPayload, run_shard
+
+#: Executor spelling accepted by the ``executor=`` knobs.
+EXECUTOR_SERIAL = "serial"
+EXECUTOR_PROCESS = "process"
+
+
+class ShardExecutor(abc.ABC):
+    """Runs shard payloads and returns their records in shard order."""
+
+    @abc.abstractmethod
+    def run(self, payloads: Sequence[ShardPayload]) -> list[tuple[GroupRunRecord, ...]]:
+        """Evaluate every payload; element ``s`` holds shard ``s``'s records."""
+
+
+class SerialShardExecutor(ShardExecutor):
+    """In-process executor: the sharded pipeline without processes."""
+
+    def run(self, payloads: Sequence[ShardPayload]) -> list[tuple[GroupRunRecord, ...]]:
+        return [run_shard(payload) for payload in payloads]
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """``concurrent.futures`` process-pool executor, one worker per shard slot.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count.  Callers usually plan exactly ``n_workers``
+        shards, so every worker receives one payload; plans with more shards
+        than workers queue excess shards and drain them as workers free up.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers <= 0:
+            raise ConfigurationError("n_workers must be positive")
+        self.n_workers = n_workers
+
+    def run(self, payloads: Sequence[ShardPayload]) -> list[tuple[GroupRunRecord, ...]]:
+        if not payloads:
+            return []
+        max_workers = min(self.n_workers, len(payloads))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(run_shard, payload) for payload in payloads]
+            return [future.result() for future in futures]
+
+
+def resolve_executor(
+    executor: ShardExecutor | str | None, n_workers: int | None
+) -> ShardExecutor:
+    """Resolve the user-facing ``executor=`` knob into a :class:`ShardExecutor`.
+
+    ``None`` picks the process backend (the only reason to reach the sharded
+    path is to fan out); strings select by name; instances pass through.
+    The process backend demands an explicit worker count — a silent
+    one-worker pool would pickle the whole workload into a single subprocess
+    for zero parallelism, which is never what the caller meant.
+    """
+    if isinstance(executor, ShardExecutor):
+        return executor
+    if executor is None or executor == EXECUTOR_PROCESS:
+        if n_workers is None:
+            raise ConfigurationError(
+                "the process executor needs an explicit worker count: "
+                "pass n_workers (or a ProcessShardExecutor instance)"
+            )
+        return ProcessShardExecutor(n_workers)
+    if executor == EXECUTOR_SERIAL:
+        return SerialShardExecutor()
+    raise ConfigurationError(
+        f"unknown executor {executor!r}; expected {EXECUTOR_SERIAL!r}, "
+        f"{EXECUTOR_PROCESS!r} or a ShardExecutor instance"
+    )

@@ -1,0 +1,71 @@
+"""Shard planning for parallel group evaluation.
+
+A *shard plan* partitions a list of evaluation tasks (identified by their
+position in the task list) into shards.  The planner is deliberately dumb and
+deterministic: contiguous, balanced slices in task order.  Everything
+downstream — the worker, the merger, the equivalence tests — works for *any*
+partition of the task indices, which is exactly the property the
+shard-plan-invariance tests exercise: however the tasks are split, the merged
+records (and therefore the summary statistics) are identical to the serial
+run, because the merger scatters every record back to its original task
+position before anything is aggregated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of ``n_tasks`` task indices into ordered shards.
+
+    ``shards[s]`` holds the original task indices assigned to shard ``s``.
+    The plan must be a true partition — every index in ``range(n_tasks)``
+    appears in exactly one shard — but shards are *not* required to be
+    contiguous or balanced; :func:`plan_shards` merely produces plans that
+    are.
+    """
+
+    n_tasks: int
+    shards: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen: list[int] = [index for shard in self.shards for index in shard]
+        if sorted(seen) != list(range(self.n_tasks)):
+            raise ConfigurationError(
+                f"shard plan is not a partition of {self.n_tasks} task indices: {self.shards!r}"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """Number of (non-empty) shards in the plan."""
+        return len(self.shards)
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Number of tasks per shard, in shard order."""
+        return tuple(len(shard) for shard in self.shards)
+
+
+def plan_shards(n_tasks: int, n_shards: int) -> ShardPlan:
+    """Partition ``n_tasks`` task indices into at most ``n_shards`` shards.
+
+    Shards are contiguous balanced slices in task order: sizes differ by at
+    most one, with the earlier shards taking the remainder.  Requesting more
+    shards than tasks simply yields one single-task shard per task — empty
+    shards are never emitted.
+    """
+    if n_shards <= 0:
+        raise ConfigurationError("n_shards must be positive")
+    if n_tasks < 0:
+        raise ConfigurationError("n_tasks must be non-negative")
+    n_shards = min(n_shards, n_tasks)
+    shards: list[tuple[int, ...]] = []
+    start = 0
+    for shard_index in range(n_shards):
+        size = n_tasks // n_shards + (1 if shard_index < n_tasks % n_shards else 0)
+        shards.append(tuple(range(start, start + size)))
+        start += size
+    return ShardPlan(n_tasks=n_tasks, shards=tuple(shards))

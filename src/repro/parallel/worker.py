@@ -1,0 +1,143 @@
+"""Shard payloads and the worker-side evaluation loop.
+
+A shard ships three things to its worker process:
+
+* the :class:`~repro.core.greca.GrecaIndexFactory` of every group appearing
+  in the shard (pickled once per shard, not once per task — sweeps that
+  evaluate one group at many sweep points reuse the shard-local factory and
+  its memoised column-sliced substrates exactly like the serial reuse layer);
+* one :class:`GroupEvalTask` per evaluation, carrying the *materialised*
+  affinity components (static / periodic / averages / time model), the
+  consensus function and the query knobs — everything the parent resolved, so
+  the worker never touches the recommender, the social network or the
+  dataset; and
+* the shard's original task indices, so the merger can scatter the records
+  back into task order.
+
+:func:`run_shard` is the worker entry point: it rebuilds each task's index
+through ``factory.build`` — the exact code path the serial reuse layer uses,
+proven bit-identical to fresh construction by the PR 2 equivalence tests —
+and runs :class:`~repro.core.greca.Greca` on it.  Results come back as
+:class:`GroupRunRecord` values: plain, picklable scalars only (no numpy
+arrays, no list objects), which keeps the result pipes small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.greca import Greca, GrecaIndexFactory, GrecaResult
+from repro.core.consensus import ConsensusFunction
+from repro.exceptions import ConfigurationError
+
+#: Canonical group key used to address factories in a payload: a plain tuple
+#: of python ints, hashable and stable across pickling round-trips.
+GroupKey = tuple[int, ...]
+
+
+def group_key(group) -> GroupKey:
+    """Canonicalise a group into a hashable, shipment-stable key."""
+    return tuple(int(member) for member in group)
+
+
+@dataclass(frozen=True)
+class GroupEvalTask:
+    """One group evaluation with fully materialised inputs.
+
+    The affinity dictionaries are the output of
+    :meth:`~repro.core.recommender.GroupRecommender.affinity_components` (or
+    the raw case inputs in the engine tests); ``items`` optionally restricts
+    the candidate universe (``None`` means the factory's full catalogue).
+    """
+
+    group: GroupKey
+    k: int
+    consensus: ConsensusFunction
+    static: Mapping[tuple[int, int], float]
+    periodic: Mapping[int, Mapping[tuple[int, int], float]]
+    averages: Mapping[int, float]
+    time_model: str
+    items: tuple[int, ...] | None = None
+    check_interval: int | None = None
+
+
+@dataclass(frozen=True)
+class GroupRunRecord:
+    """Outcome of one GRECA run, reduced to picklable scalars.
+
+    ``percent_sa`` is :attr:`GrecaResult.percent_sequential_accesses`
+    evaluated worker-side — the same float the serial path computes, so
+    downstream means are bit-identical.
+    """
+
+    group: GroupKey
+    items: tuple[int, ...]
+    percent_sa: float
+    sequential_accesses: int
+    random_accesses: int
+    total_entries: int
+    rounds: int
+    stopping: str
+    consensus: str
+    k: int
+
+
+def record_from_result(group: GroupKey, result: GrecaResult) -> GroupRunRecord:
+    """Reduce a :class:`GrecaResult` to its equivalence-relevant facts."""
+    return GroupRunRecord(
+        group=group,
+        items=tuple(result.items),
+        percent_sa=result.percent_sequential_accesses,
+        sequential_accesses=result.sequential_accesses,
+        random_accesses=result.random_accesses,
+        total_entries=result.total_entries,
+        rounds=result.rounds,
+        stopping=result.stopping,
+        consensus=result.consensus,
+        k=result.k,
+    )
+
+
+@dataclass(frozen=True)
+class ShardPayload:
+    """Everything one worker needs to evaluate one shard."""
+
+    shard_index: int
+    task_indices: tuple[int, ...]
+    tasks: tuple[GroupEvalTask, ...]
+    factories: Mapping[GroupKey, GrecaIndexFactory]
+
+    def __post_init__(self) -> None:
+        if len(self.task_indices) != len(self.tasks):
+            raise ConfigurationError(
+                f"shard {self.shard_index}: {len(self.task_indices)} indices "
+                f"for {len(self.tasks)} tasks"
+            )
+        missing = {task.group for task in self.tasks} - set(self.factories)
+        if missing:
+            raise ConfigurationError(
+                f"shard {self.shard_index}: no factory shipped for groups {sorted(missing)}"
+            )
+
+
+def run_task(task: GroupEvalTask, factory: GrecaIndexFactory) -> GroupRunRecord:
+    """Evaluate one task against its group's factory (worker-side)."""
+    index = factory.build(
+        task.static,
+        periodic=task.periodic,
+        averages=task.averages,
+        time_model=task.time_model,
+        items=task.items,
+    )
+    algorithm = Greca(task.consensus, k=task.k, check_interval=task.check_interval)
+    return record_from_result(task.group, algorithm.run(index))
+
+
+def run_shard(payload: ShardPayload) -> tuple[GroupRunRecord, ...]:
+    """Worker entry point: evaluate every task of a shard, in shard order.
+
+    Must stay a module-level function so process pools can address it by
+    qualified name regardless of the start method.
+    """
+    return tuple(run_task(task, payload.factories[task.group]) for task in payload.tasks)

@@ -24,6 +24,28 @@ from repro.data.movielens import MovieLensConfig, generate_movielens_like  # noq
 from repro.data.ratings import Rating, RatingsDataset  # noqa: E402
 from repro.data.social import PageLike, SocialConfig, SocialNetwork, SocialNetworkGenerator  # noqa: E402
 
+#: Environment variable opting into the slow (minutes-scale) tests.
+RUN_SLOW_ENV = "REPRO_RUN_SLOW"
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: minutes-scale test (paper-scale substrates); "
+        f"skipped unless {RUN_SLOW_ENV}=1 (see `make test-slow`)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get(RUN_SLOW_ENV) == "1":
+        return
+    skip_slow = pytest.mark.skip(
+        reason=f"slow test: opt in with {RUN_SLOW_ENV}=1 (make test-slow)"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
 
 @pytest.fixture(scope="session")
 def small_ratings() -> RatingsDataset:

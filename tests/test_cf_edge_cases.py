@@ -1,0 +1,178 @@
+"""Edge cases of the CF substrate: cold starts, singleton items, empty overlap.
+
+`repro.cf.predictors` and `repro.cf.similarity` carry a lattice of fallback
+paths — no raters, no co-rated items, zero-norm vectors, zero similarity
+mass — that the main CF tests only exercise incidentally.  This module pins
+each path down with hand-built datasets where the expected value is
+computable by inspection:
+
+* **cold-start user** — a user whose ratings overlap with nobody: every
+  similarity metric must report 0 against every peer, and predictions must
+  fall back to the user's own mean (never crash, never leave the 1-5 scale);
+* **single-rating item** — an item rated by exactly one user: the
+  neighbourhood contains at most that rater, and when the rater is
+  dissimilar the prediction degrades to the baseline;
+* **empty overlap** — disjoint rating profiles: cosine/pearson/jaccard all
+  return exactly 0 (pearson also for the <2 co-rated case), and predictors
+  treat such neighbours as absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cf.matrix import RatingMatrix
+from repro.cf.predictors import ItemBasedCF, MeanPredictor, UserBasedCF
+from repro.cf.similarity import (
+    cosine_similarity_matrix,
+    jaccard_similarity_matrix,
+    pairwise_user_similarity,
+    pearson_similarity_matrix,
+)
+from repro.data.ratings import MAX_RATING, MIN_RATING, dataset_from_tuples
+
+#: Two overlapping mainstream users (1, 2), one cold-start user (3) whose
+#: single rating touches an item nobody else rated, and a singleton item 30.
+DISJOINT_ROWS = [
+    (1, 10, 5.0),
+    (1, 11, 3.0),
+    (2, 10, 4.0),
+    (2, 11, 2.0),
+    (2, 20, 1.0),
+    (3, 30, 2.0),  # cold-start: item 30 is user 3's private island
+]
+
+
+@pytest.fixture()
+def disjoint_dataset():
+    return dataset_from_tuples(DISJOINT_ROWS, name="disjoint")
+
+
+# -- similarity ---------------------------------------------------------------------------------
+
+
+def test_empty_overlap_is_zero_for_every_metric(disjoint_dataset):
+    """User 3 shares no rated item with anyone: similarity must be exactly 0."""
+    matrix = RatingMatrix(disjoint_dataset)
+    for metric in ("cosine", "pearson", "jaccard"):
+        assert pairwise_user_similarity(matrix, 1, 3, metric=metric) == 0.0
+        assert pairwise_user_similarity(matrix, 2, 3, metric=metric) == 0.0
+        # The overlapping pair stays strictly positive for contrast.
+        assert pairwise_user_similarity(matrix, 1, 2, metric=metric) > 0.0
+
+
+def test_pearson_needs_two_corated_items():
+    """A single co-rated item cannot anchor a correlation: pearson says 0."""
+    vectors = np.array(
+        [
+            [4.0, 0.0, 2.0],
+            [3.0, 5.0, 0.0],  # exactly one co-rated column with each peer
+            [0.0, 1.0, 0.0],
+        ]
+    )
+    sims = pearson_similarity_matrix(vectors)
+    assert sims[0, 1] == 0.0
+    assert sims[1, 2] == 0.0
+    np.testing.assert_allclose(sims, sims.T)
+
+
+def test_zero_norm_rows_zero_everywhere_including_diagonal():
+    """All-zero rating vectors (no ratings at all) never claim similarity 1."""
+    vectors = np.array([[0.0, 0.0], [1.0, 2.0]])
+    sims = cosine_similarity_matrix(vectors)
+    assert sims[0, 0] == 0.0
+    assert sims[0, 1] == 0.0 and sims[1, 0] == 0.0
+    assert sims[1, 1] == pytest.approx(1.0)
+
+
+def test_jaccard_extremes():
+    """Jaccard: 0 on disjoint sets, 1 on identical sets, 0 for empty rows."""
+    vectors = np.array(
+        [
+            [5.0, 3.0, 0.0],
+            [1.0, 2.0, 0.0],  # same *set* as row 0, different values
+            [0.0, 0.0, 4.0],  # disjoint from rows 0-1
+            [0.0, 0.0, 0.0],  # nothing rated
+        ]
+    )
+    sims = jaccard_similarity_matrix(vectors)
+    assert sims[0, 1] == pytest.approx(1.0)
+    assert sims[0, 2] == 0.0
+    assert sims[3, 0] == 0.0 and sims[3, 3] == 0.0
+
+
+# -- user-based CF ------------------------------------------------------------------------------
+
+
+def test_user_based_cold_start_falls_back_to_own_mean(disjoint_dataset):
+    """No similar rater anywhere: predict the cold-start user's own mean."""
+    predictor = UserBasedCF().fit(disjoint_dataset)
+    # Item 20 was rated only by user 2, whose similarity to user 3 is 0.
+    assert predictor.predict(3, 20) == pytest.approx(2.0)
+    # Symmetrically, nobody can lean on user 3's island item.
+    assert predictor.predict(1, 30) == pytest.approx(4.0)  # user 1's mean
+
+
+def test_user_based_single_rater_item(disjoint_dataset):
+    """An item with one rater: that rater is the entire neighbourhood."""
+    predictor = UserBasedCF().fit(disjoint_dataset)
+    # Item 20's only rater is user 2 (mean 7/3); user 1 is similar to user 2,
+    # so the prediction is user 1's mean shifted by user 2's centred rating.
+    matrix = predictor.matrix
+    expected = 4.0 + (1.0 - 7.0 / 3.0)  # baseline + (rating - rater mean)
+    assert predictor.predict(1, 20) == pytest.approx(expected)
+    assert MIN_RATING <= predictor.predict(1, 20) <= MAX_RATING
+    assert matrix.rating(1, 20) == 0.0  # genuinely unobserved
+
+
+def test_user_based_observed_ratings_pass_through(disjoint_dataset):
+    """Already-rated cells return the observed rating, not a prediction."""
+    predictor = UserBasedCF().fit(disjoint_dataset)
+    assert predictor.predict(3, 30) == 2.0
+    assert predictor.predict_all(3)[30] == 2.0
+
+
+def test_user_based_predict_all_matches_predict_on_edges(disjoint_dataset):
+    """The vectorised path agrees with per-item prediction on every edge case."""
+    predictor = UserBasedCF().fit(disjoint_dataset)
+    for user in disjoint_dataset.users:
+        dense = predictor.predict_all(user)
+        for item in disjoint_dataset.items:
+            assert dense[item] == pytest.approx(predictor.predict(user, item))
+
+
+def test_user_based_min_similarity_can_empty_the_neighbourhood(disjoint_dataset):
+    """A high similarity floor removes every neighbour → baseline fallback."""
+    predictor = UserBasedCF(min_similarity=0.999).fit(disjoint_dataset)
+    assert predictor.predict(1, 20) == pytest.approx(4.0)  # user 1's own mean
+
+
+# -- item-based CF ------------------------------------------------------------------------------
+
+
+def test_item_based_cold_start_user_falls_back_to_item_mean(disjoint_dataset):
+    """User 3's only rated item has no similarity to item 10 → item mean."""
+    predictor = ItemBasedCF().fit(disjoint_dataset)
+    assert predictor.predict(3, 10) == pytest.approx(4.5)  # mean(5, 4)
+
+
+def test_item_based_single_rating_item_prediction(disjoint_dataset):
+    """Predicting the singleton item 30 for a disjoint user → its own mean."""
+    predictor = ItemBasedCF().fit(disjoint_dataset)
+    # Item 30 shares no rater with items 10/11/20, so user 1's profile
+    # contributes nothing and the item mean (2.0, its single rating) wins.
+    assert predictor.predict(1, 30) == pytest.approx(2.0)
+
+
+# -- mean predictor -----------------------------------------------------------------------------
+
+
+def test_mean_predictor_fallback_chain(disjoint_dataset):
+    """Item mean first, then (for unrated items) the chain stays in range."""
+    predictor = MeanPredictor().fit(disjoint_dataset)
+    assert predictor.predict(3, 20) == pytest.approx(1.0)  # item 20's mean
+    assert predictor.predict(1, 30) == pytest.approx(2.0)  # singleton item mean
+    for user in disjoint_dataset.users:
+        for item in disjoint_dataset.items:
+            assert MIN_RATING <= predictor.predict(user, item) <= MAX_RATING

@@ -1,0 +1,386 @@
+"""Serial ≡ parallel equivalence of the sharded group-evaluation layer.
+
+The sharded layer (:mod:`repro.parallel`) must be *observationally
+invisible*: for any shard count, any executor backend and any partition of
+the tasks, the merged records — %SA values, sequential/random access counts,
+top-k items, stopping reasons, round counts — must be bit-for-bit the serial
+reference sequence.  This suite pins that down at three levels:
+
+* **engine level** — the golden grid of :mod:`engine_grid` replayed through
+  :func:`repro.parallel.evaluate_tasks` at shard counts {1, 2, 3, 7}, with
+  both the in-process and the process-pool executor, against a serial
+  :class:`~repro.core.greca.Greca` reference run;
+* **plan level** — seeded property cases: *arbitrary* partitions of the task
+  indices (shuffled, uneven, non-contiguous) merge to exactly the serial
+  sequence, so the planner's particular slicing policy is irrelevant to
+  correctness;
+* **environment level** — :class:`ScalabilityEnvironment` measurements
+  (``average_percent_sa``, ``run_records`` across periods / item subsets /
+  consensus functions, ``run_quick_smoke``, the figure 6/8 drivers) with
+  ``n_workers`` set produce the exact serial statistics, standard errors
+  included.
+
+Float equality here is exact (``==``), never approximate: the merger restores
+task order before anything is summed, so there is no legitimate source of
+floating-point divergence.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from engine_grid import GRECA_CASES, greca_case_inputs
+
+from repro.core.consensus import make_consensus
+from repro.core.greca import Greca, GrecaIndex, GrecaIndexFactory
+from repro.exceptions import ConfigurationError
+from repro.experiments import figure6, figure8
+from repro.experiments.scalability import (
+    ScalabilityConfig,
+    ScalabilityEnvironment,
+    run_quick_smoke,
+    summarize_percent_sa,
+)
+from repro.parallel import (
+    GroupEvalTask,
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    ShardPayload,
+    ShardPlan,
+    build_payloads,
+    evaluate_tasks,
+    group_key,
+    merge_shard_records,
+    plan_shards,
+    record_from_result,
+    run_shard,
+)
+
+#: Shard counts required by the acceptance criteria.
+SHARD_COUNTS = (1, 2, 3, 7)
+
+#: Seeds for the shard-plan invariance property cases.
+PLAN_SEEDS = tuple(range(10))
+
+
+# -- shard planner ------------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "n_tasks,n_shards",
+    [(1, 1), (5, 1), (5, 2), (5, 5), (5, 7), (16, 3), (16, 7), (100, 7), (0, 3)],
+)
+def test_plan_shards_is_a_balanced_contiguous_partition(n_tasks, n_shards):
+    plan = plan_shards(n_tasks, n_shards)
+    # A true partition in task order...
+    assert [i for shard in plan.shards for i in shard] == list(range(n_tasks))
+    # ...with no empty shards, at most n_shards of them...
+    assert plan.n_shards == min(n_shards, n_tasks)
+    assert all(len(shard) > 0 for shard in plan.shards)
+    # ...balanced to within one task.
+    if plan.n_shards:
+        sizes = plan.shard_sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_plan_shards_rejects_bad_counts():
+    with pytest.raises(ConfigurationError):
+        plan_shards(4, 0)
+    with pytest.raises(ConfigurationError):
+        plan_shards(-1, 2)
+
+
+def test_shard_plan_rejects_non_partitions():
+    with pytest.raises(ConfigurationError):
+        ShardPlan(n_tasks=3, shards=((0, 1), (1, 2)))  # duplicate index
+    with pytest.raises(ConfigurationError):
+        ShardPlan(n_tasks=3, shards=((0,), (2,)))  # missing index
+    with pytest.raises(ConfigurationError):
+        ShardPlan(n_tasks=2, shards=((0, 1, 2),))  # out of range
+
+
+def test_merge_rejects_mismatched_results(grid_serial):
+    plan = plan_shards(3, 2)
+    record = grid_serial[0]
+    with pytest.raises(ConfigurationError):
+        merge_shard_records(plan, [[record, record]])  # one shard of results missing
+    with pytest.raises(ConfigurationError):
+        merge_shard_records(plan, [[record], [record]])  # shard 0 under-delivers
+
+
+def test_group_key_canonicalises_to_python_ints():
+    np = pytest.importorskip("numpy")
+    key = group_key([np.int64(3), np.int32(1), 2])
+    assert key == (3, 1, 2)
+    assert all(type(member) is int for member in key)
+
+
+# -- engine level: the golden grid through the sharded pipeline ---------------------------------
+
+
+def _grid_tasks() -> tuple[list[GroupEvalTask], dict]:
+    """Every golden-grid GRECA case as a shippable task + its group factory.
+
+    Distinct cases share member ids, so the factory key embeds the case index
+    to keep one factory (and one preference substrate) per case.
+    """
+    tasks: list[GroupEvalTask] = []
+    factories: dict = {}
+    for case_index, case in enumerate(GRECA_CASES):
+        inputs = greca_case_inputs(case)
+        key = group_key([case_index * 1000 + member for member in inputs["members"]])
+        factories[key] = GrecaIndexFactory(
+            members=inputs["members"], aprefs=inputs["aprefs"]
+        )
+        tasks.append(
+            GroupEvalTask(
+                group=key,
+                k=case["k"],
+                consensus=make_consensus(case["consensus"]),
+                static=inputs["static"],
+                periodic=inputs["periodic"],
+                averages=inputs["averages"],
+                time_model=inputs["time_model"],
+                check_interval=case["check_interval"],
+            )
+        )
+    return tasks, factories
+
+
+def _grid_serial_records() -> list:
+    """Serial reference: fresh index construction + one Greca run per case."""
+    records = []
+    for case_index, case in enumerate(GRECA_CASES):
+        inputs = greca_case_inputs(case)
+        key = group_key([case_index * 1000 + member for member in inputs["members"]])
+        index = GrecaIndex(**inputs)
+        algorithm = Greca(
+            make_consensus(case["consensus"]),
+            k=case["k"],
+            check_interval=case["check_interval"],
+        )
+        records.append(record_from_result(key, algorithm.run(index)))
+    return records
+
+
+@pytest.fixture(scope="module")
+def grid_serial():
+    return _grid_serial_records()
+
+
+@pytest.fixture(scope="module")
+def grid_tasks():
+    return _grid_tasks()
+
+
+def assert_records_identical(actual, expected):
+    """Field-by-field bit-identity, with a per-case diff on failure."""
+    assert len(actual) == len(expected)
+    for position, (got, want) in enumerate(zip(actual, expected)):
+        assert got == want, (
+            f"task {position} diverged:\n  sharded: {got}\n  serial:  {want}"
+        )
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_sharded_inprocess_matches_serial(grid_tasks, grid_serial, n_shards):
+    """Golden grid, in-process shard executor, shard counts {1, 2, 3, 7}."""
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        tasks, factories, n_shards=n_shards, executor=SerialShardExecutor()
+    )
+    assert_records_identical(records, grid_serial)
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_sharded_process_pool_matches_serial(grid_tasks, grid_serial, n_shards):
+    """Golden grid, real process workers (factories pickled), {1, 2, 3, 7}."""
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(tasks, factories, n_shards=n_shards, executor="process")
+    assert_records_identical(records, grid_serial)
+
+
+def test_grid_summary_statistics_are_bit_identical(grid_tasks, grid_serial):
+    """Means/standard errors computed from merged records match serial exactly."""
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(tasks, factories, n_shards=3, executor="serial")
+    merged = summarize_percent_sa([record.percent_sa for record in records])
+    reference = summarize_percent_sa([record.percent_sa for record in grid_serial])
+    assert merged == reference
+
+
+# -- plan level: shard-plan invariance ----------------------------------------------------------
+
+
+def _random_partition(rng: random.Random, n_tasks: int) -> ShardPlan:
+    """An arbitrary (shuffled, uneven, non-contiguous) partition of the tasks."""
+    indices = list(range(n_tasks))
+    rng.shuffle(indices)
+    n_shards = rng.randint(1, n_tasks)
+    boundaries = sorted(rng.sample(range(1, n_tasks), n_shards - 1)) if n_shards > 1 else []
+    shards = []
+    start = 0
+    for end in boundaries + [n_tasks]:
+        shards.append(tuple(indices[start:end]))
+        start = end
+    return ShardPlan(n_tasks=n_tasks, shards=tuple(shards))
+
+
+@pytest.mark.parametrize("seed", PLAN_SEEDS)
+def test_any_partition_merges_to_the_serial_records(grid_tasks, grid_serial, seed):
+    """Property: *any* partition of the same tasks merges to the same stats."""
+    tasks, factories = grid_tasks
+    plan = _random_partition(random.Random(52_000 + seed), len(tasks))
+    records = evaluate_tasks(
+        tasks, factories, executor=SerialShardExecutor(), plan=plan
+    )
+    assert_records_identical(records, grid_serial)
+    merged = summarize_percent_sa([record.percent_sa for record in records])
+    reference = summarize_percent_sa([record.percent_sa for record in grid_serial])
+    assert merged == reference
+
+
+def test_random_partition_through_real_processes(grid_tasks, grid_serial):
+    """One shuffled partition end-to-end through the process pool."""
+    tasks, factories = grid_tasks
+    plan = _random_partition(random.Random(99), len(tasks))
+    records = evaluate_tasks(
+        tasks, factories, executor=ProcessShardExecutor(n_workers=3), plan=plan
+    )
+    assert_records_identical(records, grid_serial)
+
+
+def test_executor_worker_count_drives_default_shard_count(grid_tasks, grid_serial):
+    """An executor instance without n_shards fans out one shard per worker."""
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(tasks, factories, executor=ProcessShardExecutor(n_workers=3))
+    assert_records_identical(records, grid_serial)
+
+
+def test_evaluate_tasks_without_knobs_stays_in_process(grid_tasks, grid_serial):
+    """No knobs → the full payload/merge pipeline, but no process is spawned."""
+    tasks, factories = grid_tasks
+    spawned = []
+
+    class RecordingSerialExecutor(SerialShardExecutor):
+        def run(self, payloads):
+            spawned.append(len(payloads))
+            return super().run(payloads)
+
+    # The default backend must behave exactly like the in-process executor.
+    records = evaluate_tasks(tasks, factories)
+    reference = evaluate_tasks(tasks, factories, executor=RecordingSerialExecutor())
+    assert_records_identical(records, grid_serial)
+    assert records == reference
+    assert spawned == [1]  # single in-process shard
+
+
+def test_process_executor_requires_a_worker_count(grid_tasks):
+    """executor='process' without n_workers errors instead of silently using 1."""
+    tasks, factories = grid_tasks
+    with pytest.raises(ConfigurationError):
+        evaluate_tasks(tasks, factories, executor="process")
+
+
+def test_run_shard_preserves_shard_order(grid_tasks):
+    """Worker-side records come back in shard task order."""
+    tasks, factories = grid_tasks
+    payload = build_payloads(plan_shards(len(tasks), 1), tasks, factories)[0]
+    records = run_shard(payload)
+    assert [record.group for record in records] == [task.group for task in tasks]
+
+
+def test_payload_requires_every_factory(grid_tasks):
+    tasks, factories = grid_tasks
+    with pytest.raises(ConfigurationError):
+        ShardPayload(
+            shard_index=0,
+            task_indices=(0,),
+            tasks=(tasks[0],),
+            factories={},
+        )
+
+
+# -- environment level --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_environment() -> ScalabilityEnvironment:
+    """A seconds-scale substrate: 5 groups over a 260-item catalogue."""
+    return ScalabilityEnvironment(
+        ScalabilityConfig(
+            n_users=60,
+            n_items=260,
+            n_ratings=3_000,
+            n_participants=16,
+            n_groups=5,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_groups(tiny_environment):
+    return tiny_environment.random_groups()
+
+
+@pytest.mark.parametrize("n_workers", SHARD_COUNTS)
+def test_environment_average_percent_sa_is_shard_count_invariant(
+    tiny_environment, tiny_groups, n_workers
+):
+    """The headline %SA statistic is exact for every required shard count."""
+    serial = tiny_environment.average_percent_sa(tiny_groups)
+    sharded = tiny_environment.average_percent_sa(tiny_groups, n_workers=n_workers)
+    assert sharded == serial  # mean, std error and n_runs, all exact
+
+
+def test_environment_sweep_points_match_serial(tiny_environment, tiny_groups):
+    """Period, item-restriction and consensus sweeps through real workers."""
+    period = tiny_environment.timeline[2]
+    for knobs in (
+        dict(period=period),
+        dict(n_items=120),
+        dict(consensus="PD V2", k=4),
+        dict(period=period, n_items=60, consensus="MO"),
+    ):
+        serial = tiny_environment.run_records(tiny_groups, **knobs)
+        sharded = tiny_environment.run_records(tiny_groups, n_workers=2, **knobs)
+        assert_records_identical(sharded, serial)
+
+
+def test_environment_serial_executor_backend_matches_serial(
+    tiny_environment, tiny_groups
+):
+    """The in-process backend exercises sharding/merging without processes."""
+    serial = tiny_environment.run_records(tiny_groups)
+    sharded = tiny_environment.run_records(tiny_groups, n_workers=3, executor="serial")
+    assert_records_identical(sharded, serial)
+
+
+def test_quick_smoke_sharded_statistics_match_serial():
+    """run_quick_smoke reports identical statistics under the sharded path."""
+    config = ScalabilityConfig(
+        n_users=60, n_items=260, n_ratings=3_000, n_participants=16, n_groups=5, seed=11
+    )
+    serial = run_quick_smoke(config=config)
+    sharded = run_quick_smoke(config=config, n_workers=2)
+    assert sharded.stats == serial.stats
+    assert sharded.n_workers == 2
+
+
+def test_figure_drivers_sharded_match_serial(tiny_environment, tiny_groups):
+    """Figure 6 and Figure 8 produce identical result objects with workers.
+
+    Groups are pinned explicitly because the drivers draw fresh random
+    groups per call; the comparison is about the execution path, not the
+    draw.
+    """
+    serial6 = figure6.run(environment=tiny_environment, groups=tiny_groups)
+    sharded6 = figure6.run(environment=tiny_environment, groups=tiny_groups, n_workers=2)
+    assert sharded6 == serial6
+
+    serial8 = figure8.run(environment=tiny_environment, groups=tiny_groups)
+    sharded8 = figure8.run(environment=tiny_environment, groups=tiny_groups, n_workers=2)
+    assert sharded8 == serial8
