@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all test test-fast test-parallel test-slow bench bench-engine bench-record bench-record-paper bench-all golden
+.PHONY: all ci test test-fast test-parallel test-slow bench bench-engine bench-record bench-record-paper bench-record-shipment bench-all golden golden-freshness
 
 # Default: the fast equivalence suite (golden grid + property/metamorphic
 # tests) plus the perf budget gate, so access-equivalence and performance
@@ -19,10 +19,11 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -x -q
 
 # Serial ≡ parallel equivalence of the sharded group-evaluation layer
-# (shard planner, process workers, order-restoring merge; shard counts
-# {1, 2, 3, 7} plus random-partition property cases).
+# (shard planner, process/persistent workers, pickle + shared-memory
+# shipment, order-restoring merge; shard counts {1, 2, 3, 7} plus
+# random-partition property cases) and the shm segment-lifecycle suite.
 test-parallel:
-	$(PYTHON) -m pytest tests/test_parallel_equivalence.py -q
+	$(PYTHON) -m pytest tests/test_parallel_equivalence.py tests/test_shm_lifecycle.py -q
 
 # Minutes-scale opt-in tests (full MovieLens-1M synthetic substrate,
 # Table 5 headline statistics).  Gated behind the `slow` marker via
@@ -50,6 +51,12 @@ WORKERS ?= 4
 bench-record-paper:
 	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --paper-scale --workers $(WORKERS)
 
+# Append the factory-shipment point (pickle vs shared-memory payload bytes
+# and wall-clock, figure-6 sweep over the default substrate).
+# Usage: make bench-record-shipment LABEL=... [WORKERS=4]
+bench-record-shipment:
+	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --shipment --workers $(WORKERS)
+
 # Every paper figure/table benchmark (minutes).
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ -q
@@ -58,3 +65,18 @@ bench-all:
 # access semantics are known-equivalent to the seed engine.
 golden:
 	PYTHONPATH=src:tests $(PYTHON) scripts/capture_engine_golden.py
+
+# Drift gate: recapture the goldens into a temp dir and diff against the
+# committed file.  Fails when engine behaviour (access counts, top-k items,
+# stopping reasons) changed without a deliberate `make golden` regeneration.
+golden-freshness:
+	@tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	PYTHONPATH=src:tests $(PYTHON) scripts/capture_engine_golden.py --output $$tmp/engine_golden.json && \
+	diff -u tests/data/engine_golden.json $$tmp/engine_golden.json && \
+	echo "golden grid is fresh: engine behaviour matches the committed goldens"
+
+# Everything CI runs, in CI's order — reproduce a red pipeline locally
+# without pushing.  (CI additionally fans test-fast out over Python
+# 3.10/3.11/3.12 and treats the bench budget as advisory on shared runners.)
+ci: test-fast test-parallel bench golden-freshness

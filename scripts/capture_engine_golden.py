@@ -17,6 +17,7 @@ semantics are already known to be equivalent to the seed).
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -35,7 +36,16 @@ from engine_grid import (  # noqa: E402
 )
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(ROOT, "tests", "data", "engine_golden.json"),
+        help="where to write the captured goldens (default: the committed "
+        "tests/data/engine_golden.json; the CI golden-freshness job writes "
+        "to a temp path and diffs against the committed file instead)",
+    )
+    args = parser.parse_args(argv)
     golden = {
         "greca": [run_greca_case(case) for case in GRECA_CASES],
         "nra": [run_topk_case(case, "nra") for case in TOPK_CASES],
@@ -47,7 +57,7 @@ def main() -> int:
             run_baseline_case(case, "ta_baseline", batched=False) for case in GRECA_CASES
         ],
     }
-    target = os.path.join(ROOT, "tests", "data", "engine_golden.json")
+    target = os.path.abspath(args.output)
     os.makedirs(os.path.dirname(target), exist_ok=True)
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(golden, handle, indent=2, sort_keys=True)

@@ -555,6 +555,53 @@ class GrecaIndexFactory:
         self._base._item_object_array()
         self._restricted: dict[tuple[int, ...], GrecaIndex] = {}
 
+    @classmethod
+    def from_columns(
+        cls,
+        members: Sequence[int],
+        items: Sequence[int],
+        matrix: np.ndarray,
+        max_apref: float,
+        repr_rank: np.ndarray | None = None,
+    ) -> "GrecaIndexFactory":
+        """Rebuild a factory around an existing columnar substrate.
+
+        This is the zero-copy receiving end of the shared-memory shipment
+        path (:mod:`repro.parallel.shm`): ``matrix`` (and the optional
+        tie-break ranking) are *shared*, never copied, and ``max_apref``
+        must be the sending factory's resolved value so derived indexes keep
+        the identical normalisation constant.  Bit-identical to pickling the
+        original factory by construction: the matrix bytes, tie-break
+        ranking and scale are exactly the sender's.
+        """
+        factory = cls.__new__(cls)
+        factory._base = GrecaIndex._from_columns(
+            tuple(members),
+            tuple(items),
+            matrix,
+            {},
+            None,
+            None,
+            TIME_MODEL_DISCRETE,
+            float(max_apref),
+            repr_rank=None if repr_rank is None else np.asarray(repr_rank),
+        )
+        factory._base._tie_break_ranking()
+        factory._base._item_object_array()
+        factory._restricted = {}
+        return factory
+
+    def columnar_substrate(
+        self,
+    ) -> tuple[tuple[int, ...], tuple[int, ...], np.ndarray, np.ndarray, float]:
+        """The shareable substrate: ``(members, items, matrix, repr_rank, max_apref)``.
+
+        Everything :meth:`from_columns` needs to reconstruct an equivalent
+        factory on the far side of a process boundary.
+        """
+        base = self._base
+        return base.members, base.items, base._apref_matrix, base._tie_break_ranking(), base.max_apref
+
     @property
     def members(self) -> tuple[int, ...]:
         """The group members, in index order."""

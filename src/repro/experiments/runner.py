@@ -11,6 +11,11 @@ Usage::
     python -m repro.experiments.runner --workers 4     # shard group evaluation
                                                        # across 4 process workers
                                                        # (bit-identical results)
+    python -m repro.experiments.runner --workers 4 --executor persistent
+                                                       # same, but one warm worker
+                                                       # pool + one shared-memory
+                                                       # substrate shipment for the
+                                                       # whole figure suite
 
 Each experiment prints the same rows/series the paper reports (with the
 paper's own values alongside where they are known).  Quality experiments
@@ -35,6 +40,7 @@ from repro.experiments import (
     table5,
 )
 from repro.experiments.scalability import ScalabilityEnvironment
+from repro.parallel import VALID_EXECUTORS, validate_executor_name
 from repro.study.environment import build_study_environment
 
 #: Experiment names in the order they appear in the paper.
@@ -55,6 +61,7 @@ def run_all(
     names: Iterable[str] | None = None,
     print_fn: Callable[[str], None] = print,
     n_workers: int | None = None,
+    executor: str | None = None,
 ) -> dict[str, object]:
     """Run the selected experiments (all of them by default) and print their tables.
 
@@ -62,8 +69,13 @@ def run_all(
     function is also usable programmatically (EXPERIMENTS.md was produced from
     these results).  ``n_workers`` shards the group evaluations of the
     figure 4-8 drivers across process workers (results are bit-identical to
-    the serial run).
+    the serial run); ``executor`` picks the backend (``serial``, ``process``
+    or ``persistent`` — the latter keeps one warm worker pool across the
+    whole figure suite, paying spawn and substrate shipment once).  Unknown
+    executor names raise :class:`ValueError` before anything runs.
     """
+    if executor is not None:
+        validate_executor_name(executor)
     selected = list(names) if names else list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
@@ -87,28 +99,33 @@ def run_all(
             scalability_env = ScalabilityEnvironment()
         return scalability_env
 
-    for name in selected:
-        print_fn(f"\n=== {name} ===")
-        if name == "table5":
-            result = table5.run()
-        elif name == "figure1":
-            result = figure1.run(environment=study_environment())
-        elif name == "figure2":
-            result = figure2.run(environment=study_environment())
-        elif name == "figure3":
-            result = figure3.run(environment=study_environment())
-        elif name == "figure4":
-            result = figure4.run(n_workers=n_workers)
-        elif name == "figure5":
-            result = figure5.run(environment=scalability_environment(), n_workers=n_workers)
-        elif name == "figure6":
-            result = figure6.run(environment=scalability_environment(), n_workers=n_workers)
-        elif name == "figure7":
-            result = figure7.run(environment=scalability_environment(), n_workers=n_workers)
-        else:
-            result = figure8.run(environment=scalability_environment(), n_workers=n_workers)
-        results[name] = result
-        print_fn(result.format_table())
+    knobs = dict(n_workers=n_workers, executor=executor)
+    try:
+        for name in selected:
+            print_fn(f"\n=== {name} ===")
+            if name == "table5":
+                result = table5.run()
+            elif name == "figure1":
+                result = figure1.run(environment=study_environment())
+            elif name == "figure2":
+                result = figure2.run(environment=study_environment())
+            elif name == "figure3":
+                result = figure3.run(environment=study_environment())
+            elif name == "figure4":
+                result = figure4.run(**knobs)
+            elif name == "figure5":
+                result = figure5.run(environment=scalability_environment(), **knobs)
+            elif name == "figure6":
+                result = figure6.run(environment=scalability_environment(), **knobs)
+            elif name == "figure7":
+                result = figure7.run(environment=scalability_environment(), **knobs)
+            else:
+                result = figure8.run(environment=scalability_environment(), **knobs)
+            results[name] = result
+            print_fn(result.format_table())
+    finally:
+        if scalability_env is not None:
+            scalability_env.close()  # warm pools / shm segments, if any
     return results
 
 
@@ -131,9 +148,27 @@ def main(argv: list[str] | None = None) -> int:
         help="shard group evaluations across N process workers "
         "(default: serial; results are bit-identical either way)",
     )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        metavar="NAME",
+        help="execution backend for sharded evaluation: one of "
+        + ", ".join(VALID_EXECUTORS)
+        + " (default: process when --workers is given; unknown names raise "
+        "ValueError at the single validation choice point)",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers <= 0:
         raise SystemExit("--workers must be positive")
+    if args.executor is not None:
+        # The single choice point (repro.parallel.pool.validate_executor_name):
+        # unknown backends fail here, not deep inside evaluate_tasks.
+        validate_executor_name(args.executor)
+        if args.executor != "serial" and args.workers is None:
+            raise SystemExit(
+                f"--executor {args.executor} needs --workers N "
+                "(process-based backends require an explicit worker count)"
+            )
     if args.list:
         print("\n".join(EXPERIMENTS))
         return 0
@@ -142,10 +177,10 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit("--quick does not combine with experiment names")
         from repro.experiments.scalability import run_quick_smoke
 
-        result = run_quick_smoke(n_workers=args.workers)
+        result = run_quick_smoke(n_workers=args.workers, executor=args.executor)
         print(result.format_summary())
         return 0 if result.within_budget else 1
-    run_all(args.experiments or None, n_workers=args.workers)
+    run_all(args.experiments or None, n_workers=args.workers, executor=args.executor)
     return 0
 
 

@@ -58,12 +58,16 @@ from repro.data.social import SocialConfig, SocialNetwork, SocialNetworkGenerato
 from repro.exceptions import ConfigurationError
 from repro.groups.formation import GroupFormer
 from repro.parallel import (
+    EXECUTOR_PERSISTENT,
     GroupEvalTask,
     GroupRunRecord,
+    PersistentShardExecutor,
     ShardExecutor,
+    SharedArrayRegistry,
     evaluate_tasks,
     group_key,
     record_from_result,
+    resolve_executor,
 )
 
 #: Paper defaults (Section 4.2, "Experiment Settings").
@@ -172,6 +176,61 @@ class ScalabilityEnvironment:
         self.former = GroupFormer(self.ratings, candidates=self.participants, seed=config.seed)
         self._index_factories: dict[tuple[int, ...], GrecaIndexFactory] = {}
         self._index_cache: dict[tuple, GrecaIndex] = {}
+        # Parallel resources, created lazily and released by close(): one
+        # warm persistent pool per worker count and one shared-memory
+        # registry whose segments are shipped (once) to every dispatch.
+        self._persistent_pools: dict[int, PersistentShardExecutor] = {}
+        self._registry: SharedArrayRegistry | None = None
+
+    # -- parallel resource ownership ---------------------------------------------------------
+
+    def _persistent_pool(self, n_workers: int | None) -> PersistentShardExecutor:
+        """The environment's warm pool for ``n_workers`` (created on first use)."""
+        if n_workers is None:
+            raise ConfigurationError(
+                "the persistent executor needs an explicit worker count: pass n_workers"
+            )
+        pool = self._persistent_pools.get(int(n_workers))
+        if pool is None:
+            pool = PersistentShardExecutor(int(n_workers))
+            self._persistent_pools[int(n_workers)] = pool
+        return pool
+
+    def _shared_registry(self) -> SharedArrayRegistry:
+        """The environment's shm registry (recreated lazily after close())."""
+        if self._registry is None or self._registry.closed:
+            self._registry = SharedArrayRegistry()
+        return self._registry
+
+    def _resolve_backend(
+        self, executor: ShardExecutor | str | None, n_workers: int | None
+    ) -> ShardExecutor:
+        """Resolve ``executor=`` — routing ``"persistent"`` to the warm pool."""
+        if executor == EXECUTOR_PERSISTENT:
+            return self._persistent_pool(n_workers)
+        return resolve_executor(executor, n_workers)
+
+    def close(self) -> None:
+        """Release parallel resources: shut pools down, unlink shm segments.
+
+        Safe to call at any time (and repeatedly): the next parallel
+        dispatch lazily recreates what it needs.  Serial evaluation never
+        touches these resources at all.  A registry abandoned without
+        ``close()`` still unlinks its segments via its ``weakref.finalize``
+        backstop — this method just makes the release deterministic.
+        """
+        for pool in self._persistent_pools.values():
+            pool.shutdown()
+        self._persistent_pools.clear()
+        if self._registry is not None:
+            self._registry.close()
+            self._registry = None
+
+    def __enter__(self) -> "ScalabilityEnvironment":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- index reuse -----------------------------------------------------------------------------
 
@@ -329,11 +388,15 @@ class ScalabilityEnvironment:
         Without parallel knobs the tasks run in-process in task order through
         the same ``factory.build`` + :class:`Greca` path the workers use —
         the serial reference semantics.  With ``n_workers`` (and/or an
-        explicit ``executor``) the tasks are partitioned into shards, each
-        worker receives the pickled factories of its shard's groups, and the
-        per-shard records are merged back deterministically in task order —
-        bit-identical to the serial run (``tests/test_parallel_equivalence
-        .py``).
+        explicit ``executor``: ``"serial"``, ``"process"``, ``"persistent"``
+        or an instance) the tasks are partitioned into shards, each worker
+        receives its shard's group factories — by zero-copy shared-memory
+        descriptor for the process-crossing backends, the environment's
+        registry owning the segments — and the per-shard records are merged
+        back deterministically in task order, bit-identical to the serial
+        run (``tests/test_parallel_equivalence.py``).
+        ``executor="persistent"`` reuses one warm worker pool per worker
+        count across calls (released by :meth:`close`).
         """
         if n_workers is None and executor is None:
             from repro.parallel.worker import run_task
@@ -341,11 +404,18 @@ class ScalabilityEnvironment:
             return [run_task(task, self.index_factory(task.group)) for task in tasks]
         for task in tasks:  # warm any factory not already memoised by task_for
             self.index_factory(task.group)
+        backend = self._resolve_backend(executor, n_workers)
+        # Process-crossing backends ship zero-copy: the environment-owned
+        # registry places each memoised factory's arrays in shared memory
+        # once, and every dispatch (figure drivers, persistent-pool calls)
+        # references the same segments.
+        registry = self._shared_registry() if backend.ships_payloads else None
         return evaluate_tasks(
             tasks,
             self._index_factories,
             n_shards=n_workers,
-            executor=executor,
+            executor=backend,
+            registry=registry,
         )
 
     def run_records(
@@ -487,6 +557,22 @@ def run_quick_smoke(
     """
     start = time.perf_counter()
     environment = ScalabilityEnvironment(config)
+    try:
+        return _run_quick_smoke(
+            environment, start, total_budget, measure_budget, n_workers, executor
+        )
+    finally:
+        environment.close()  # release any persistent pool / shm segments
+
+
+def _run_quick_smoke(
+    environment: ScalabilityEnvironment,
+    start: float,
+    total_budget: float,
+    measure_budget: float,
+    n_workers: int | None,
+    executor: ShardExecutor | str | None,
+) -> QuickSmokeResult:
     consensus = make_consensus(environment.config.consensus)
     # One draw of the default groups serves both paths (random_groups draws
     # fresh groups per call).
@@ -593,8 +679,22 @@ def run_paper_scale(
     outcome to ``BENCH_engine.json``.
     """
     start = time.perf_counter()
+    owns_environment = environment is None
     if environment is None:
         environment = ScalabilityEnvironment(config or ScalabilityConfig.paper_scale())
+    try:
+        return _run_paper_scale(environment, start, n_workers, executor)
+    finally:
+        if owns_environment:
+            environment.close()
+
+
+def _run_paper_scale(
+    environment: ScalabilityEnvironment,
+    start: float,
+    n_workers: int,
+    executor: ShardExecutor | str | None,
+) -> PaperScaleResult:
     groups = environment.random_groups()
     periods = list(environment.timeline)
     # Group-major order keeps each group's tasks contiguous, so a contiguous

@@ -9,29 +9,54 @@ keeping the serial semantics bit-exact:
   partition of the task indices is a valid plan);
 * :mod:`repro.parallel.worker` — picklable task/record/payload types and the
   worker-side loop (``factory.build`` + ``Greca.run`` per task);
-* :mod:`repro.parallel.pool` — the ``serial`` (in-process) and ``process``
-  (``concurrent.futures``) shard executors;
+* :mod:`repro.parallel.shm` — zero-copy shared-memory shipment: the factory
+  substrate's large arrays live in ``multiprocessing.shared_memory``
+  segments owned by a context-managed :class:`SharedArrayRegistry`
+  (unlink-on-exit guaranteed), and payloads carry only
+  ``(segment, shape, dtype, offset)`` descriptors that workers reattach;
+* :mod:`repro.parallel.pool` — the ``serial`` (in-process), ``process``
+  (pool-per-call) and ``persistent`` (warm pool reused across dispatches)
+  shard executors, plus the single :class:`ValueError` choice point for
+  ``executor=`` strings;
 * :mod:`repro.parallel.merge` — order-restoring merge of per-shard records;
 * :mod:`repro.parallel.evaluation` — the :func:`evaluate_tasks` pipeline
-  gluing the four together.
+  gluing them together (shm shipment by default whenever payloads cross a
+  process boundary).
 
 Serial execution remains the reference semantics everywhere: the sharded
 path must (and, per ``tests/test_parallel_equivalence.py``, does) reproduce
 the serial records — access counts, %SA values, top-k items, stopping
-reasons — bit-for-bit for every shard count and every partition.
+reasons — bit-for-bit for every shard count, every partition, every backend
+and both shipment modes.
 """
 
 from repro.parallel.evaluation import build_payloads, evaluate_tasks
 from repro.parallel.merge import merge_shard_records
 from repro.parallel.pool import (
+    EXECUTOR_PERSISTENT,
     EXECUTOR_PROCESS,
     EXECUTOR_SERIAL,
+    VALID_EXECUTORS,
+    PersistentPool,
+    PersistentShardExecutor,
     ProcessShardExecutor,
     SerialShardExecutor,
     ShardExecutor,
     resolve_executor,
+    validate_executor_name,
 )
 from repro.parallel.sharding import ShardPlan, plan_shards
+from repro.parallel.shm import (
+    SHIPMENT_PICKLE,
+    SHIPMENT_SHM,
+    VALID_SHIPMENTS,
+    SharedArrayRegistry,
+    SharedArraySpec,
+    ShmFactoryHandle,
+    attach_array,
+    materialise_factory,
+    resolve_factory,
+)
 from repro.parallel.worker import (
     GroupEvalTask,
     GroupRunRecord,
@@ -43,22 +68,36 @@ from repro.parallel.worker import (
 )
 
 __all__ = [
+    "EXECUTOR_PERSISTENT",
     "EXECUTOR_PROCESS",
     "EXECUTOR_SERIAL",
     "GroupEvalTask",
     "GroupRunRecord",
+    "PersistentPool",
+    "PersistentShardExecutor",
     "ProcessShardExecutor",
+    "SHIPMENT_PICKLE",
+    "SHIPMENT_SHM",
     "SerialShardExecutor",
     "ShardExecutor",
     "ShardPayload",
     "ShardPlan",
+    "SharedArrayRegistry",
+    "SharedArraySpec",
+    "ShmFactoryHandle",
+    "VALID_EXECUTORS",
+    "VALID_SHIPMENTS",
+    "attach_array",
     "build_payloads",
     "evaluate_tasks",
     "group_key",
+    "materialise_factory",
     "merge_shard_records",
     "plan_shards",
     "record_from_result",
     "resolve_executor",
+    "resolve_factory",
     "run_shard",
     "run_task",
+    "validate_executor_name",
 ]

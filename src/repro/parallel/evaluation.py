@@ -8,6 +8,17 @@ the records back into task order.  It knows nothing about recommenders,
 environments or figures — :class:`repro.experiments.scalability
 .ScalabilityEnvironment` builds the tasks and owns the factory cache; the
 equivalence tests drive this function directly with synthetic grid cases.
+
+Shipment: when the resolved backend crosses a process boundary
+(``ships_payloads``), the factories' large arrays are exported to
+shared-memory segments (:mod:`repro.parallel.shm`) and the payloads carry
+only descriptors — the zero-copy default.  ``shipment="pickle"`` forces the
+PR 3 by-value path (the bench uses it to measure the payload shrink);
+``shipment="shm"`` forces descriptor shipment even in-process.  A registry
+created here is unlinked in a ``finally`` — after normal completion, after a
+worker exception and after an interrupt alike — while a caller-owned
+``registry=`` (the environment's) survives the call so segments are shared
+across dispatches.
 """
 
 from __future__ import annotations
@@ -18,6 +29,12 @@ from repro.exceptions import ConfigurationError
 from repro.parallel.merge import merge_shard_records
 from repro.parallel.pool import SerialShardExecutor, ShardExecutor, resolve_executor
 from repro.parallel.sharding import ShardPlan, plan_shards
+from repro.parallel.shm import (
+    SHIPMENT_PICKLE,
+    SHIPMENT_SHM,
+    VALID_SHIPMENTS,
+    SharedArrayRegistry,
+)
 from repro.parallel.worker import (
     GroupEvalTask,
     GroupKey,
@@ -57,6 +74,8 @@ def evaluate_tasks(
     n_shards: int | None = None,
     executor: ShardExecutor | str | None = None,
     plan: ShardPlan | None = None,
+    shipment: str | None = None,
+    registry: SharedArrayRegistry | None = None,
 ) -> list[GroupRunRecord]:
     """Evaluate tasks through the sharded pipeline; records come back in task order.
 
@@ -66,7 +85,8 @@ def evaluate_tasks(
         Materialised evaluations, one record produced per task.
     factories:
         ``{group_key: GrecaIndexFactory}`` for every group referenced by a
-        task (missing groups raise before anything is dispatched).
+        task (missing groups raise before anything is dispatched).  Values
+        may already be :class:`~repro.parallel.shm.ShmFactoryHandle`\\ s.
     n_shards:
         Number of shards for the default contiguous plan.  When omitted it
         is taken from the executor's worker count (one shard per worker);
@@ -74,14 +94,28 @@ def evaluate_tasks(
         still exercising the full payload/merge pipeline, but never spawning
         a process just to execute serially.
     executor:
-        ``"serial"``, ``"process"`` or a
+        ``"serial"``, ``"process"``, ``"persistent"`` or a
         :class:`~repro.parallel.pool.ShardExecutor` instance; defaults to
         the process backend whenever ``n_shards`` asks for fan-out and to
-        the in-process backend otherwise.
+        the in-process backend otherwise.  Unknown names raise
+        :class:`ValueError` at the single validation choice point
+        (:func:`repro.parallel.pool.validate_executor_name`).  A
+        ``"persistent"`` string resolves to a fresh pool that is shut down
+        before returning — pass (and keep) an instance for actual warmth.
     plan:
         Explicit shard plan overriding ``n_shards`` — any partition of the
         task indices is valid and merges to the same result; the
         shard-plan-invariance tests rely on this hook.
+    shipment:
+        ``"shm"`` (descriptors over shared memory), ``"pickle"`` (factories
+        by value), or ``None`` to pick shm exactly when the backend crosses
+        a process boundary.
+    registry:
+        A caller-owned :class:`SharedArrayRegistry` whose segments should
+        outlive this call (the environment passes its own so repeated
+        dispatches share segments).  When omitted and shm shipment is in
+        effect, an ephemeral registry is created and unlinked on the way
+        out, success or failure.
     """
     if not tasks:
         return []
@@ -89,10 +123,36 @@ def evaluate_tasks(
         backend: ShardExecutor = SerialShardExecutor()
     else:
         backend = resolve_executor(executor, n_shards)
+    owns_backend = backend is not executor
+    if shipment is None:
+        shipment = SHIPMENT_SHM if backend.ships_payloads else SHIPMENT_PICKLE
+    if shipment not in VALID_SHIPMENTS:
+        raise ValueError(
+            f"unknown shipment {shipment!r}: valid shipments are "
+            + ", ".join(repr(valid) for valid in VALID_SHIPMENTS)
+        )
     if plan is None:
         if n_shards is None:
             n_shards = getattr(backend, "n_workers", 1)
         plan = plan_shards(len(tasks), n_shards)
-    payloads = build_payloads(plan, tasks, factories)
-    shard_records = backend.run(payloads)
-    return merge_shard_records(plan, shard_records)
+    owns_registry = False
+    try:
+        if shipment == SHIPMENT_SHM:
+            if registry is None:
+                registry = SharedArrayRegistry()
+                owns_registry = True
+            needed = {task.group for task in tasks}
+            factories = {
+                key: registry.export(value) if key in needed else value
+                for key, value in factories.items()
+            }
+        payloads = build_payloads(plan, tasks, factories)
+        shard_records = backend.run(payloads)
+        return merge_shard_records(plan, shard_records)
+    finally:
+        if owns_backend:
+            shutdown = getattr(backend, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+        if owns_registry:
+            registry.close()

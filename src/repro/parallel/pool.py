@@ -1,6 +1,6 @@
 """Shard executors: where (and how) shard payloads actually run.
 
-Two concrete executors share one tiny interface — a list of
+Three concrete executors share one tiny interface — a list of
 :class:`~repro.parallel.worker.ShardPayload` values in, one record tuple per
 shard out, *in shard order*:
 
@@ -10,31 +10,76 @@ shard out, *in shard order*:
   drive (and a useful debugging backend: drop-in, single-threaded,
   breakpoint-friendly).
 * :class:`ProcessShardExecutor` fans shards out to a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  Payloads (factories
-  included) are pickled to the workers; records are pickled back.  Results
-  are collected in submission order, so shard order — and therefore the
-  merged task order — never depends on worker scheduling.
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Payloads are pickled to
+  the workers (large factory arrays travel as shared-memory descriptors
+  under the default ``shm`` shipment, see :mod:`repro.parallel.shm`);
+  records are pickled back.  Results are collected in submission order, so
+  shard order — and therefore the merged task order — never depends on
+  worker scheduling.  The pool is created per invocation, so no worker
+  processes linger between figure runs.
+* :class:`PersistentShardExecutor` (``executor="persistent"``) keeps one
+  warm ``ProcessPoolExecutor`` alive across calls.  A
+  :class:`~repro.experiments.scalability.ScalabilityEnvironment` holds one
+  instance per worker count, so the figure 4–8 drivers pay worker spawn —
+  and, combined with shm shipment plus the worker-side factory cache, the
+  substrate shipment — once per environment instead of once per driver.
+  ``shutdown()`` (or the context manager, or
+  ``ScalabilityEnvironment.close``) releases the workers; a pool broken by
+  a dead worker is discarded so the next call starts a fresh one.
 
-Both are stateless between calls; :class:`ProcessShardExecutor` creates its
-pool per invocation so no worker processes linger between figure runs.
+``executor=`` strings are validated in exactly one place:
+:func:`validate_executor_name`, which raises :class:`ValueError` listing the
+valid backends (``serial``, ``process``, ``persistent``).  Both
+:func:`resolve_executor` (the library path) and the runner's ``--executor``
+flag go through it, so an unknown name fails at the choice point instead of
+deep inside ``evaluate_tasks``.
+
+The context-managed shared-memory registry that guarantees segment unlink on
+exit/failure lives in :mod:`repro.parallel.shm` and is re-exported here as
+:class:`SharedArrayRegistry` — the executors and the registry are the two
+halves of the persistent zero-copy setup.
 """
 
 from __future__ import annotations
 
 import abc
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.parallel.shm import SharedArrayRegistry  # noqa: F401  (re-export)
 from repro.parallel.worker import GroupRunRecord, ShardPayload, run_shard
 
-#: Executor spelling accepted by the ``executor=`` knobs.
+#: Executor spellings accepted by the ``executor=`` knobs.
 EXECUTOR_SERIAL = "serial"
 EXECUTOR_PROCESS = "process"
+EXECUTOR_PERSISTENT = "persistent"
+VALID_EXECUTORS = (EXECUTOR_SERIAL, EXECUTOR_PROCESS, EXECUTOR_PERSISTENT)
+
+
+def validate_executor_name(name: str) -> str:
+    """The single choice point for ``executor=`` strings.
+
+    Raises :class:`ValueError` naming the valid backends; both
+    :func:`resolve_executor` and ``runner.py --executor`` route through
+    here, so an unknown spelling never reaches ``evaluate_tasks``.
+    """
+    if name not in VALID_EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}: valid backends are "
+            + ", ".join(repr(valid) for valid in VALID_EXECUTORS)
+        )
+    return name
 
 
 class ShardExecutor(abc.ABC):
     """Runs shard payloads and returns their records in shard order."""
+
+    #: Whether payloads cross a process boundary (and therefore whether the
+    #: shared-memory shipment path pays off).  ``evaluate_tasks`` defaults
+    #: to shm shipment exactly when this is ``True``.
+    ships_payloads = False
 
     @abc.abstractmethod
     def run(self, payloads: Sequence[ShardPayload]) -> list[tuple[GroupRunRecord, ...]]:
@@ -59,6 +104,8 @@ class ProcessShardExecutor(ShardExecutor):
         than workers queue excess shards and drain them as workers free up.
     """
 
+    ships_payloads = True
+
     def __init__(self, n_workers: int) -> None:
         if n_workers <= 0:
             raise ConfigurationError("n_workers must be positive")
@@ -73,29 +120,93 @@ class ProcessShardExecutor(ShardExecutor):
             return [future.result() for future in futures]
 
 
+class PersistentShardExecutor(ShardExecutor):
+    """A warm process pool reused across dispatches (``executor="persistent"``).
+
+    The pool is created lazily on the first :meth:`run` and survives until
+    :meth:`shutdown` (or context exit), so successive figure-driver calls
+    inside one environment pay worker spawn once.  Combined with shm
+    shipment and the worker-side factory cache this is what amortises the
+    whole substrate shipment to once per environment.  A pool broken by a
+    dead worker is discarded, so the next dispatch transparently starts a
+    fresh one.
+    """
+
+    ships_payloads = True
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers <= 0:
+            raise ConfigurationError("n_workers must be positive")
+        self.n_workers = n_workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def warm(self) -> bool:
+        """``True`` while a worker pool is alive and reusable."""
+        return self._pool is not None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    def run(self, payloads: Sequence[ShardPayload]) -> list[tuple[GroupRunRecord, ...]]:
+        if not payloads:
+            return []
+        pool = self._ensure_pool()
+        try:
+            futures = [pool.submit(run_shard, payload) for payload in payloads]
+            return [future.result() for future in futures]
+        except BrokenProcessPool:
+            self.shutdown()
+            raise
+
+    def shutdown(self) -> None:
+        """Release the worker processes; the next :meth:`run` starts fresh."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "PersistentShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+#: Issue-facing alias: the persistent pool *is* the executor.
+PersistentPool = PersistentShardExecutor
+
+
 def resolve_executor(
     executor: ShardExecutor | str | None, n_workers: int | None
 ) -> ShardExecutor:
     """Resolve the user-facing ``executor=`` knob into a :class:`ShardExecutor`.
 
     ``None`` picks the process backend (the only reason to reach the sharded
-    path is to fan out); strings select by name; instances pass through.
-    The process backend demands an explicit worker count — a silent
-    one-worker pool would pickle the whole workload into a single subprocess
-    for zero parallelism, which is never what the caller meant.
+    path is to fan out); strings select by name (unknown names raise
+    :class:`ValueError` from :func:`validate_executor_name`); instances pass
+    through.  The process-based backends demand an explicit worker count — a
+    silent one-worker pool would pickle the whole workload into a single
+    subprocess for zero parallelism, which is never what the caller meant.
+
+    Note on ``"persistent"``: resolving the string builds a *fresh*
+    :class:`PersistentShardExecutor`; persistence across calls requires the
+    caller to hold the instance (``ScalabilityEnvironment`` memoises one per
+    worker count).  ``evaluate_tasks`` shuts down any pool it resolved
+    itself, so a string never leaks worker processes.
     """
     if isinstance(executor, ShardExecutor):
         return executor
-    if executor is None or executor == EXECUTOR_PROCESS:
+    if executor is not None:
+        validate_executor_name(executor)
+    if executor is None or executor in (EXECUTOR_PROCESS, EXECUTOR_PERSISTENT):
         if n_workers is None:
             raise ConfigurationError(
-                "the process executor needs an explicit worker count: "
-                "pass n_workers (or a ProcessShardExecutor instance)"
+                f"the {executor or EXECUTOR_PROCESS} executor needs an explicit "
+                "worker count: pass n_workers (or an executor instance)"
             )
+        if executor == EXECUTOR_PERSISTENT:
+            return PersistentShardExecutor(n_workers)
         return ProcessShardExecutor(n_workers)
-    if executor == EXECUTOR_SERIAL:
-        return SerialShardExecutor()
-    raise ConfigurationError(
-        f"unknown executor {executor!r}; expected {EXECUTOR_SERIAL!r}, "
-        f"{EXECUTOR_PROCESS!r} or a ShardExecutor instance"
-    )
+    return SerialShardExecutor()

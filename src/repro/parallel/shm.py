@@ -1,0 +1,352 @@
+"""Zero-copy shared-memory shipment of the factory substrate.
+
+PR 3 measured the sharded path's dominant overhead on shipment: every shard
+re-pickles its :class:`~repro.core.greca.GrecaIndexFactory`, and the dense
+float64 arrays inside (the ``(members × items)`` apref matrix, the columnar
+tie-break ranking, the item-id column) dominate that payload.  This module
+deletes the copy: the large arrays are placed in
+:mod:`multiprocessing.shared_memory` segments *once per environment*, and
+shards ship only :class:`SharedArraySpec` descriptors — ``(segment_name,
+shape, dtype, offset)`` tuples a few hundred bytes long — which workers
+reattach zero-copy.
+
+Three layers:
+
+* :class:`SharedArraySpec` + :func:`attach_array` — a picklable descriptor
+  of one ndarray inside a segment, and the worker-side reattachment (a
+  read-only ``np.frombuffer`` view over the mapped segment, no copy).
+* :class:`SharedArrayRegistry` — the context-managed owner of every segment
+  a parent process creates.  ``export(factory)`` packs a factory's substrate
+  arrays into one segment (memoised per factory, so repeated dispatches of
+  the same memoised factory ship the *same* segment) and returns the
+  picklable :class:`ShmFactoryHandle`.  ``close()`` — reached via ``with``,
+  an explicit call, or the ``weakref.finalize`` backstop at garbage
+  collection / interpreter exit — unlinks every segment, so ``/dev/shm``
+  entries cannot outlive the registry even when a worker raised or the run
+  was interrupted.  (POSIX semantics: workers that already mapped a segment
+  keep their mapping after the unlink; only *new* attaches fail.)
+* :class:`ShmFactoryHandle` + :func:`materialise_factory` — the worker side.
+  ``materialise_factory`` rebuilds a :class:`GrecaIndexFactory` around the
+  attached arrays through :meth:`GrecaIndexFactory.from_columns` — sharing
+  the mapped matrix, never copying it — and memoises the result per process,
+  so a persistent worker pool re-serves every later shard of the same
+  factory from its warm cache (including the factory's own memo of
+  column-sliced substrates).
+
+Bit-identity: the shared matrix holds the exact bytes of the parent's
+matrix, the tie-break ranking ships alongside it, and ``max_apref`` ships
+resolved — so a materialised factory builds indexes bit-identical to the
+pickled factory (enforced by ``tests/test_parallel_equivalence.py``'s shm
+axes).
+
+Sizing caveat: segments live in ``/dev/shm`` (a tmpfs typically capped at
+half the host's RAM).  The registry keeps one float64 copy of each exported
+substrate for the lifetime of the environment — the same order of memory the
+pickle path peaked at per dispatch, but held flat instead of re-allocated
+per shard.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.greca import GrecaIndexFactory
+from repro.exceptions import ConfigurationError
+
+#: Shipment spellings accepted by :func:`repro.parallel.evaluate_tasks`.
+SHIPMENT_PICKLE = "pickle"
+SHIPMENT_SHM = "shm"
+VALID_SHIPMENTS = (SHIPMENT_PICKLE, SHIPMENT_SHM)
+
+#: Byte alignment of arrays packed into one segment.
+_ALIGNMENT = 16
+
+#: Segment names created by *this* process (fork children inherit a copy,
+#: which is exactly right: with a fork-inherited resource tracker the extra
+#: attach-registration is an idempotent no-op, while spawn children start
+#: empty and unregister their attachments so a child's tracker never unlinks
+#: a segment the parent still owns).
+_OWNED_NAMES: set[str] = set()
+
+#: Process-local cache of attached segments (name → SharedMemory).  Entries
+#: stay mapped for the life of the process so numpy views handed out by
+#: :func:`attach_array` never lose their buffer.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+#: Process-local memo of materialised factories (handle → factory), the
+#: warm-cache that makes persistent pools pay shipment once per factory.
+_FACTORY_CACHE: dict["ShmFactoryHandle", GrecaIndexFactory] = {}
+
+#: Forgotten-but-still-mapped segments: entries whose numpy views were still
+#: alive when their registry unlinked.  Kept referenced so the mapping (and
+#: the views into it) stay valid and ``SharedMemory.__del__`` never fires
+#: mid-run with exported buffers; the OS reclaims everything at process exit.
+_ZOMBIES: list[shared_memory.SharedMemory] = []
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable descriptor of one ndarray inside a shared-memory segment."""
+
+    segment: str
+    shape: tuple[int, ...]
+    dtype: str
+    offset: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count * np.dtype(self.dtype).itemsize
+
+
+def _attached_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach (once per process) to a named segment and keep it mapped."""
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        if name not in _OWNED_NAMES:
+            # Python < 3.13 registers *attachments* with the resource
+            # tracker too; under the spawn start method a worker's tracker
+            # would then unlink the parent's segment when the worker exits.
+            # Attachments are not ownership — undo the registration.
+            try:  # pragma: no cover - depends on interpreter internals
+                resource_tracker.unregister(
+                    getattr(segment, "_name", segment.name), "shared_memory"
+                )
+            except Exception:
+                pass
+        _ATTACHED[name] = segment
+    return segment
+
+
+def attach_array(spec: SharedArraySpec) -> np.ndarray:
+    """A read-only ndarray view over the described segment region (no copy)."""
+    segment = _attached_segment(spec.segment)
+    count = 1
+    for extent in spec.shape:
+        count *= extent
+    array = np.frombuffer(
+        segment.buf, dtype=np.dtype(spec.dtype), count=count, offset=spec.offset
+    ).reshape(spec.shape)
+    array.flags.writeable = False
+    return array
+
+
+def _forget_segments(names: Sequence[str]) -> None:
+    """Drop process-local caches referencing the given (unlinked) segments.
+
+    Mappings whose numpy views are still alive cannot be closed (that would
+    invalidate live arrays); they are parked in ``_ZOMBIES`` so the views
+    stay valid and no destructor fires against an exported buffer.
+    """
+    names = set(names)
+    for handle in [h for h in _FACTORY_CACHE if h.segment_names() & names]:
+        _FACTORY_CACHE.pop(handle, None)
+    for name in names:
+        _OWNED_NAMES.discard(name)
+        segment = _ATTACHED.pop(name, None)
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:  # live views — keep the mapping alive
+                _ZOMBIES.append(segment)
+
+
+def _release_segments(segments: list[shared_memory.SharedMemory], names: list[str]) -> None:
+    """Unlink every created segment (idempotent; the finalizer backstop)."""
+    _forget_segments(names)
+    while segments:
+        segment = segments.pop()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+        try:
+            segment.close()
+        except BufferError:
+            # A live numpy view still maps the creator's handle; park it so
+            # the view stays valid.  The /dev/shm entry is gone either way.
+            _ZOMBIES.append(segment)
+
+
+@dataclass(frozen=True)
+class ShmFactoryHandle:
+    """Picklable zero-copy stand-in for one memoised :class:`GrecaIndexFactory`.
+
+    Ships descriptors instead of arrays: the apref matrix, the ``repr``
+    tie-break ranking and (when the item ids are plain ints, which is the
+    int64-roundtrip-exact case) the item-id column.  ``items`` carries the
+    literal tuple only in the fallback case of non-integer item ids.
+    """
+
+    members: tuple[int, ...]
+    matrix: SharedArraySpec
+    repr_rank: SharedArraySpec
+    max_apref: float
+    items_spec: SharedArraySpec | None = None
+    items: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if (self.items_spec is None) == (self.items is None):
+            raise ConfigurationError(
+                "exactly one of items_spec / items must describe the item universe"
+            )
+
+    def segment_names(self) -> set[str]:
+        """Every segment this handle references."""
+        names = {self.matrix.segment, self.repr_rank.segment}
+        if self.items_spec is not None:
+            names.add(self.items_spec.segment)
+        return names
+
+    def payload_bytes(self) -> int:
+        """Bytes of array data this handle references (not ships)."""
+        total = self.matrix.nbytes + self.repr_rank.nbytes
+        if self.items_spec is not None:
+            total += self.items_spec.nbytes
+        return total
+
+
+def materialise_factory(handle: ShmFactoryHandle) -> GrecaIndexFactory:
+    """Rebuild (once per process) the factory around the attached arrays."""
+    factory = _FACTORY_CACHE.get(handle)
+    if factory is None:
+        matrix = attach_array(handle.matrix)
+        repr_rank = attach_array(handle.repr_rank)
+        if handle.items_spec is not None:
+            items = tuple(int(value) for value in attach_array(handle.items_spec))
+        else:
+            items = handle.items
+        factory = GrecaIndexFactory.from_columns(
+            handle.members, items, matrix, handle.max_apref, repr_rank=repr_rank
+        )
+        _FACTORY_CACHE[handle] = factory
+    return factory
+
+
+def resolve_factory(factory: GrecaIndexFactory | ShmFactoryHandle) -> GrecaIndexFactory:
+    """Worker-side: a usable factory, whether shipped by value or by handle."""
+    if isinstance(factory, ShmFactoryHandle):
+        return materialise_factory(factory)
+    return factory
+
+
+class SharedArrayRegistry:
+    """Context-managed owner of the shared-memory segments a parent creates.
+
+    ``export`` is memoised per factory object, so every dispatch of the same
+    memoised factory — across shards, figure drivers and persistent-pool
+    calls — references one segment.  Unlink-on-exit is guaranteed three ways:
+    the ``with`` block, an explicit :meth:`close`, and a ``weakref.finalize``
+    backstop that fires at garbage collection or interpreter shutdown even
+    after an exception or a ``KeyboardInterrupt``.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._names: list[str] = []
+        self._handles: dict[int, tuple[GrecaIndexFactory, ShmFactoryHandle]] = {}
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._segments, self._names
+        )
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once the registry's segments have been unlinked."""
+        return self._closed
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of every segment created (and owned) by this registry."""
+        return tuple(self._names)
+
+    def close(self) -> None:
+        """Unlink every owned segment; idempotent."""
+        self._closed = True
+        self._handles.clear()
+        self._finalizer()
+
+    def __enter__(self) -> "SharedArrayRegistry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- export --------------------------------------------------------------------------
+
+    def share_arrays(self, arrays: Sequence[np.ndarray]) -> list[SharedArraySpec]:
+        """Pack arrays into one fresh segment; one descriptor per array."""
+        if self._closed:
+            raise ConfigurationError("the shared-array registry is closed")
+        arrays = [np.ascontiguousarray(array) for array in arrays]
+        offsets = []
+        total = 0
+        for array in arrays:
+            total = (total + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+            offsets.append(total)
+            total += array.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        _OWNED_NAMES.add(segment.name)
+        self._segments.append(segment)
+        self._names.append(segment.name)
+        specs = []
+        for array, offset in zip(arrays, offsets):
+            if array.size:
+                view = np.frombuffer(
+                    segment.buf, dtype=array.dtype, count=array.size, offset=offset
+                ).reshape(array.shape)
+                view[...] = array
+            specs.append(
+                SharedArraySpec(
+                    segment=segment.name,
+                    shape=tuple(array.shape),
+                    dtype=array.dtype.str,
+                    offset=offset,
+                )
+            )
+        return specs
+
+    def export(
+        self, factory: GrecaIndexFactory | ShmFactoryHandle
+    ) -> ShmFactoryHandle:
+        """A picklable handle for a factory, its arrays placed in shared memory.
+
+        Memoised per factory object: exporting the same memoised factory
+        twice (the normal case — one environment, many dispatches) returns
+        the same handle over the same segment.
+        """
+        if isinstance(factory, ShmFactoryHandle):
+            return factory
+        cached = self._handles.get(id(factory))
+        if cached is not None:
+            return cached[1]
+        members, items, matrix, repr_rank, max_apref = factory.columnar_substrate()
+        items_array = None
+        if all(type(item) is int for item in items):
+            candidate = np.asarray(items, dtype=np.int64)
+            if tuple(int(value) for value in candidate) == tuple(items):
+                items_array = candidate
+        arrays = [matrix, repr_rank] + ([items_array] if items_array is not None else [])
+        specs = self.share_arrays(arrays)
+        handle = ShmFactoryHandle(
+            members=tuple(members),
+            matrix=specs[0],
+            repr_rank=specs[1],
+            max_apref=float(max_apref),
+            items_spec=specs[2] if items_array is not None else None,
+            items=None if items_array is not None else tuple(items),
+        )
+        # The strong factory reference keeps id(factory) stable for the memo.
+        self._handles[id(factory)] = (factory, handle)
+        return handle

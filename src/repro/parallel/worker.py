@@ -101,12 +101,19 @@ def record_from_result(group: GroupKey, result: GrecaResult) -> GroupRunRecord:
 
 @dataclass(frozen=True)
 class ShardPayload:
-    """Everything one worker needs to evaluate one shard."""
+    """Everything one worker needs to evaluate one shard.
+
+    ``factories`` maps each group either to its
+    :class:`~repro.core.greca.GrecaIndexFactory` (pickle shipment) or to a
+    :class:`~repro.parallel.shm.ShmFactoryHandle` (zero-copy shared-memory
+    shipment: only segment descriptors cross the pickle boundary, and
+    :func:`run_shard` reattaches the arrays worker-side).
+    """
 
     shard_index: int
     task_indices: tuple[int, ...]
     tasks: tuple[GroupEvalTask, ...]
-    factories: Mapping[GroupKey, GrecaIndexFactory]
+    factories: Mapping[GroupKey, object]
 
     def __post_init__(self) -> None:
         if len(self.task_indices) != len(self.tasks):
@@ -137,7 +144,15 @@ def run_task(task: GroupEvalTask, factory: GrecaIndexFactory) -> GroupRunRecord:
 def run_shard(payload: ShardPayload) -> tuple[GroupRunRecord, ...]:
     """Worker entry point: evaluate every task of a shard, in shard order.
 
+    Shared-memory factory handles are materialised (and memoised per worker
+    process) before any task runs, so a shard's tasks — and, under a
+    persistent pool, every later shard of the same factory — share one
+    attached, zero-copy substrate.
+
     Must stay a module-level function so process pools can address it by
     qualified name regardless of the start method.
     """
-    return tuple(run_task(task, payload.factories[task.group]) for task in payload.tasks)
+    from repro.parallel.shm import resolve_factory
+
+    factories = {key: resolve_factory(value) for key, value in payload.factories.items()}
+    return tuple(run_task(task, factories[task.group]) for task in payload.tasks)

@@ -8,8 +8,9 @@ reference sequence.  This suite pins that down at three levels:
 
 * **engine level** — the golden grid of :mod:`engine_grid` replayed through
   :func:`repro.parallel.evaluate_tasks` at shard counts {1, 2, 3, 7}, with
-  both the in-process and the process-pool executor, against a serial
-  :class:`~repro.core.greca.Greca` reference run;
+  the in-process, process-pool and persistent-pool executors and both
+  shipment modes (pickle-by-value and zero-copy shared memory), against a
+  serial :class:`~repro.core.greca.Greca` reference run;
 * **plan level** — seeded property cases: *arbitrary* partitions of the task
   indices (shuffled, uneven, non-contiguous) merge to exactly the serial
   sequence, so the planner's particular slicing policy is irrelevant to
@@ -45,16 +46,20 @@ from repro.experiments.scalability import (
 )
 from repro.parallel import (
     GroupEvalTask,
+    PersistentShardExecutor,
     ProcessShardExecutor,
     SerialShardExecutor,
     ShardPayload,
     ShardPlan,
+    SharedArrayRegistry,
     build_payloads,
     evaluate_tasks,
     group_key,
+    materialise_factory,
     merge_shard_records,
     plan_shards,
     record_from_result,
+    resolve_executor,
     run_shard,
 )
 
@@ -196,9 +201,99 @@ def test_grid_sharded_inprocess_matches_serial(grid_tasks, grid_serial, n_shards
 
 @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
 def test_grid_sharded_process_pool_matches_serial(grid_tasks, grid_serial, n_shards):
-    """Golden grid, real process workers (factories pickled), {1, 2, 3, 7}."""
+    """Golden grid, real process workers (default shm shipment), {1, 2, 3, 7}."""
     tasks, factories = grid_tasks
     records = evaluate_tasks(tasks, factories, n_shards=n_shards, executor="process")
+    assert_records_identical(records, grid_serial)
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_sharded_process_pickle_shipment_matches_serial(
+    grid_tasks, grid_serial, n_shards
+):
+    """Golden grid, process workers with forced by-value pickle shipment."""
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        tasks, factories, n_shards=n_shards, executor="process", shipment="pickle"
+    )
+    assert_records_identical(records, grid_serial)
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_sharded_shm_inprocess_matches_serial(grid_tasks, grid_serial, n_shards):
+    """Golden grid, forced shm shipment attached in-process, {1, 2, 3, 7}.
+
+    Exercises export → descriptor → reattach → ``GrecaIndexFactory
+    .from_columns`` without any process in between, so a divergence here is
+    a shipment bug, not a scheduling one.
+    """
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        tasks, factories, n_shards=n_shards, executor=SerialShardExecutor(), shipment="shm"
+    )
+    assert_records_identical(records, grid_serial)
+
+
+@pytest.fixture(scope="module")
+def warm_pool():
+    """One persistent pool shared by every persistent-executor grid case."""
+    with PersistentShardExecutor(n_workers=3) as pool:
+        yield pool
+
+
+@pytest.fixture(scope="module")
+def warm_registry():
+    """One long-lived shm registry, segments shared across dispatches."""
+    with SharedArrayRegistry() as registry:
+        yield registry
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_sharded_persistent_pool_matches_serial(
+    grid_tasks, grid_serial, warm_pool, warm_registry, n_shards
+):
+    """Golden grid through one warm persistent pool + shared registry.
+
+    Successive parametrised cases reuse the same worker processes and the
+    same shared-memory segments — the exact amortisation the figure suite
+    relies on — and every shard count must still merge to the serial
+    records bit-for-bit.
+    """
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        tasks, factories, n_shards=n_shards, executor=warm_pool, registry=warm_registry
+    )
+    assert_records_identical(records, grid_serial)
+    assert warm_pool.warm  # evaluate_tasks must not tear down a caller-owned pool
+    assert not warm_registry.closed  # ...nor unlink a caller-owned registry
+
+
+def test_persistent_pool_stays_warm_across_dispatches(grid_tasks, grid_serial):
+    """Two dispatches reuse one ProcessPoolExecutor; records stay identical."""
+    tasks, factories = grid_tasks
+    with PersistentShardExecutor(n_workers=2) as pool, SharedArrayRegistry() as registry:
+        first = evaluate_tasks(tasks, factories, executor=pool, registry=registry)
+        inner = pool._pool
+        assert inner is not None
+        second = evaluate_tasks(tasks, factories, executor=pool, registry=registry)
+        assert pool._pool is inner  # same warm pool, not a respawn
+        assert_records_identical(first, grid_serial)
+        assert_records_identical(second, grid_serial)
+    assert not pool.warm  # context exit released the workers
+
+
+def test_materialised_factory_builds_bit_identical_indexes(grid_tasks, grid_serial):
+    """export → materialise round-trips to a factory with identical behaviour."""
+    tasks, factories = grid_tasks
+    with SharedArrayRegistry() as registry:
+        handles = {key: registry.export(factory) for key, factory in factories.items()}
+        # Exporting the same factory twice references the same segment.
+        assert registry.export(factories[tasks[0].group]) is handles[tasks[0].group]
+        from repro.parallel.worker import run_task
+
+        records = [
+            run_task(task, materialise_factory(handles[task.group])) for task in tasks
+        ]
     assert_records_identical(records, grid_serial)
 
 
@@ -282,6 +377,32 @@ def test_process_executor_requires_a_worker_count(grid_tasks):
     tasks, factories = grid_tasks
     with pytest.raises(ConfigurationError):
         evaluate_tasks(tasks, factories, executor="process")
+    with pytest.raises(ConfigurationError):
+        evaluate_tasks(tasks, factories, executor="persistent")
+
+
+@pytest.mark.parametrize("bogus", ["threads", "thread", "PROCESS", "async", ""])
+def test_unknown_executor_name_raises_value_error(grid_tasks, bogus):
+    """Unknown executor names fail at the single choice point, listing backends."""
+    tasks, factories = grid_tasks
+    with pytest.raises(ValueError, match="'serial', 'process', 'persistent'"):
+        resolve_executor(bogus, 2)
+    with pytest.raises(ValueError, match="'serial', 'process', 'persistent'"):
+        evaluate_tasks(tasks, factories, n_shards=2, executor=bogus)
+
+
+def test_runner_rejects_unknown_executor_before_running():
+    """--executor goes through the same choice point, before any experiment."""
+    from repro.experiments import runner
+
+    with pytest.raises(ValueError, match="'serial', 'process', 'persistent'"):
+        runner.main(["--executor", "threads", "--list"])
+
+
+def test_unknown_shipment_raises_value_error(grid_tasks):
+    tasks, factories = grid_tasks
+    with pytest.raises(ValueError, match="shipment"):
+        evaluate_tasks(tasks, factories, n_shards=2, executor="serial", shipment="carrier-pigeon")
 
 
 def test_run_shard_preserves_shard_order(grid_tasks):
@@ -359,6 +480,60 @@ def test_environment_serial_executor_backend_matches_serial(
     assert_records_identical(sharded, serial)
 
 
+@pytest.mark.parametrize("n_workers", SHARD_COUNTS)
+def test_environment_persistent_executor_is_shard_count_invariant(
+    tiny_environment, tiny_groups, n_workers
+):
+    """The persistent backend (warm pool + env-owned shm registry) is exact."""
+    serial = tiny_environment.average_percent_sa(tiny_groups)
+    sharded = tiny_environment.average_percent_sa(
+        tiny_groups, n_workers=n_workers, executor="persistent"
+    )
+    assert sharded == serial
+    # The environment memoised a warm pool for this worker count...
+    assert tiny_environment._persistent_pools[n_workers].warm
+    # ...and its registry owns the shipped segments.
+    assert tiny_environment._registry is not None and not tiny_environment._registry.closed
+
+
+def test_environment_persistent_pool_is_reused_across_calls(
+    tiny_environment, tiny_groups
+):
+    """Same worker count → same pool object and same warm ProcessPoolExecutor."""
+    first = tiny_environment.run_records(tiny_groups, n_workers=2, executor="persistent")
+    pool = tiny_environment._persistent_pools[2]
+    inner = pool._pool
+    second = tiny_environment.run_records(tiny_groups, n_workers=2, executor="persistent")
+    assert tiny_environment._persistent_pools[2] is pool and pool._pool is inner
+    assert_records_identical(second, first)
+
+
+def test_environment_close_releases_and_recreates_lazily(tiny_environment, tiny_groups):
+    """close() shuts pools down and unlinks segments; later calls just work."""
+    serial = tiny_environment.run_records(tiny_groups)
+    tiny_environment.run_records(tiny_groups, n_workers=2, executor="persistent")
+    registry = tiny_environment._registry
+    names = registry.segment_names
+    assert names  # shm shipment actually happened
+    tiny_environment.close()
+    assert registry.closed and not tiny_environment._persistent_pools
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+    # The environment recovers transparently: the next dispatch recreates
+    # its pool and registry and still matches serial bit-for-bit.
+    again = tiny_environment.run_records(tiny_groups, n_workers=2, executor="persistent")
+    assert_records_identical(again, serial)
+    tiny_environment.close()
+
+
+def test_environment_persistent_requires_worker_count(tiny_environment, tiny_groups):
+    with pytest.raises(ConfigurationError):
+        tiny_environment.run_records(tiny_groups, executor="persistent")
+
+
 def test_quick_smoke_sharded_statistics_match_serial():
     """run_quick_smoke reports identical statistics under the sharded path."""
     config = ScalabilityConfig(
@@ -368,6 +543,8 @@ def test_quick_smoke_sharded_statistics_match_serial():
     sharded = run_quick_smoke(config=config, n_workers=2)
     assert sharded.stats == serial.stats
     assert sharded.n_workers == 2
+    persistent = run_quick_smoke(config=config, n_workers=2, executor="persistent")
+    assert persistent.stats == serial.stats
 
 
 def test_figure_drivers_sharded_match_serial(tiny_environment, tiny_groups):

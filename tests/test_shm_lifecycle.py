@@ -1,0 +1,223 @@
+"""Lifecycle of the shared-memory shipment segments (:mod:`repro.parallel.shm`).
+
+The zero-copy path places the factory substrate in ``/dev/shm``-backed
+segments, so the one unforgivable failure mode is a *leak*: a segment that
+outlives its registry.  These tests pin the unlink guarantee in every exit
+mode the issue names — normal completion, a worker exception, and a
+``KeyboardInterrupt``-style pool shutdown — always asserting the strongest
+observable fact: ``SharedMemory(name=...)`` raises ``FileNotFoundError``
+once the registry is done with a segment.
+"""
+
+from __future__ import annotations
+
+import gc
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.consensus import make_consensus
+from repro.core.greca import GrecaIndexFactory
+from repro.exceptions import AlgorithmError
+from repro.parallel import (
+    GroupEvalTask,
+    PersistentShardExecutor,
+    SharedArrayRegistry,
+    build_payloads,
+    evaluate_tasks,
+    group_key,
+    plan_shards,
+    run_shard,
+)
+
+
+def assert_unlinked(names):
+    """Every named segment must be gone from the system namespace."""
+    assert names, "expected at least one shared segment to have been created"
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+@pytest.fixture()
+def tiny_workload():
+    """One factory + two tasks, small enough for process-pool lifecycle tests."""
+    rng = np.random.default_rng(7)
+    members = [1, 2, 3]
+    items = list(range(101, 141))
+    aprefs = {
+        member: {item: round(float(rng.uniform(0.0, 5.0)), 3) for item in items}
+        for member in members
+    }
+    factory = GrecaIndexFactory(members=members, aprefs=aprefs)
+    key = group_key(members)
+    static = {(1, 2): 0.4, (1, 3): 0.1, (2, 3): 0.8}
+
+    def task(k: int) -> GroupEvalTask:
+        return GroupEvalTask(
+            group=key,
+            k=k,
+            consensus=make_consensus("AP"),
+            static=static,
+            periodic={},
+            averages={},
+            time_model="discrete",
+        )
+
+    return {key: factory}, [task(3), task(5)]
+
+
+# -- registry-level guarantees ------------------------------------------------------------------
+
+
+def test_registry_unlinks_on_normal_context_exit(tiny_workload):
+    factories, _ = tiny_workload
+    with SharedArrayRegistry() as registry:
+        handle = registry.export(next(iter(factories.values())))
+        names = registry.segment_names
+        # While open, the segments are attachable (and carry the real bytes).
+        probe = shared_memory.SharedMemory(name=handle.matrix.segment)
+        probe.close()
+    assert registry.closed
+    assert_unlinked(names)
+
+
+def test_registry_unlinks_when_the_body_raises(tiny_workload):
+    factories, _ = tiny_workload
+    with pytest.raises(RuntimeError):
+        with SharedArrayRegistry() as registry:
+            registry.export(next(iter(factories.values())))
+            names = registry.segment_names
+            raise RuntimeError("boom")
+    assert_unlinked(names)
+
+
+def test_registry_finalizer_is_a_gc_backstop(tiny_workload):
+    """An abandoned registry (no close, no with) still unlinks at collection."""
+    factories, _ = tiny_workload
+    registry = SharedArrayRegistry()
+    registry.export(next(iter(factories.values())))
+    names = registry.segment_names
+    del registry
+    gc.collect()
+    assert_unlinked(names)
+
+
+def test_registry_refuses_exports_after_close(tiny_workload):
+    factories, _ = tiny_workload
+    registry = SharedArrayRegistry()
+    registry.close()
+    from repro.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        registry.export(next(iter(factories.values())))
+
+
+# -- evaluate_tasks: the ephemeral registry ------------------------------------------------------
+
+
+@pytest.fixture()
+def recording_registries(monkeypatch):
+    """Capture every registry evaluate_tasks creates for itself."""
+    import repro.parallel.evaluation as evaluation
+
+    created: list[SharedArrayRegistry] = []
+
+    class RecordingRegistry(SharedArrayRegistry):
+        def __init__(self) -> None:
+            super().__init__()
+            created.append(self)
+
+    monkeypatch.setattr(evaluation, "SharedArrayRegistry", RecordingRegistry)
+    return created
+
+
+def test_ephemeral_registry_unlinked_after_normal_completion(
+    tiny_workload, recording_registries
+):
+    factories, tasks = tiny_workload
+    records = evaluate_tasks(tasks, factories, n_shards=2, executor="process")
+    assert len(records) == len(tasks)
+    (registry,) = recording_registries
+    assert registry.closed
+    assert_unlinked(registry.segment_names)
+
+
+def test_ephemeral_registry_unlinked_after_worker_exception(
+    tiny_workload, recording_registries
+):
+    """A task that raises inside the worker must not leak segments."""
+    factories, tasks = tiny_workload
+    poisoned = tasks + [
+        GroupEvalTask(
+            group=tasks[0].group,
+            k=0,  # Greca rejects k <= 0 — worker-side, after shipment
+            consensus=tasks[0].consensus,
+            static=tasks[0].static,
+            periodic={},
+            averages={},
+            time_model="discrete",
+        )
+    ]
+    with pytest.raises(AlgorithmError):
+        evaluate_tasks(poisoned, factories, n_shards=2, executor="process")
+    (registry,) = recording_registries
+    assert registry.closed
+    assert_unlinked(registry.segment_names)
+
+
+def test_string_persistent_backend_is_shut_down_and_unlinked(
+    tiny_workload, recording_registries
+):
+    """executor='persistent' resolved from a string must not leak workers/segments."""
+    factories, tasks = tiny_workload
+    records = evaluate_tasks(tasks, factories, n_shards=2, executor="persistent")
+    assert len(records) == len(tasks)
+    (registry,) = recording_registries
+    assert registry.closed
+    assert_unlinked(registry.segment_names)
+
+
+# -- KeyboardInterrupt-style shutdown ------------------------------------------------------------
+
+
+def test_interrupted_run_unlinks_segments_and_stops_the_pool(tiny_workload):
+    """A KeyboardInterrupt mid-flight tears everything down, leak-free.
+
+    The pool and registry are context-managed exactly the way the
+    environment's ``close()`` path releases them; the interrupt propagates,
+    the workers are shut down, and every ``/dev/shm`` entry is gone.
+    """
+    factories, tasks = tiny_workload
+    pool = PersistentShardExecutor(n_workers=2)
+    registry = SharedArrayRegistry()
+    with pytest.raises(KeyboardInterrupt):
+        with pool, registry:
+            records = evaluate_tasks(tasks, factories, executor=pool, registry=registry)
+            assert len(records) == len(tasks)
+            names = registry.segment_names
+            assert pool.warm
+            raise KeyboardInterrupt  # the moment ^C lands between dispatches
+    assert not pool.warm
+    assert registry.closed
+    assert_unlinked(names)
+
+
+def test_unlink_keeps_live_worker_mappings_valid(tiny_workload):
+    """POSIX semantics: in-process views survive the unlink; new attaches fail.
+
+    This is what lets the registry unlink eagerly even while a persistent
+    pool still holds materialised factories mapped from the segments.
+    """
+    factories, tasks = tiny_workload
+    registry = SharedArrayRegistry()
+    handle = registry.export(next(iter(factories.values())))
+    payload = build_payloads(plan_shards(len(tasks), 1), tasks, {tasks[0].group: handle})[0]
+    before = run_shard(payload)  # materialises the factory in-process
+    registry.close()
+    assert_unlinked(registry.segment_names)
+    # The shipped handle can no longer be materialised by a *new* process,
+    # but the records computed from still-mapped views were already correct.
+    reference = evaluate_tasks(tasks, factories)
+    assert list(before) == reference
