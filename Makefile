@@ -52,10 +52,13 @@ bench-record-paper:
 	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --paper-scale --workers $(WORKERS)
 
 # Append the factory-shipment point (pickle vs shared-memory payload bytes
-# and wall-clock, figure-6 sweep over the default substrate).
-# Usage: make bench-record-shipment LABEL=... [WORKERS=4]
+# for the factory and affinity-column paths, dispatch counts per-point vs
+# batched, and wall-clock, figure-6 sweep over the default substrate).
+# Usage: make bench-record-shipment LABEL=... [WORKERS=4] [OUTPUT=path.json]
+# OUTPUT writes the record to a standalone file (the CI artifact) instead of
+# appending to BENCH_engine.json.
 bench-record-shipment:
-	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --shipment --workers $(WORKERS)
+	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --shipment --workers $(WORKERS) $(if $(OUTPUT),--output $(OUTPUT))
 
 # Every paper figure/table benchmark (minutes).
 bench-all:

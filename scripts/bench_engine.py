@@ -173,15 +173,27 @@ def bench_micro_access() -> dict[str, object]:
 
 
 def bench_shipment(n_workers: int = 4) -> dict[str, object]:
-    """Pickle vs shared-memory shipment: payload bytes and wall-clock.
+    """Pickle vs shared-memory shipment: payload bytes, dispatch counts, wall-clock.
 
     The workload is the figure 6 sweep over the default substrate — every
     default random group evaluated at every query period, so the same
     memoised factories ship to shards again and again, exactly the pattern
-    the zero-copy path amortises.  Recorded per shipment mode: the pickled
-    payload bytes actually crossing the process boundary, plus wall-clock
-    for the process backend under both shipments and for a persistent pool
-    (cold first dispatch, warm second).  On hosts granting fewer cores than
+    the zero-copy path amortises.  Three payload shapes are measured:
+
+    * **pickle** — factories and affinity dictionaries by value (PR 3);
+    * **shm** — factory arrays by descriptor, per-task affinity
+      dictionaries still by value (PR 4);
+    * **shm+affinity columns** — factories *and* the per-(group, period)
+      affinity inputs by descriptor, tasks carrying only a period-prefix
+      reference (PR 5).
+
+    Dispatch counts compare the historical one-dispatch-per-sweep-point
+    driver loop against the batched single dispatch (every sweep point in
+    one group-major task list): total payloads crossing the pool plus how
+    many (shard, factory) shipments they contain — batched, each factory
+    ships once per shard it appears in.  Wall-clock is recorded for the
+    process backend under pickle and shm and for a persistent pool (cold
+    first dispatch, warm second).  On hosts granting fewer cores than
     workers the wall-clocks measure overhead, not speedup — ``n_cpus`` is
     recorded so the trajectory stays honest.
     """
@@ -190,6 +202,7 @@ def bench_shipment(n_workers: int = 4) -> dict[str, object]:
     from repro.parallel import (
         PersistentShardExecutor,
         SharedArrayRegistry,
+        available_cpus,
         build_payloads,
         evaluate_tasks,
         plan_shards,
@@ -198,43 +211,85 @@ def bench_shipment(n_workers: int = 4) -> dict[str, object]:
     env = ScalabilityEnvironment(ScalabilityConfig())
     groups = env.random_groups()
     periods = list(env.timeline)
-    tasks = [env.task_for(group, period=period) for group in groups for period in periods]
-    factories = {task.group: env.index_factory(task.group) for task in tasks}
-    plan = plan_shards(len(tasks), n_workers)
+    # Group-major order: each group's factory (and affinity columns) lands in
+    # as few contiguous shards as possible.
+    tasks_dict = [
+        env.task_for(group, period=period, columnar=False)
+        for group in groups
+        for period in periods
+    ]
+    tasks_columnar = [
+        env.task_for(group, period=period)
+        for group in groups
+        for period in periods
+    ]
+    factories = {task.group: env.index_factory(task.group) for task in tasks_dict}
+    plan = plan_shards(len(tasks_dict), n_workers)
 
-    def payload_bytes(factory_map) -> int:
+    def payload_bytes(tasks, factory_map) -> int:
         return sum(
             len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
             for payload in build_payloads(plan, tasks, factory_map)
         )
 
-    pickle_bytes = payload_bytes(factories)
+    pickle_bytes = payload_bytes(tasks_dict, factories)
     with SharedArrayRegistry() as registry:
+        from dataclasses import replace
+
         handles = {key: registry.export(factory) for key, factory in factories.items()}
-        shm_bytes = payload_bytes(handles)
+        shm_bytes = payload_bytes(tasks_dict, handles)
+        shipped_columnar = [
+            replace(task, affinity_ref=registry.export_affinity(task.affinity_ref))
+            for task in tasks_columnar
+        ]
+        shm_affinity_bytes = payload_bytes(shipped_columnar, handles)
+
+    # Dispatch counts: the pre-batching drivers dispatched once per sweep
+    # point (here: per period), the batched path once per figure.
+    per_point_dispatches = 0
+    per_point_factory_shipments = 0
+    for period_index in range(len(periods)):
+        point_tasks = [
+            tasks_dict[group_index * len(periods) + period_index]
+            for group_index in range(len(groups))
+        ]
+        point_payloads = build_payloads(
+            plan_shards(len(point_tasks), n_workers), point_tasks, factories
+        )
+        per_point_dispatches += len(point_payloads)
+        per_point_factory_shipments += sum(
+            len(payload.factories) for payload in point_payloads
+        )
+    batched_payloads = build_payloads(plan, tasks_dict, factories)
+    batched_dispatches = len(batched_payloads)
+    batched_factory_shipments = sum(len(payload.factories) for payload in batched_payloads)
 
     start = time.perf_counter()
-    serial_records = evaluate_tasks(tasks, factories)
+    serial_records = evaluate_tasks(tasks_dict, factories)
     serial_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     pickle_records = evaluate_tasks(
-        tasks, factories, n_shards=n_workers, executor="process", shipment="pickle"
+        tasks_dict, factories, n_shards=n_workers, executor="process", shipment="pickle"
     )
     process_pickle_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     shm_records = evaluate_tasks(
-        tasks, factories, n_shards=n_workers, executor="process", shipment="shm"
+        tasks_columnar, factories, n_shards=n_workers, executor="process", shipment="shm"
     )
     process_shm_seconds = time.perf_counter() - start
 
     with PersistentShardExecutor(n_workers) as pool, SharedArrayRegistry() as registry:
         start = time.perf_counter()
-        cold_records = evaluate_tasks(tasks, factories, executor=pool, registry=registry)
+        cold_records = evaluate_tasks(
+            tasks_columnar, factories, executor=pool, registry=registry
+        )
         persistent_cold_seconds = time.perf_counter() - start
         start = time.perf_counter()
-        warm_records = evaluate_tasks(tasks, factories, executor=pool, registry=registry)
+        warm_records = evaluate_tasks(
+            tasks_columnar, factories, executor=pool, registry=registry
+        )
         persistent_warm_seconds = time.perf_counter() - start
 
     identical = (
@@ -246,11 +301,7 @@ def bench_shipment(n_workers: int = 4) -> dict[str, object]:
     if not identical:  # the record must never hide an equivalence break
         raise SystemExit("shipment-bench records diverged from serial")
 
-    n_cpus = (
-        len(os.sched_getaffinity(0))
-        if hasattr(os, "sched_getaffinity")
-        else (os.cpu_count() or 1)
-    )
+    n_cpus = available_cpus()
     record: dict[str, object] = {}
     if n_cpus < n_workers:
         record["note"] = (
@@ -259,14 +310,22 @@ def bench_shipment(n_workers: int = 4) -> dict[str, object]:
             "expectation applies on hosts with >= n_workers cores"
         )
     record.update(
-        n_tasks=len(tasks),
+        n_tasks=len(tasks_dict),
         n_groups=len(groups),
         n_periods=len(periods),
         n_workers=n_workers,
         n_cpus=n_cpus,
         payload_bytes_pickle=pickle_bytes,
         payload_bytes_shm=shm_bytes,
+        payload_bytes_shm_affinity=shm_affinity_bytes,
         payload_shrink=round(pickle_bytes / shm_bytes, 1) if shm_bytes else None,
+        affinity_payload_shrink=(
+            round(shm_bytes / shm_affinity_bytes, 1) if shm_affinity_bytes else None
+        ),
+        dispatches_per_point=per_point_dispatches,
+        dispatches_batched=batched_dispatches,
+        factory_shipments_per_point=per_point_factory_shipments,
+        factory_shipments_batched=batched_factory_shipments,
         serial_seconds=round(serial_seconds, 4),
         process_pickle_seconds=round(process_pickle_seconds, 4),
         process_shm_seconds=round(process_shm_seconds, 4),
@@ -346,9 +405,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--shipment",
         action="store_true",
-        help="record the shipment point (pickle vs shared-memory payload bytes "
-        "and wall-clock over the figure-6 sweep) instead of the default "
-        "engine sections",
+        help="record the shipment point (pickle vs shared-memory payload bytes, "
+        "dispatch counts and wall-clock over the figure-6 sweep) instead of "
+        "the default engine sections",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the record to PATH instead of appending to BENCH_engine.json "
+        "(CI uses this to upload the measurement as an artifact without "
+        "mutating the committed trajectory)",
     )
     args = parser.parse_args(argv)
 
@@ -369,15 +436,20 @@ def main(argv: list[str] | None = None) -> int:
             micro_sequential=bench_micro_access(),
         )
 
-    target = os.path.join(ROOT, "BENCH_engine.json")
-    history = []
-    if os.path.exists(target):
-        with open(target, "r", encoding="utf-8") as handle:
-            history = json.load(handle)
-    history.append(record)
-    with open(target, "w", encoding="utf-8") as handle:
-        json.dump(history, handle, indent=2)
-        handle.write("\n")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+    else:
+        target = os.path.join(ROOT, "BENCH_engine.json")
+        history = []
+        if os.path.exists(target):
+            with open(target, "r", encoding="utf-8") as handle:
+                history = json.load(handle)
+        history.append(record)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(history, handle, indent=2)
+            handle.write("\n")
     print(json.dumps(record, indent=2))
     return 0
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import abc
 import math
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -153,6 +154,167 @@ def combine_continuous_batch(
     exponent = np.clip(drift, -MAX_GROWTH_EXPONENT, MAX_GROWTH_EXPONENT)
     growth = np.asarray([math.exp(value) for value in exponent.tolist()])
     return np.clip(static * growth, 0.0, 1.0)
+
+
+@dataclass(frozen=True, eq=False)
+class AffinityColumns:
+    """Columnar form of one group's affinity components.
+
+    The per-(group, period) affinity inputs of a GRECA index are three small
+    dictionaries — ``{pair: aff_S}``, ``{period_index: {pair: aff_P}}`` and
+    ``{period_index: Avg_aff_P}`` — and after the shared-memory factory
+    shipment they are the last large Python-object payload still pickled by
+    value into every parallel task.  This class holds the same information
+    densely: a ``(n_pairs,)`` static array, a ``(n_periods, n_pairs)``
+    periodic matrix and a ``(n_periods,)`` averages vector, with ``pairs``
+    mapping columns back to canonical user pairs.  The arrays can be placed
+    in shared memory and shipped by descriptor
+    (:class:`repro.parallel.shm.ShmAffinityHandle`).
+
+    The dict API stays a façade: :meth:`to_components` reconstructs the
+    dictionaries with the exact float values (no arithmetic is involved), so
+    an index built from the reconstruction is bit-identical to one built
+    from the original dicts.  ``pairs`` are canonicalised through
+    :func:`pair_key` and every period covers every pair (missing entries
+    materialise as the explicit ``0.0`` the index's own lookups would have
+    defaulted to — the sorted affinity lists come out identical either way).
+
+    ``periodic[i]`` covers period index ``i``; :meth:`prefix` slices the
+    first ``n`` periods zero-copy, which is how one full-timeline column set
+    per (group, affinity model) serves every query period of a sweep.
+    """
+
+    pairs: tuple[tuple[int, int], ...]
+    static: np.ndarray
+    periodic: np.ndarray
+    averages: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "static", np.asarray(self.static, dtype=float))
+        object.__setattr__(self, "periodic", np.asarray(self.periodic, dtype=float))
+        object.__setattr__(self, "averages", np.asarray(self.averages, dtype=float))
+        n_pairs = len(self.pairs)
+        if self.static.shape != (n_pairs,):
+            raise AffinityError(
+                f"static column covers {self.static.shape} values for {n_pairs} pairs"
+            )
+        if self.periodic.shape != (len(self.averages), n_pairs):
+            raise AffinityError(
+                f"periodic matrix {self.periodic.shape} does not match "
+                f"{len(self.averages)} averages x {n_pairs} pairs"
+            )
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of user pairs covered (columns of the periodic matrix)."""
+        return len(self.pairs)
+
+    @property
+    def n_periods(self) -> int:
+        """Number of periods covered (rows of the periodic matrix)."""
+        return len(self.averages)
+
+    def pair_index(self) -> dict[tuple[int, int], int]:
+        """The pair-index map: canonical pair -> column position."""
+        return {pair: column for column, pair in enumerate(self.pairs)}
+
+    def prefix(self, n_periods: int) -> "AffinityColumns":
+        """The first ``n_periods`` periods of the same pairs (zero-copy slices).
+
+        This is how a query at period index ``p`` derives its inputs from
+        the full-timeline columns: periods ``0..p`` are exactly the first
+        ``p + 1`` rows.
+        """
+        if n_periods < 0 or n_periods > self.n_periods:
+            raise AffinityError(
+                f"cannot take a {n_periods}-period prefix of {self.n_periods} periods"
+            )
+        if n_periods == self.n_periods:
+            return self
+        return AffinityColumns(
+            pairs=self.pairs,
+            static=self.static,
+            periodic=self.periodic[:n_periods],
+            averages=self.averages[:n_periods],
+        )
+
+    @classmethod
+    def from_components(
+        cls,
+        static: Mapping[tuple[int, int], float],
+        periodic: Mapping[int, Mapping[tuple[int, int], float]] | None = None,
+        averages: Mapping[int, float] | None = None,
+    ) -> "AffinityColumns":
+        """Build columns from the dict components (the reverse of :meth:`to_components`).
+
+        Period indices must be contiguous ``0..n-1`` (the shape produced by
+        :meth:`repro.core.recommender.GroupRecommender.affinity_components`
+        and the engine-test cases), and every ``averages`` key must have a
+        matching periodic row — an orphan average cannot be represented and
+        raises instead of being silently dropped.  A *missing* average
+        materialises as the explicit ``0.0`` the index installs for it
+        anyway.  Exotic sparse layouts should stay on the dict path.
+        """
+        period_indices = sorted(int(index) for index in (periodic or {}))
+        if period_indices != list(range(len(period_indices))):
+            raise AffinityError(
+                "periodic affinities must cover contiguous period indices 0..n-1, "
+                f"got {period_indices}"
+            )
+        orphans = sorted(int(index) for index in (averages or {}))
+        orphans = [index for index in orphans if index not in set(period_indices)]
+        if orphans:
+            raise AffinityError(
+                f"averages cover period indices {orphans} that have no periodic row"
+            )
+        pairs: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        sources: list[Mapping[tuple[int, int], float]] = [static or {}]
+        sources.extend((periodic or {})[index] for index in period_indices)
+        for source in sources:
+            for pair in source:
+                key = pair_key(*pair)
+                if key not in seen:
+                    seen.add(key)
+                    pairs.append(key)
+        pair_col = {pair: column for column, pair in enumerate(pairs)}
+        static_col = np.zeros(len(pairs))
+        for pair, value in (static or {}).items():
+            static_col[pair_col[pair_key(*pair)]] = float(value)
+        periodic_mat = np.zeros((len(period_indices), len(pairs)))
+        for row in period_indices:
+            for pair, value in (periodic or {})[row].items():
+                periodic_mat[row, pair_col[pair_key(*pair)]] = float(value)
+        averages_col = np.asarray(
+            [float((averages or {}).get(index, 0.0)) for index in period_indices]
+        )
+        return cls(
+            pairs=tuple(pairs),
+            static=static_col,
+            periodic=periodic_mat,
+            averages=averages_col,
+        )
+
+    def to_components(
+        self,
+    ) -> tuple[
+        dict[tuple[int, int], float],
+        dict[int, dict[tuple[int, int], float]],
+        dict[int, float],
+    ]:
+        """The dict façade: ``(static, periodic, averages)`` with exact values.
+
+        Reconstruction involves no arithmetic — every float comes back
+        verbatim — so indexes built from the reconstruction are bit-identical
+        to ones built from the original dictionaries.
+        """
+        static = dict(zip(self.pairs, self.static.tolist()))
+        periodic = {
+            index: dict(zip(self.pairs, row))
+            for index, row in enumerate(self.periodic.tolist())
+        }
+        averages = dict(enumerate(self.averages.tolist()))
+        return static, periodic, averages
 
 
 class AffinityModel(abc.ABC):
@@ -291,47 +453,132 @@ class ComputedAffinities:
         if len(self.users) < 2:
             raise AffinityError("need at least two users to compute affinities")
 
-        self._static_raw: dict[tuple[int, int], float] = {}
-        self._periodic_raw: dict[Period, dict[tuple[int, int], float]] = {
-            period: {} for period in timeline
-        }
+        # Columnar storage: one column per unordered pair (enumerated in
+        # sorted-user order), one periodic row per timeline period.  The dict
+        # accessors below are a façade over these arrays.
+        pairs: list[tuple[int, int]] = []
         for index, left in enumerate(self.users):
             for right in self.users[index + 1 :]:
-                key = pair_key(left, right)
-                self._static_raw[key] = float(network.common_friends(left, right))
-                for period in timeline:
-                    self._periodic_raw[period][key] = float(
-                        network.common_category_likes(left, right, period)
-                    )
+                pairs.append(pair_key(left, right))
+        periods = tuple(timeline)
+        static = np.empty(len(pairs))
+        periodic = np.empty((len(periods), len(pairs)))
+        for column, (left, right) in enumerate(pairs):
+            static[column] = float(network.common_friends(left, right))
+            for row, period in enumerate(periods):
+                periodic[row, column] = float(
+                    network.common_category_likes(left, right, period)
+                )
+        self._install_columns(pairs, periods, static, periodic)
 
-        self._static_max = max(self._static_raw.values(), default=0.0)
-        self._periodic_max = max(
-            (value for values in self._periodic_raw.values() for value in values.values()),
-            default=0.0,
+    def _install_columns(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        periods: Sequence[Period],
+        static: np.ndarray,
+        periodic: np.ndarray,
+    ) -> None:
+        """Install the raw columnar substrate and derive maxima and averages.
+
+        The population averages are accumulated with the scalar ``sum`` over
+        each periodic row in pair order — the exact float summation order of
+        the historical dict implementation — so any construction path through
+        here (the network scan or :meth:`from_columns`) yields bit-identical
+        averages.
+        """
+        self.pairs: tuple[tuple[int, int], ...] = tuple(pairs)
+        self._pair_col: dict[tuple[int, int], int] = {
+            pair: column for column, pair in enumerate(self.pairs)
+        }
+        self._periods: tuple[Period, ...] = tuple(periods)
+        self._period_row: dict[Period, int] = {
+            period: row for row, period in enumerate(self._periods)
+        }
+        self._static_col = np.asarray(static, dtype=float)
+        self._periodic_mat = np.asarray(periodic, dtype=float)
+        if self._static_col.shape != (len(self.pairs),):
+            raise AffinityError(
+                f"static column covers {self._static_col.shape} values for "
+                f"{len(self.pairs)} pairs"
+            )
+        if self._periodic_mat.shape != (len(self._periods), len(self.pairs)):
+            raise AffinityError(
+                f"periodic matrix {self._periodic_mat.shape} does not match "
+                f"{len(self._periods)} periods x {len(self.pairs)} pairs"
+            )
+        self._static_max = float(self._static_col.max()) if self._static_col.size else 0.0
+        self._periodic_max = (
+            float(self._periodic_mat.max()) if self._periodic_mat.size else 0.0
         )
-        self._population_average: dict[Period, float] = {}
-        n_pairs = len(self._static_raw)
-        for period in timeline:
-            total = sum(self._periodic_raw[period].values())
-            self._population_average[period] = total / n_pairs if n_pairs else 0.0
+        n_pairs = len(self.pairs)
+        self._avg_col = np.asarray(
+            [
+                sum(self._periodic_mat[row].tolist()) / n_pairs if n_pairs else 0.0
+                for row in range(len(self._periods))
+            ]
+        )
+        self._population_average: dict[Period, float] = {
+            period: float(self._avg_col[row]) for row, period in enumerate(self._periods)
+        }
+
+    @classmethod
+    def from_columns(
+        cls,
+        timeline: Timeline,
+        users: Sequence[int],
+        static: np.ndarray,
+        periodic: np.ndarray,
+        network: SocialNetwork | None = None,
+    ) -> "ComputedAffinities":
+        """Reconstruct the object from raw columnar components.
+
+        ``static`` holds the raw pairwise values in the canonical pair order
+        (sorted users, lexicographic pairs — the order :attr:`pairs`
+        reports), ``periodic`` one row per timeline period.  The maxima and
+        population averages are recomputed from the arrays in the same float
+        operation order as the network-scanning constructor, so the
+        reconstruction is FP-identical to the original object.  ``network``
+        is optional: it is only needed by consumers that go back to the raw
+        like history (e.g. :class:`TimeAgnosticAffinityModel`).
+        """
+        instance = cls.__new__(cls)
+        instance.network = network
+        instance.timeline = timeline
+        instance.users = tuple(sorted(users))
+        if len(instance.users) < 2:
+            raise AffinityError("need at least two users to compute affinities")
+        pairs = [
+            pair_key(left, right)
+            for index, left in enumerate(instance.users)
+            for right in instance.users[index + 1 :]
+        ]
+        instance._install_columns(pairs, tuple(timeline), static, periodic)
+        return instance
+
+    def raw_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """The raw ``(static, periodic)`` columnar substrate (shared, read-only use)."""
+        return self._static_col, self._periodic_mat
 
     # -- raw and normalised components ---------------------------------------------
 
     def static_raw(self, left: int, right: int) -> float:
         """Raw static affinity (common friends count)."""
-        return self._static_raw.get(pair_key(left, right), 0.0)
+        column = self._pair_col.get(pair_key(left, right))
+        return float(self._static_col[column]) if column is not None else 0.0
 
     def static_normalized(self, left: int, right: int) -> float:
         """Static affinity normalised by the maximum pairwise value (paper §4.1.2)."""
         if self._static_max == 0:
             return 0.0
-        return clamp01(self._static_raw.get(pair_key(left, right), 0.0) / self._static_max)
+        return clamp01(self.static_raw(left, right) / self._static_max)
 
     def periodic_raw(self, left: int, right: int, period: Period) -> float:
         """Raw periodic affinity ``aff_P`` (common category likes during ``period``)."""
-        if period not in self._periodic_raw:
+        row = self._period_row.get(period)
+        if row is None:
             raise AffinityError(f"period {period} is not part of the timeline")
-        return self._periodic_raw[period].get(pair_key(left, right), 0.0)
+        column = self._pair_col.get(pair_key(left, right))
+        return float(self._periodic_mat[row, column]) if column is not None else 0.0
 
     def periodic_normalized(self, left: int, right: int, period: Period) -> float:
         """Periodic affinity normalised by the global per-period maximum."""
@@ -350,6 +597,39 @@ class ComputedAffinities:
         if self._periodic_max == 0:
             return 0.0
         return self._population_average[period] / self._periodic_max
+
+    def group_columns(self, pairs: Sequence[tuple[int, int]]) -> AffinityColumns:
+        """Normalised full-timeline :class:`AffinityColumns` for selected pairs.
+
+        Element ``i`` of the static column equals
+        ``static_normalized(*pairs[i])`` and cell ``(p, i)`` of the periodic
+        matrix equals ``periodic_normalized(*pairs[i], periods[p])``, bit for
+        bit (one clamped IEEE division per element either way); the averages
+        row matches :meth:`population_average_normalized` per period.  Pairs
+        outside the universe contribute the same ``0.0`` the scalar
+        accessors default to.  This is what the parallel layer ships instead
+        of the per-task affinity dictionaries.
+        """
+        canonical = [pair_key(left, right) for left, right in pairs]
+        columns = [self._pair_col.get(pair) for pair in canonical]
+        known = [position for position, column in enumerate(columns) if column is not None]
+        index = np.asarray([columns[position] for position in known], dtype=np.intp)
+        n_periods = len(self._periods)
+        static = np.zeros(len(canonical))
+        periodic = np.zeros((n_periods, len(canonical)))
+        if known and self._static_max:
+            static[known] = np.clip(self._static_col[index] / self._static_max, 0.0, 1.0)
+        if known and self._periodic_max:
+            periodic[:, known] = np.clip(
+                self._periodic_mat[:, index] / self._periodic_max, 0.0, 1.0
+            )
+        if self._periodic_max:
+            averages = self._avg_col / self._periodic_max
+        else:
+            averages = np.zeros(n_periods)
+        return AffinityColumns(
+            pairs=tuple(canonical), static=static, periodic=periodic, averages=averages
+        )
 
     # -- drift (Equation 1) ----------------------------------------------------------
 

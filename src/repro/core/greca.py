@@ -62,6 +62,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.affinity import (
+    AffinityColumns,
     ComputedAffinities,
     combine_continuous,
     combine_continuous_batch,
@@ -632,6 +633,29 @@ class GrecaIndexFactory:
                 self._restricted[key] = base
         return base.with_affinities(
             static, periodic=periodic, averages=averages, time_model=time_model
+        )
+
+    def build_columns(
+        self,
+        columns: AffinityColumns,
+        time_model: str = TIME_MODEL_DISCRETE,
+        items: Sequence[int] | None = None,
+        n_periods: int | None = None,
+    ) -> GrecaIndex:
+        """An index from a columnar affinity representation.
+
+        ``columns`` usually covers the full timeline; ``n_periods`` selects
+        the prefix a query period needs.  The reconstruction goes through
+        :meth:`AffinityColumns.to_components` — exact float values, no
+        arithmetic — so the result is bit-identical to :meth:`build` with
+        the equivalent dictionaries.  This is the worker-side entry point of
+        the shared-memory affinity shipment.
+        """
+        if n_periods is not None:
+            columns = columns.prefix(n_periods)
+        static, periodic, averages = columns.to_components()
+        return self.build(
+            static, periodic=periodic, averages=averages, time_model=time_model, items=items
         )
 
 

@@ -22,6 +22,9 @@ from repro.experiments.scalability import (
     AccessStats,
     ScalabilityConfig,
     ScalabilityEnvironment,
+    SweepPoint,
+    owned_environment,
+    summarize_percent_sa,
 )
 
 #: Default sweeps (scaled versions of the paper's 5-30 / 3-12 / 900-3900 ranges).
@@ -100,32 +103,38 @@ def run(
     Index construction is shared through the environment's reuse layer: the
     ``k`` sweep reuses each group's index outright, and the item-count sweep
     column-slices the group's columnar substrate instead of rebuilding it.
-    ``n_workers=`` / ``executor=`` shard each sweep point's group evaluations
-    across process workers (serial reference semantics by default).
+    ``n_workers=`` / ``executor=`` batch all three charts' sweep points into
+    one sharded dispatch (serial reference semantics by default); a
+    driver-owned environment is closed on the way out, exception or not.
     """
-    environment = environment or ScalabilityEnvironment(config)
-    base_groups = environment.random_groups()
-    knobs = dict(n_workers=n_workers, executor=executor)
+    with owned_environment(environment, config) as environment:
+        base_groups = environment.random_groups()
+        size_groups = {
+            size: environment.random_groups(group_size=size) for size in group_sizes
+        }
+        n_catalogue = len(environment.ratings.items)
+        item_counts = [
+            max(environment.config.k + 1, int(round(fraction * n_catalogue)))
+            for fraction in item_fractions
+        ]
 
-    varying_k = {
-        k: environment.average_percent_sa(base_groups, k=k, **knobs) for k in k_values
-    }
+        points = [SweepPoint(groups=base_groups, k=k) for k in k_values]
+        points += [SweepPoint(groups=size_groups[size]) for size in group_sizes]
+        points += [SweepPoint(groups=base_groups, n_items=n) for n in item_counts]
+        results = environment.run_sweep(points, n_workers=n_workers, executor=executor)
+        stats = [
+            summarize_percent_sa([record.percent_sa for record in records])
+            for records in results
+        ]
 
-    varying_group_size = {}
-    for size in group_sizes:
-        groups = environment.random_groups(group_size=size)
-        varying_group_size[size] = environment.average_percent_sa(groups, **knobs)
+        varying_k = dict(zip(k_values, stats[: len(k_values)]))
+        offset = len(k_values)
+        varying_group_size = dict(zip(group_sizes, stats[offset : offset + len(group_sizes)]))
+        offset += len(group_sizes)
+        varying_items = dict(zip(item_counts, stats[offset:]))
 
-    n_catalogue = len(environment.ratings.items)
-    varying_items = {}
-    for fraction in item_fractions:
-        n_items = max(environment.config.k + 1, int(round(fraction * n_catalogue)))
-        varying_items[n_items] = environment.average_percent_sa(
-            base_groups, n_items=n_items, **knobs
+        return Figure5Result(
+            varying_k=varying_k,
+            varying_group_size=varying_group_size,
+            varying_items=varying_items,
         )
-
-    return Figure5Result(
-        varying_k=varying_k,
-        varying_group_size=varying_group_size,
-        varying_items=varying_items,
-    )

@@ -21,6 +21,8 @@ from repro.experiments.scalability import (
     AccessStats,
     ScalabilityConfig,
     ScalabilityEnvironment,
+    SweepPoint,
+    owned_environment,
     summarize_percent_sa,
 )
 
@@ -69,23 +71,27 @@ def run(
     """Regenerate Figure 6: one GRECA run per group per query period.
 
     The reuse layer shares each group's columnar preference substrate across
-    all query periods; only the per-period affinity dictionaries are rebuilt.
-    ``n_workers=`` / ``executor=`` shard each period's group runs across
-    process workers (serial reference semantics by default).
+    all query periods, and the affinity inputs ride as period prefixes of one
+    full-timeline column set per group.  ``n_workers=`` / ``executor=``
+    batch the whole period sweep into a single sharded dispatch (serial
+    reference semantics by default).  A driver-owned environment is closed
+    on the way out, exception or not, so no worker pool or ``/dev/shm``
+    segment can leak mid-figure.
     """
-    environment = environment or ScalabilityEnvironment(config)
-    groups = groups or environment.random_groups()
+    with owned_environment(environment, config) as environment:
+        groups = groups or environment.random_groups()
+        points = [
+            SweepPoint(groups=groups, period=period) for period in environment.timeline
+        ]
+        per_period = environment.run_sweep(points, n_workers=n_workers, executor=executor)
 
-    percent_sa: dict[int, AccessStats] = {}
-    mean_accesses: dict[int, float] = {}
-    for period_index, period in enumerate(environment.timeline):
-        records = environment.run_records(
-            groups, period=period, n_workers=n_workers, executor=executor
-        )
-        percent_sa[period_index] = summarize_percent_sa(
-            [record.percent_sa for record in records]
-        )
-        mean_accesses[period_index] = sum(
-            record.sequential_accesses for record in records
-        ) / len(records)
-    return Figure6Result(percent_sa=percent_sa, mean_accesses=mean_accesses)
+        percent_sa: dict[int, AccessStats] = {}
+        mean_accesses: dict[int, float] = {}
+        for period_index, records in enumerate(per_period):
+            percent_sa[period_index] = summarize_percent_sa(
+                [record.percent_sa for record in records]
+            )
+            mean_accesses[period_index] = sum(
+                record.sequential_accesses for record in records
+            ) / len(records)
+        return Figure6Result(percent_sa=percent_sa, mean_accesses=mean_accesses)

@@ -20,6 +20,9 @@ from repro.experiments.scalability import (
     AccessStats,
     ScalabilityConfig,
     ScalabilityEnvironment,
+    SweepPoint,
+    owned_environment,
+    summarize_percent_sa,
 )
 from repro.groups.formation import GroupFormer
 
@@ -91,16 +94,21 @@ def run(
     n_workers: int | None = None,
     executor=None,
 ) -> Figure7Result:
-    """Regenerate Figure 7 (``n_workers=`` shards each class's group runs)."""
-    environment = environment or ScalabilityEnvironment(config)
-    group_size = group_size or environment.config.group_size
-    per_class = _class_groups(
-        environment, n_groups_per_class, group_size, seed=environment.config.seed
-    )
+    """Regenerate Figure 7 (``n_workers=`` batches all classes into one dispatch).
 
-    percent_sa = {}
-    for group_class, groups in per_class.items():
-        percent_sa[group_class] = environment.average_percent_sa(
-            groups, n_workers=n_workers, executor=executor
+    A driver-owned environment is closed on the way out, exception or not.
+    """
+    with owned_environment(environment, config) as environment:
+        group_size = group_size or environment.config.group_size
+        per_class = _class_groups(
+            environment, n_groups_per_class, group_size, seed=environment.config.seed
         )
-    return Figure7Result(percent_sa=percent_sa)
+
+        class_names = list(per_class)
+        points = [SweepPoint(groups=per_class[name]) for name in class_names]
+        results = environment.run_sweep(points, n_workers=n_workers, executor=executor)
+        percent_sa = {
+            name: summarize_percent_sa([record.percent_sa for record in records])
+            for name, records in zip(class_names, results)
+        }
+        return Figure7Result(percent_sa=percent_sa)

@@ -21,6 +21,9 @@ from repro.experiments.scalability import (
     AccessStats,
     ScalabilityConfig,
     ScalabilityEnvironment,
+    SweepPoint,
+    owned_environment,
+    summarize_percent_sa,
 )
 
 #: Consensus functions on the x-axis of Figure 8 (paper labels).
@@ -73,16 +76,18 @@ def run(
 ) -> Figure8Result:
     """Regenerate Figure 8 on the shared substrate.
 
-    ``n_workers=`` / ``executor=`` shard each consensus function's group
-    runs across process workers (serial reference semantics by default).
+    ``n_workers=`` / ``executor=`` batch all four consensus sweeps into one
+    sharded dispatch (serial reference semantics by default); a driver-owned
+    environment is closed on the way out, exception or not.
     """
-    environment = environment or ScalabilityEnvironment(config)
-    groups = groups or environment.random_groups()
-
-    percent_sa = {
-        name: environment.average_percent_sa(
-            groups, consensus=name, n_workers=n_workers, executor=executor
-        )
-        for name in CONSENSUS_FUNCTIONS
-    }
-    return Figure8Result(percent_sa=percent_sa)
+    with owned_environment(environment, config) as environment:
+        groups = groups or environment.random_groups()
+        points = [
+            SweepPoint(groups=groups, consensus=name) for name in CONSENSUS_FUNCTIONS
+        ]
+        per_function = environment.run_sweep(points, n_workers=n_workers, executor=executor)
+        percent_sa = {
+            name: summarize_percent_sa([record.percent_sa for record in records])
+            for name, records in zip(CONSENSUS_FUNCTIONS, per_function)
+        }
+        return Figure8Result(percent_sa=percent_sa)

@@ -36,12 +36,13 @@ to it.  :func:`run_paper_scale` drives the full Table 5-scale substrate
 
 from __future__ import annotations
 
-import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from statistics import mean, stdev
-from typing import Sequence
+from typing import Iterator, Sequence
 
+from repro.core.affinity import AffinityColumns
 from repro.core.consensus import ConsensusFunction, make_consensus
 from repro.core.greca import Greca, GrecaIndex, GrecaIndexFactory
 from repro.core.recommender import GroupRecommender
@@ -64,6 +65,7 @@ from repro.parallel import (
     PersistentShardExecutor,
     ShardExecutor,
     SharedArrayRegistry,
+    available_cpus,
     evaluate_tasks,
     group_key,
     record_from_result,
@@ -147,6 +149,32 @@ def summarize_percent_sa(values: Sequence[float]) -> AccessStats:
     return AccessStats(mean_percent_sa=mean(values), std_error=spread, n_runs=len(values))
 
 
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep point of a figure driver: a set of groups plus query knobs.
+
+    The figure 4–8 drivers evaluate many of these; handing them to
+    :meth:`ScalabilityEnvironment.run_sweep` in one list is what lets the
+    parallel path batch a whole figure into a single dispatch.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    k: int | None = None
+    consensus: str | ConsensusFunction | None = None
+    affinity: str = "discrete"
+    period: Period | None = None
+    n_items: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "groups",
+            tuple(tuple(int(member) for member in group) for group in self.groups),
+        )
+        if not self.groups:
+            raise ConfigurationError("a sweep point needs at least one group")
+
+
 class ScalabilityEnvironment:
     """Shared substrate for Figures 5-8: data, recommender and group pool."""
 
@@ -176,6 +204,11 @@ class ScalabilityEnvironment:
         self.former = GroupFormer(self.ratings, candidates=self.participants, seed=config.seed)
         self._index_factories: dict[tuple[int, ...], GrecaIndexFactory] = {}
         self._index_cache: dict[tuple, GrecaIndex] = {}
+        # Full-timeline affinity columns per (group, affinity model): the
+        # shippable counterpart of the per-task affinity dictionaries.  One
+        # entry serves every query period of a sweep (tasks carry a period
+        # prefix), and the shm registry memoises one segment per entry.
+        self._affinity_columns: dict[tuple, tuple[AffinityColumns, str]] = {}
         # Parallel resources, created lazily and released by close(): one
         # warm persistent pool per worker count and one shared-memory
         # registry whose segments are shipped (once) to every dispatch.
@@ -263,6 +296,41 @@ class ScalabilityEnvironment:
             self._index_factories[key] = factory
         return factory
 
+    def affinity_columns(
+        self, group: Sequence[int], affinity: str = "discrete"
+    ) -> tuple[AffinityColumns, str]:
+        """Memoised full-timeline ``(AffinityColumns, time_model)`` for one group.
+
+        For the temporal models the columns come straight from the
+        :class:`~repro.core.affinity.ComputedAffinities` columnar substrate
+        (:meth:`~repro.core.affinity.ComputedAffinities.group_columns`,
+        element-identical to the scalar accessors); the ablation models go
+        through the dict components.  Either way a query at period index
+        ``p`` uses the ``p + 1``-period prefix, bit-identical to
+        :meth:`~repro.core.recommender.GroupRecommender.affinity_components`
+        at that period.
+        """
+        key = (group_key(group), str(affinity))
+        entry = self._affinity_columns.get(key)
+        if entry is None:
+            members = list(group)
+            if affinity in ("discrete", "continuous"):
+                pairs = [
+                    (left, right)
+                    for position, left in enumerate(members)
+                    for right in members[position + 1 :]
+                ]
+                columns = self.recommender.computed_affinities.group_columns(pairs)
+                time_model = affinity
+            else:
+                static, periodic, averages, time_model = self.recommender.affinity_components(
+                    members, period=self.timeline.current, affinity=affinity
+                )
+                columns = AffinityColumns.from_components(static, periodic, averages)
+            entry = (columns, time_model)
+            self._affinity_columns[key] = entry
+        return entry
+
     def cached_index(
         self,
         group: Sequence[int],
@@ -348,33 +416,58 @@ class ScalabilityEnvironment:
         affinity: str = "discrete",
         period: Period | None = None,
         n_items: int | None = None,
+        columnar: bool = True,
     ) -> GroupEvalTask:
         """Materialise one sweep point as a shippable :class:`GroupEvalTask`.
 
         Resolves everything a worker must not touch — the consensus function,
-        the query period, the affinity dictionaries, the restricted item
-        tuple — and warms the group's factory in the (memoised) factory
-        cache, so dispatching the task ships the cached factory instead of
-        rebuilding the preference substrate per worker.
+        the query period, the affinity inputs, the restricted item tuple —
+        and warms the group's factory in the (memoised) factory cache, so
+        dispatching the task ships the cached factory instead of rebuilding
+        the preference substrate per worker.
+
+        By default the affinity inputs ride as a reference to the group's
+        memoised full-timeline :meth:`affinity_columns` plus the query
+        period's prefix length — the shape the shared-memory shipment turns
+        into pure descriptors.  ``columnar=False`` materialises the PR 3/4
+        per-task dictionaries instead (the by-value reference shape;
+        bit-identical results either way).
         """
         if period is None and self.timeline is not None:
             period = self.timeline.current
-        static, periodic, averages, time_model = self.recommender.affinity_components(
-            list(group), period=period, affinity=affinity
-        )
         self.index_factory(group)  # warm the shared substrate before shipping
         items = (
             tuple(self.ratings.items[: int(n_items)]) if n_items is not None else None
         )
-        return GroupEvalTask(
+        common = dict(
             group=group_key(group),
             k=int(k or self.config.k),
             consensus=self._consensus_fn(consensus),
+            items=items,
+        )
+        if columnar:
+            columns, time_model = self.affinity_columns(group, affinity)
+            n_periods = (
+                self.timeline.index_of(period) + 1 if columns.n_periods else 0
+            )
+            return GroupEvalTask(
+                static={},
+                periodic={},
+                averages={},
+                time_model=time_model,
+                affinity_ref=columns,
+                n_periods=n_periods,
+                **common,
+            )
+        static, periodic, averages, time_model = self.recommender.affinity_components(
+            list(group), period=period, affinity=affinity
+        )
+        return GroupEvalTask(
             static=static,
             periodic=periodic,
             averages=averages,
             time_model=time_model,
-            items=items,
+            **common,
         )
 
     def evaluate(
@@ -456,6 +549,61 @@ class ScalabilityEnvironment:
         ]
         return self.evaluate(tasks, n_workers=n_workers, executor=executor)
 
+    def run_sweep(
+        self,
+        points: Sequence[SweepPoint],
+        n_workers: int | None = None,
+        executor: ShardExecutor | str | None = None,
+    ) -> list[list[GroupRunRecord]]:
+        """Evaluate many sweep points; one record list per point, in point order.
+
+        Serial (the default) runs each point through :meth:`run_records` —
+        the reference semantics, reusing finished indexes outright.  With
+        parallel knobs every point's tasks are materialised up front and
+        **batched into one dispatch**: tasks are ordered group-major (so a
+        contiguous shard plan ships each group's factory — and its affinity
+        columns — to as few shards as possible, one payload per (shard,
+        factory) when points share their groups), evaluated once, and
+        scattered back per point.  Workers loop the sweep points of a shard
+        against their per-process memoised indexes instead of paying one
+        dispatch per point.  Records are bit-identical to the per-point
+        serial runs (``tests/test_parallel_equivalence.py``).
+        """
+        if n_workers is None and executor is None:
+            return [
+                self.run_records(
+                    point.groups,
+                    k=point.k,
+                    consensus=point.consensus,
+                    affinity=point.affinity,
+                    period=point.period,
+                    n_items=point.n_items,
+                )
+                for point in points
+            ]
+        entries = []  # (group key, point index, position within point, task)
+        for point_index, point in enumerate(points):
+            for position, group in enumerate(point.groups):
+                task = self.task_for(
+                    group,
+                    k=point.k,
+                    consensus=point.consensus,
+                    affinity=point.affinity,
+                    period=point.period,
+                    n_items=point.n_items,
+                )
+                entries.append((task.group, point_index, position, task))
+        entries.sort(key=lambda entry: entry[:3])
+        records = self.evaluate(
+            [entry[3] for entry in entries], n_workers=n_workers, executor=executor
+        )
+        results: list[list[GroupRunRecord]] = [
+            [None] * len(point.groups) for point in points  # type: ignore[list-item]
+        ]
+        for (_, point_index, position, _task), record in zip(entries, records):
+            results[point_index][position] = record
+        return results
+
     def average_percent_sa(
         self,
         groups: Sequence[Sequence[int]],
@@ -485,6 +633,29 @@ class ScalabilityEnvironment:
             executor=executor,
         )
         return summarize_percent_sa([record.percent_sa for record in records])
+
+
+@contextmanager
+def owned_environment(
+    environment: ScalabilityEnvironment | None,
+    config: ScalabilityConfig | None = None,
+) -> Iterator[ScalabilityEnvironment]:
+    """The figure drivers' environment-ownership contract, in one place.
+
+    A caller-supplied environment passes through untouched (the caller
+    releases it); a driver-built one is closed on the way out — normal
+    return, exception or interrupt alike — so a failure mid-figure can
+    never leak a persistent pool or ``/dev/shm`` segments.  This is the
+    same try/finally parity :func:`run_quick_smoke` and
+    :func:`run_paper_scale` follow.
+    """
+    owns = environment is None
+    environment = environment if environment is not None else ScalabilityEnvironment(config)
+    try:
+        yield environment
+    finally:
+        if owns:
+            environment.close()
 
 
 # -- perf smoke gate ----------------------------------------------------------------------------
@@ -725,7 +896,7 @@ def _run_paper_scale(
         n_tasks=len(tasks),
         n_groups=len(groups),
         n_periods=len(periods),
-        n_cpus=len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1),
+        n_cpus=available_cpus(),
         sa_checksum=sum(record.sequential_accesses for record in sharded_records),
         identical=sharded_records == serial_records,
     )

@@ -42,6 +42,7 @@ from repro.parallel.pool import (
     ProcessShardExecutor,
     SerialShardExecutor,
     ShardExecutor,
+    available_cpus,
     resolve_executor,
     validate_executor_name,
 )
@@ -52,9 +53,12 @@ from repro.parallel.shm import (
     VALID_SHIPMENTS,
     SharedArrayRegistry,
     SharedArraySpec,
+    ShmAffinityHandle,
     ShmFactoryHandle,
     attach_array,
+    materialise_affinity,
     materialise_factory,
+    resolve_affinity_columns,
     resolve_factory,
 )
 from repro.parallel.worker import (
@@ -84,13 +88,16 @@ __all__ = [
     "ShardPlan",
     "SharedArrayRegistry",
     "SharedArraySpec",
+    "ShmAffinityHandle",
     "ShmFactoryHandle",
     "VALID_EXECUTORS",
     "VALID_SHIPMENTS",
     "attach_array",
+    "available_cpus",
     "build_payloads",
     "evaluate_tasks",
     "group_key",
+    "materialise_affinity",
     "materialise_factory",
     "merge_shard_records",
     "plan_shards",

@@ -10,7 +10,9 @@ environments or figures — :class:`repro.experiments.scalability
 equivalence tests drive this function directly with synthetic grid cases.
 
 Shipment: when the resolved backend crosses a process boundary
-(``ships_payloads``), the factories' large arrays are exported to
+(``ships_payloads``), the factories' large arrays — and the affinity
+columns of any task carrying an
+:class:`~repro.core.affinity.AffinityColumns` reference — are exported to
 shared-memory segments (:mod:`repro.parallel.shm`) and the payloads carry
 only descriptors — the zero-copy default.  ``shipment="pickle"`` forces the
 PR 3 by-value path (the bench uses it to measure the payload shrink);
@@ -23,8 +25,10 @@ across dispatches.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Mapping, Sequence
 
+from repro.core.affinity import AffinityColumns
 from repro.exceptions import ConfigurationError
 from repro.parallel.merge import merge_shard_records
 from repro.parallel.pool import SerialShardExecutor, ShardExecutor, resolve_executor
@@ -146,6 +150,15 @@ def evaluate_tasks(
                 key: registry.export(value) if key in needed else value
                 for key, value in factories.items()
             }
+            # Columnar affinity inputs ship by descriptor too: one export per
+            # distinct AffinityColumns object (a whole period sweep shares
+            # one), dict-based tasks stay as they are.
+            tasks = [
+                replace(task, affinity_ref=registry.export_affinity(task.affinity_ref))
+                if isinstance(task.affinity_ref, AffinityColumns)
+                else task
+                for task in tasks
+            ]
         payloads = build_payloads(plan, tasks, factories)
         shard_records = backend.run(payloads)
         return merge_shard_records(plan, shard_records)

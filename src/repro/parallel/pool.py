@@ -43,6 +43,7 @@ halves of the persistent zero-copy setup.
 from __future__ import annotations
 
 import abc
+import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Sequence
@@ -56,6 +57,20 @@ EXECUTOR_SERIAL = "serial"
 EXECUTOR_PROCESS = "process"
 EXECUTOR_PERSISTENT = "persistent"
 VALID_EXECUTORS = (EXECUTOR_SERIAL, EXECUTOR_PROCESS, EXECUTOR_PERSISTENT)
+
+
+def available_cpus() -> int:
+    """The number of CPUs this process may actually use.
+
+    Affinity-mask aware where the platform exposes it (containers and CI
+    runners often grant fewer cores than ``os.cpu_count`` reports), falling
+    back to the raw count.  Every speedup record in ``BENCH_engine.json``
+    stores this single source of truth, so the paper-scale and shipment
+    benches can never disagree about the host they measured on.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 def validate_executor_name(name: str) -> str:

@@ -32,6 +32,17 @@ Three layers:
   so a persistent worker pool re-serves every later shard of the same
   factory from its warm cache (including the factory's own memo of
   column-sliced substrates).
+* :class:`ShmAffinityHandle` + :func:`materialise_affinity` — the same
+  treatment for the per-(group, period) affinity inputs: one
+  :class:`~repro.core.affinity.AffinityColumns` set per (group, affinity
+  model) covers the full timeline, tasks reference a period prefix, and the
+  dictionaries that used to pickle into every task become three descriptors.
+
+All worker-side memos (factories, affinity columns, and the finished
+indexes of :func:`cached_index`/:func:`store_index`) are LRU-bounded —
+``FACTORY_CACHE_MAX`` / ``AFFINITY_CACHE_MAX`` / ``INDEX_CACHE_MAX`` — so
+arbitrarily long sweeps on a warm persistent pool hold worker memory flat;
+eviction is transparent (the next use reattaches zero-copy).
 
 Bit-identity: the shared matrix holds the exact bytes of the parent's
 matrix, the tie-break ranking ships alongside it, and ``max_apref`` ships
@@ -49,13 +60,15 @@ per shard.
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.greca import GrecaIndexFactory
+from repro.core.affinity import AffinityColumns
+from repro.core.greca import GrecaIndex, GrecaIndexFactory
 from repro.exceptions import ConfigurationError
 
 #: Shipment spellings accepted by :func:`repro.parallel.evaluate_tasks`.
@@ -80,7 +93,43 @@ _ATTACHED: dict[str, shared_memory.SharedMemory] = {}
 
 #: Process-local memo of materialised factories (handle → factory), the
 #: warm-cache that makes persistent pools pay shipment once per factory.
-_FACTORY_CACHE: dict["ShmFactoryHandle", GrecaIndexFactory] = {}
+#: Bounded LRU: long sweeps over many groups on a warm persistent pool must
+#: not grow worker memory without limit, so the least-recently-served
+#: factory is evicted past the cap (re-materialising later is just a new
+#: zero-copy attach).
+_FACTORY_CACHE: OrderedDict["ShmFactoryHandle", GrecaIndexFactory] = OrderedDict()
+FACTORY_CACHE_MAX = 32
+
+#: Process-local memo of attached affinity columns (handle → columns); same
+#: LRU bound rationale as the factory cache.
+_AFFINITY_CACHE: OrderedDict["ShmAffinityHandle", AffinityColumns] = OrderedDict()
+AFFINITY_CACHE_MAX = 256
+
+#: Process-local memo of fully built worker-side indexes, keyed by the
+#: content-stable shipment handles (factory handle, affinity handle,
+#: period-prefix length, item restriction, time model).  This is what lets a
+#: batched multi-query payload — and a warm persistent pool across payloads
+#: — evaluate a k/consensus sweep against one memoised index instead of
+#: rebuilding it per task.  Bounded LRU: restricted-item indexes hold sliced
+#: matrix copies, so the cap also bounds worker memory.
+_INDEX_CACHE: OrderedDict[tuple, GrecaIndex] = OrderedDict()
+INDEX_CACHE_MAX = 64
+
+
+def _cache_get(cache: OrderedDict, key):
+    """LRU lookup: a hit is moved to the most-recently-used end."""
+    value = cache.get(key)
+    if value is not None:
+        cache.move_to_end(key)
+    return value
+
+
+def _cache_put(cache: OrderedDict, key, value, max_entries: int) -> None:
+    """LRU insert: evict from the least-recently-used end past the cap."""
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > max_entries:
+        cache.popitem(last=False)
 
 #: Forgotten-but-still-mapped segments: entries whose numpy views were still
 #: alive when their registry unlinked.  Kept referenced so the mapping (and
@@ -150,6 +199,14 @@ def _forget_segments(names: Sequence[str]) -> None:
     names = set(names)
     for handle in [h for h in _FACTORY_CACHE if h.segment_names() & names]:
         _FACTORY_CACHE.pop(handle, None)
+    for handle in [h for h in _AFFINITY_CACHE if h.segment_names() & names]:
+        _AFFINITY_CACHE.pop(handle, None)
+    for key in [
+        k
+        for k in _INDEX_CACHE
+        if (k[0].segment_names() | k[1].segment_names()) & names
+    ]:
+        _INDEX_CACHE.pop(key, None)
     for name in names:
         _OWNED_NAMES.discard(name)
         segment = _ATTACHED.pop(name, None)
@@ -216,8 +273,8 @@ class ShmFactoryHandle:
 
 
 def materialise_factory(handle: ShmFactoryHandle) -> GrecaIndexFactory:
-    """Rebuild (once per process) the factory around the attached arrays."""
-    factory = _FACTORY_CACHE.get(handle)
+    """Rebuild (once per process, LRU-bounded) the factory around the attached arrays."""
+    factory = _cache_get(_FACTORY_CACHE, handle)
     if factory is None:
         matrix = attach_array(handle.matrix)
         repr_rank = attach_array(handle.repr_rank)
@@ -228,7 +285,7 @@ def materialise_factory(handle: ShmFactoryHandle) -> GrecaIndexFactory:
         factory = GrecaIndexFactory.from_columns(
             handle.members, items, matrix, handle.max_apref, repr_rank=repr_rank
         )
-        _FACTORY_CACHE[handle] = factory
+        _cache_put(_FACTORY_CACHE, handle, factory, FACTORY_CACHE_MAX)
     return factory
 
 
@@ -237,6 +294,69 @@ def resolve_factory(factory: GrecaIndexFactory | ShmFactoryHandle) -> GrecaIndex
     if isinstance(factory, ShmFactoryHandle):
         return materialise_factory(factory)
     return factory
+
+
+@dataclass(frozen=True)
+class ShmAffinityHandle:
+    """Picklable zero-copy stand-in for one :class:`AffinityColumns` set.
+
+    Ships the ``(n_pairs,)`` static column, the ``(n_periods, n_pairs)``
+    periodic matrix and the ``(n_periods,)`` averages vector as segment
+    descriptors; only the small canonical pair tuple travels by value.  One
+    handle covers a group's *full* timeline — tasks select their query
+    period's prefix via :attr:`~repro.parallel.worker.GroupEvalTask
+    .n_periods` — so a whole period sweep references a single export.
+    """
+
+    pairs: tuple[tuple[int, int], ...]
+    static: SharedArraySpec
+    periodic: SharedArraySpec
+    averages: SharedArraySpec
+
+    def segment_names(self) -> set[str]:
+        """Every segment this handle references."""
+        return {self.static.segment, self.periodic.segment, self.averages.segment}
+
+    def payload_bytes(self) -> int:
+        """Bytes of array data this handle references (not ships)."""
+        return self.static.nbytes + self.periodic.nbytes + self.averages.nbytes
+
+
+def materialise_affinity(handle: ShmAffinityHandle) -> AffinityColumns:
+    """Reattach (once per process, LRU-bounded) the columns behind a handle."""
+    columns = _cache_get(_AFFINITY_CACHE, handle)
+    if columns is None:
+        columns = AffinityColumns(
+            pairs=handle.pairs,
+            static=attach_array(handle.static),
+            periodic=attach_array(handle.periodic),
+            averages=attach_array(handle.averages),
+        )
+        _cache_put(_AFFINITY_CACHE, handle, columns, AFFINITY_CACHE_MAX)
+    return columns
+
+
+def resolve_affinity_columns(
+    columns: AffinityColumns | ShmAffinityHandle,
+) -> AffinityColumns:
+    """Worker-side: usable columns, whether shipped by value or by handle."""
+    if isinstance(columns, ShmAffinityHandle):
+        return materialise_affinity(columns)
+    if isinstance(columns, AffinityColumns):
+        return columns
+    raise ConfigurationError(
+        f"expected AffinityColumns or ShmAffinityHandle, got {type(columns).__name__}"
+    )
+
+
+def cached_index(key: tuple) -> GrecaIndex | None:
+    """The per-process memoised index for a content-stable shipment key."""
+    return _cache_get(_INDEX_CACHE, key)
+
+
+def store_index(key: tuple, index: GrecaIndex) -> None:
+    """Memoise a worker-built index (LRU-bounded)."""
+    _cache_put(_INDEX_CACHE, key, index, INDEX_CACHE_MAX)
 
 
 class SharedArrayRegistry:
@@ -254,6 +374,7 @@ class SharedArrayRegistry:
         self._segments: list[shared_memory.SharedMemory] = []
         self._names: list[str] = []
         self._handles: dict[int, tuple[GrecaIndexFactory, ShmFactoryHandle]] = {}
+        self._affinity_handles: dict[int, tuple[AffinityColumns, ShmAffinityHandle]] = {}
         self._closed = False
         self._finalizer = weakref.finalize(
             self, _release_segments, self._segments, self._names
@@ -275,6 +396,7 @@ class SharedArrayRegistry:
         """Unlink every owned segment; idempotent."""
         self._closed = True
         self._handles.clear()
+        self._affinity_handles.clear()
         self._finalizer()
 
     def __enter__(self) -> "SharedArrayRegistry":
@@ -349,4 +471,29 @@ class SharedArrayRegistry:
         )
         # The strong factory reference keeps id(factory) stable for the memo.
         self._handles[id(factory)] = (factory, handle)
+        return handle
+
+    def export_affinity(
+        self, columns: AffinityColumns | ShmAffinityHandle
+    ) -> ShmAffinityHandle:
+        """A picklable handle for one affinity-column set, arrays in shared memory.
+
+        Memoised per columns object: the environment holds one full-timeline
+        :class:`AffinityColumns` per (group, affinity model), so every sweep
+        point of every dispatch references the same segment.
+        """
+        if isinstance(columns, ShmAffinityHandle):
+            return columns
+        cached = self._affinity_handles.get(id(columns))
+        if cached is not None:
+            return cached[1]
+        specs = self.share_arrays([columns.static, columns.periodic, columns.averages])
+        handle = ShmAffinityHandle(
+            pairs=tuple(columns.pairs),
+            static=specs[0],
+            periodic=specs[1],
+            averages=specs[2],
+        )
+        # The strong columns reference keeps id(columns) stable for the memo.
+        self._affinity_handles[id(columns)] = (columns, handle)
         return handle

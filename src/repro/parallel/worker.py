@@ -27,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.core.greca import Greca, GrecaIndexFactory, GrecaResult
+from repro.core.affinity import AffinityColumns
+from repro.core.greca import Greca, GrecaIndex, GrecaIndexFactory, GrecaResult
 from repro.core.consensus import ConsensusFunction
 from repro.exceptions import ConfigurationError
 
@@ -45,10 +46,22 @@ def group_key(group) -> GroupKey:
 class GroupEvalTask:
     """One group evaluation with fully materialised inputs.
 
-    The affinity dictionaries are the output of
-    :meth:`~repro.core.recommender.GroupRecommender.affinity_components` (or
-    the raw case inputs in the engine tests); ``items`` optionally restricts
-    the candidate universe (``None`` means the factory's full catalogue).
+    The affinity inputs travel one of two ways:
+
+    * **dict path** — ``static`` / ``periodic`` / ``averages`` hold the
+      output of :meth:`~repro.core.recommender.GroupRecommender
+      .affinity_components` (or the raw case inputs in the engine tests),
+      pickled by value with the task;
+    * **columnar path** — ``affinity_ref`` holds an
+      :class:`~repro.core.affinity.AffinityColumns` (in-process) or an
+      :class:`~repro.parallel.shm.ShmAffinityHandle` (shared-memory
+      descriptors) covering the group's *full* timeline, and ``n_periods``
+      selects the query period's prefix.  The dict fields must then be
+      empty; the worker reconstructs them through the exact-float façade,
+      so both paths build bit-identical indexes.
+
+    ``items`` optionally restricts the candidate universe (``None`` means
+    the factory's full catalogue).
     """
 
     group: GroupKey
@@ -60,6 +73,14 @@ class GroupEvalTask:
     time_model: str
     items: tuple[int, ...] | None = None
     check_interval: int | None = None
+    affinity_ref: object | None = None
+    n_periods: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.affinity_ref is not None and (self.static or self.periodic or self.averages):
+            raise ConfigurationError(
+                "a task carries either affinity dictionaries or an affinity_ref, not both"
+            )
 
 
 @dataclass(frozen=True)
@@ -128,31 +149,99 @@ class ShardPayload:
             )
 
 
-def run_task(task: GroupEvalTask, factory: GrecaIndexFactory) -> GroupRunRecord:
-    """Evaluate one task against its group's factory (worker-side)."""
-    index = factory.build(
+def build_task_index(task: GroupEvalTask, factory: GrecaIndexFactory) -> GrecaIndex:
+    """Build the task's index through whichever affinity path it carries."""
+    if task.affinity_ref is not None:
+        from repro.parallel.shm import resolve_affinity_columns
+
+        columns = resolve_affinity_columns(task.affinity_ref)
+        return factory.build_columns(
+            columns,
+            time_model=task.time_model,
+            items=task.items,
+            n_periods=task.n_periods,
+        )
+    return factory.build(
         task.static,
         periodic=task.periodic,
         averages=task.averages,
         time_model=task.time_model,
         items=task.items,
     )
+
+
+def run_task(task: GroupEvalTask, factory: GrecaIndexFactory) -> GroupRunRecord:
+    """Evaluate one task against its group's factory (worker-side)."""
+    index = build_task_index(task, factory)
     algorithm = Greca(task.consensus, k=task.k, check_interval=task.check_interval)
     return record_from_result(task.group, algorithm.run(index))
+
+
+def _stable_index_key(task: GroupEvalTask, factory_ref: object) -> tuple | None:
+    """A content-stable memo key for the task's index, or ``None``.
+
+    Only fully handle-addressed tasks qualify: the factory and the affinity
+    columns must both have arrived as shared-memory handles, whose values
+    identify the underlying segments across dispatches — that is what makes
+    the per-process index memo safe on a warm persistent pool.  By-value
+    shipments get no cross-payload key (a fresh pickle copy has no stable
+    identity); they still batch within one payload via the shard-local memo.
+    """
+    from repro.parallel.shm import ShmAffinityHandle, ShmFactoryHandle
+
+    if not isinstance(factory_ref, ShmFactoryHandle):
+        return None
+    if not isinstance(task.affinity_ref, ShmAffinityHandle):
+        return None
+    return (factory_ref, task.affinity_ref, task.n_periods, task.items, task.time_model)
+
+
+def _shard_local_key(task: GroupEvalTask) -> tuple | None:
+    """A within-payload memo key (id-based; the payload keeps the refs alive)."""
+    if task.affinity_ref is None:
+        return None
+    return (task.group, id(task.affinity_ref), task.n_periods, task.items, task.time_model)
 
 
 def run_shard(payload: ShardPayload) -> tuple[GroupRunRecord, ...]:
     """Worker entry point: evaluate every task of a shard, in shard order.
 
-    Shared-memory factory handles are materialised (and memoised per worker
-    process) before any task runs, so a shard's tasks — and, under a
-    persistent pool, every later shard of the same factory — share one
-    attached, zero-copy substrate.
+    Shared-memory factory and affinity handles are materialised (and
+    memoised per worker process, LRU-bounded) before any task runs, so a
+    shard's tasks — and, under a persistent pool, every later shard of the
+    same factory — share one attached, zero-copy substrate.
+
+    Multi-query batching: a payload carries *all* sweep points of its
+    groups, and tasks that resolve to the same index inputs — a k or
+    consensus sweep, repeated periods — reuse one built index instead of
+    rebuilding it per task.  Handle-addressed indexes additionally persist
+    in the per-process memo, so a warm pool re-serves them across
+    dispatches.  Index reuse is bit-identical to fresh construction (the
+    PR 2 reuse-layer guarantee; indexes are immutable between runs).
 
     Must stay a module-level function so process pools can address it by
     qualified name regardless of the start method.
     """
-    from repro.parallel.shm import resolve_factory
+    from repro.parallel import shm
 
-    factories = {key: resolve_factory(value) for key, value in payload.factories.items()}
-    return tuple(run_task(task, factories[task.group]) for task in payload.tasks)
+    factories = {key: shm.resolve_factory(value) for key, value in payload.factories.items()}
+    local_indexes: dict[tuple, GrecaIndex] = {}
+    records = []
+    for task in payload.tasks:
+        factory = factories[task.group]
+        stable_key = _stable_index_key(task, payload.factories[task.group])
+        local_key = _shard_local_key(task)
+        index = None
+        if stable_key is not None:
+            index = shm.cached_index(stable_key)
+        if index is None and local_key is not None:
+            index = local_indexes.get(local_key)
+        if index is None:
+            index = build_task_index(task, factory)
+            if stable_key is not None:
+                shm.store_index(stable_key, index)
+            elif local_key is not None:
+                local_indexes[local_key] = index
+        algorithm = Greca(task.consensus, k=task.k, check_interval=task.check_interval)
+        records.append(record_from_result(task.group, algorithm.run(index)))
+    return tuple(records)

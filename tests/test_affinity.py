@@ -8,6 +8,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.affinity import (
+    AffinityColumns,
     ComputedAffinities,
     ContinuousAffinityModel,
     DiscreteAffinityModel,
@@ -233,3 +234,129 @@ class TestModels:
     def test_factory_rejects_unknown_model(self, tiny_social, short_timeline):
         with pytest.raises(AffinityError):
             build_affinity_model("quantum", tiny_social, short_timeline)
+
+
+class TestAffinityColumns:
+    """The columnar affinity representation and its exact dict façade."""
+
+    STATIC = {(1, 2): 0.4, (3, 1): 0.7, (2, 3): 0.0}
+    PERIODIC = {
+        0: {(1, 2): 0.5, (1, 3): 0.25, (2, 3): 0.125},
+        1: {(1, 2): 0.0, (1, 3): 1.0, (2, 3): 0.75},
+    }
+    AVERAGES = {0: 0.2, 1: 0.4}
+
+    def test_round_trip_is_value_exact(self):
+        columns = AffinityColumns.from_components(self.STATIC, self.PERIODIC, self.AVERAGES)
+        static, periodic, averages = columns.to_components()
+        # Keys come back canonicalised; values verbatim.
+        assert static == {(1, 2): 0.4, (1, 3): 0.7, (2, 3): 0.0}
+        assert periodic == self.PERIODIC
+        assert averages == self.AVERAGES
+        assert columns.n_pairs == 3 and columns.n_periods == 2
+        assert columns.pair_index() == {(1, 2): 0, (1, 3): 1, (2, 3): 2}
+
+    def test_prefix_selects_leading_periods(self):
+        columns = AffinityColumns.from_components(self.STATIC, self.PERIODIC, self.AVERAGES)
+        one = columns.prefix(1)
+        static, periodic, averages = one.to_components()
+        assert static == {(1, 2): 0.4, (1, 3): 0.7, (2, 3): 0.0}
+        assert periodic == {0: self.PERIODIC[0]}
+        assert averages == {0: 0.2}
+        # The full prefix is the object itself; out-of-range prefixes fail.
+        assert columns.prefix(2) is columns
+        with pytest.raises(AffinityError):
+            columns.prefix(3)
+        with pytest.raises(AffinityError):
+            columns.prefix(-1)
+
+    def test_empty_components(self):
+        columns = AffinityColumns.from_components({}, {}, {})
+        assert columns.n_pairs == 0 and columns.n_periods == 0
+        assert columns.to_components() == ({}, {}, {})
+
+    def test_static_only_components(self):
+        columns = AffinityColumns.from_components(self.STATIC)
+        static, periodic, averages = columns.to_components()
+        assert static == {(1, 2): 0.4, (1, 3): 0.7, (2, 3): 0.0}
+        assert periodic == {} and averages == {}
+
+    def test_missing_pairs_materialise_as_explicit_zero(self):
+        # A pair only known periodically still gets a static column (0.0) —
+        # exactly the value the index's own lookups default to.
+        columns = AffinityColumns.from_components({(1, 2): 0.3}, {0: {(2, 3): 0.5}}, {0: 0.1})
+        static, periodic, _ = columns.to_components()
+        assert static == {(1, 2): 0.3, (2, 3): 0.0}
+        assert periodic == {0: {(1, 2): 0.0, (2, 3): 0.5}}
+
+    def test_non_contiguous_period_indices_rejected(self):
+        with pytest.raises(AffinityError):
+            AffinityColumns.from_components({}, {0: {}, 2: {}}, {0: 0.0, 2: 0.0})
+
+    def test_orphan_averages_rejected_instead_of_dropped(self):
+        # An average without a periodic row cannot be represented columnar;
+        # dropping it silently would break the verbatim round-trip promise.
+        with pytest.raises(AffinityError):
+            AffinityColumns.from_components({}, {}, {0: 0.5})
+        with pytest.raises(AffinityError):
+            AffinityColumns.from_components({}, {0: {(1, 2): 0.1}}, {0: 0.2, 1: 0.3})
+
+    def test_missing_average_materialises_as_explicit_zero(self):
+        columns = AffinityColumns.from_components({}, {0: {(1, 2): 0.1}}, {})
+        _, _, averages = columns.to_components()
+        assert averages == {0: 0.0}
+
+    def test_shape_validation(self):
+        import numpy as np
+
+        with pytest.raises(AffinityError):
+            AffinityColumns(pairs=((1, 2),), static=np.zeros(2), periodic=np.zeros((0, 1)), averages=np.zeros(0))
+        with pytest.raises(AffinityError):
+            AffinityColumns(pairs=((1, 2),), static=np.zeros(1), periodic=np.zeros((2, 1)), averages=np.zeros(1))
+
+
+class TestComputedAffinitiesColumnar:
+    """The columnar substrate behind ComputedAffinities and its reconstruction."""
+
+    @pytest.fixture()
+    def computed(self, tiny_social, short_timeline):
+        return ComputedAffinities(tiny_social, short_timeline)
+
+    def test_from_columns_reconstruction_is_identical(self, computed, short_timeline):
+        static, periodic = computed.raw_columns()
+        rebuilt = ComputedAffinities.from_columns(
+            short_timeline, computed.users, static, periodic, network=computed.network
+        )
+        pairs = [(a, b) for i, a in enumerate(computed.users) for b in computed.users[i + 1 :]]
+        assert rebuilt.pairs == computed.pairs
+        for left, right in pairs:
+            assert rebuilt.static_raw(left, right) == computed.static_raw(left, right)
+            assert rebuilt.static_normalized(left, right) == computed.static_normalized(left, right)
+            for period in short_timeline:
+                assert rebuilt.periodic_raw(left, right, period) == computed.periodic_raw(left, right, period)
+                assert rebuilt.periodic_normalized(left, right, period) == computed.periodic_normalized(
+                    left, right, period
+                )
+                assert rebuilt.drift_sum(left, right, period) == computed.drift_sum(left, right, period)
+        for period in short_timeline:
+            assert rebuilt.population_average(period) == computed.population_average(period)
+            assert rebuilt.population_average_normalized(period) == computed.population_average_normalized(period)
+
+    def test_group_columns_match_scalar_accessors_bit_for_bit(self, computed, short_timeline):
+        pairs = [(2, 1), (1, 3), (4, 2)]  # uncanonical order on purpose
+        columns = computed.group_columns(pairs)
+        assert columns.pairs == ((1, 2), (1, 3), (2, 4))
+        assert columns.n_periods == len(short_timeline)
+        for position, (left, right) in enumerate(pairs):
+            assert float(columns.static[position]) == computed.static_normalized(left, right)
+            for row, period in enumerate(short_timeline):
+                assert float(columns.periodic[row, position]) == computed.periodic_normalized(
+                    left, right, period
+                )
+        for row, period in enumerate(short_timeline):
+            assert float(columns.averages[row]) == computed.population_average_normalized(period)
+
+    def test_group_columns_unknown_pairs_default_to_zero(self, computed):
+        columns = computed.group_columns([(1, 2), (998, 999)])
+        assert float(columns.static[1]) == 0.0
+        assert not columns.periodic[:, 1].any()

@@ -192,3 +192,62 @@ class TestRunner:
 
         assert main(["--list"]) == 0
         assert "figure5" in capsys.readouterr().out
+
+
+class TestFigureDriverEnvironmentLifecycle:
+    """Driver-owned environments are closed on every exit path (issue 5 fix).
+
+    Same try/finally parity as run_quick_smoke/run_paper_scale: an exception
+    mid-figure must not leak a persistent pool or /dev/shm segments.
+    (Figure 4 builds no scalability environment, so there is nothing to
+    release there.)
+    """
+
+    @staticmethod
+    def _exploding_environment(created):
+        class ExplodingEnvironment:
+            """Stub whose first substrate access mid-figure raises."""
+
+            def __init__(self, config=None):
+                self.close_calls = 0
+                created.append(self)
+
+            def close(self):
+                self.close_calls += 1
+
+            def __getattr__(self, name):
+                raise RuntimeError("mid-figure failure")
+
+        return ExplodingEnvironment
+
+    @pytest.mark.parametrize("driver", [figure5, figure6, figure7, figure8])
+    def test_owned_environment_closed_on_mid_figure_exception(self, driver, monkeypatch):
+        from repro.experiments import scalability
+
+        created = []
+        # Construction happens inside scalability.owned_environment, so the
+        # stub is installed at the definition site (covers every driver).
+        monkeypatch.setattr(
+            scalability, "ScalabilityEnvironment", self._exploding_environment(created)
+        )
+        with pytest.raises(RuntimeError, match="mid-figure failure"):
+            driver.run()
+        (environment,) = created
+        assert environment.close_calls == 1
+
+    @pytest.mark.parametrize("driver", [figure5, figure6, figure7, figure8])
+    def test_supplied_environment_is_left_open(self, driver, monkeypatch, small_env):
+        """A caller-owned environment is never closed by the driver, even on failure."""
+        closes = []
+        monkeypatch.setattr(small_env, "close", lambda: closes.append(True))
+        monkeypatch.setattr(
+            small_env, "random_groups", _raise_mid_figure, raising=False
+        )
+        monkeypatch.setattr(small_env, "run_sweep", _raise_mid_figure, raising=False)
+        with pytest.raises(RuntimeError, match="mid-figure failure"):
+            driver.run(environment=small_env)
+        assert closes == []
+
+
+def _raise_mid_figure(*args, **kwargs):
+    raise RuntimeError("mid-figure failure")

@@ -561,3 +561,182 @@ def test_figure_drivers_sharded_match_serial(tiny_environment, tiny_groups):
     serial8 = figure8.run(environment=tiny_environment, groups=tiny_groups)
     sharded8 = figure8.run(environment=tiny_environment, groups=tiny_groups, n_workers=2)
     assert sharded8 == serial8
+
+
+# -- columnar affinity shipment + batched dispatch ----------------------------------------------
+
+
+def _columnar_grid_tasks(tasks):
+    """The grid tasks with their affinity dictionaries swapped for columns.
+
+    Every grid case uses contiguous period indices, so the conversion always
+    succeeds; the dict fields are emptied and the full column set rides as
+    ``affinity_ref`` with an explicit full prefix.
+    """
+    from dataclasses import replace
+
+    from repro.core.affinity import AffinityColumns
+
+    converted = []
+    for task in tasks:
+        columns = AffinityColumns.from_components(task.static, task.periodic, task.averages)
+        converted.append(
+            replace(
+                task,
+                static={},
+                periodic={},
+                averages={},
+                affinity_ref=columns,
+                n_periods=columns.n_periods,
+            )
+        )
+    return converted
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_columnar_affinity_inprocess_shm_matches_serial(
+    grid_tasks, grid_serial, n_shards
+):
+    """Columnar affinity tasks, forced shm shipment, attached in-process.
+
+    Exercises export_affinity → descriptor → reattach →
+    ``GrecaIndexFactory.build_columns`` without any process in between, so a
+    divergence here is an affinity-shipment bug, not a scheduling one.
+    """
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        _columnar_grid_tasks(tasks),
+        factories,
+        n_shards=n_shards,
+        executor=SerialShardExecutor(),
+        shipment="shm",
+    )
+    assert_records_identical(records, grid_serial)
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_columnar_affinity_process_shm_matches_serial(
+    grid_tasks, grid_serial, n_shards
+):
+    """Columnar affinity tasks through real process workers, {1, 2, 3, 7}."""
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        _columnar_grid_tasks(tasks), factories, n_shards=n_shards, executor="process"
+    )
+    assert_records_identical(records, grid_serial)
+
+
+def test_grid_columnar_affinity_pickle_shipment_matches_serial(grid_tasks, grid_serial):
+    """Columnar tasks still work when the columns themselves pickle by value."""
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        _columnar_grid_tasks(tasks),
+        factories,
+        n_shards=3,
+        executor="process",
+        shipment="pickle",
+    )
+    assert_records_identical(records, grid_serial)
+
+
+def test_columnar_task_rejects_mixed_affinity_inputs(grid_tasks):
+    """A task may carry dictionaries or a columnar reference, never both."""
+    from dataclasses import replace
+
+    from repro.core.affinity import AffinityColumns
+
+    tasks, _ = grid_tasks
+    task = tasks[0]
+    columns = AffinityColumns.from_components(task.static, task.periodic, task.averages)
+    with pytest.raises(ConfigurationError):
+        replace(task, affinity_ref=columns, n_periods=columns.n_periods)
+
+
+def test_environment_columnar_task_facade_matches_dict_task(tiny_environment, tiny_groups):
+    """task_for's columnar and dict shapes produce bit-identical records."""
+    from repro.parallel.worker import run_task
+
+    group = tiny_groups[0]
+    factory = tiny_environment.index_factory(group)
+    period = tiny_environment.timeline[2]
+    for knobs in (
+        dict(),
+        dict(period=period),
+        dict(period=period, n_items=120, k=4),
+        dict(affinity="continuous", period=period),
+        dict(affinity="time-agnostic"),
+        dict(affinity="none", consensus="MO"),
+    ):
+        columnar = tiny_environment.task_for(group, **knobs)
+        as_dicts = tiny_environment.task_for(group, columnar=False, **knobs)
+        assert columnar.affinity_ref is not None and as_dicts.affinity_ref is None
+        assert run_task(columnar, factory) == run_task(as_dicts, factory)
+
+
+@pytest.mark.parametrize("n_workers", SHARD_COUNTS)
+def test_environment_batched_sweep_matches_serial(tiny_environment, tiny_groups, n_workers):
+    """One batched dispatch over a mixed sweep is exact at {1, 2, 3, 7} shards."""
+    from repro.experiments.scalability import SweepPoint
+
+    points = [
+        SweepPoint(groups=tiny_groups, period=period)
+        for period in tiny_environment.timeline
+    ] + [
+        SweepPoint(groups=tiny_groups, k=4),
+        SweepPoint(groups=tiny_groups, consensus="MO"),
+        SweepPoint(groups=tiny_groups, n_items=120),
+    ]
+    serial = tiny_environment.run_sweep(points)
+    batched = tiny_environment.run_sweep(points, n_workers=n_workers)
+    assert batched == serial
+
+
+def test_batched_sweep_dispatches_once_group_major(tiny_environment, tiny_groups):
+    """run_sweep issues exactly one dispatch, with group-major payloads.
+
+    One payload per (shard, factory): a factory may only appear in a second
+    payload when a contiguous shard boundary happens to split its task run —
+    never once per sweep point, which is what the pre-batching drivers paid.
+    """
+    from collections import Counter
+
+    from repro.experiments.scalability import SweepPoint
+
+    dispatches = []
+
+    class RecordingSerialExecutor(SerialShardExecutor):
+        n_workers = 3
+
+        def run(self, payloads):
+            dispatches.append(payloads)
+            return super().run(payloads)
+
+    points = [
+        SweepPoint(groups=tiny_groups, period=period)
+        for period in tiny_environment.timeline
+    ]
+    serial = tiny_environment.run_sweep(points)
+    batched = tiny_environment.run_sweep(points, executor=RecordingSerialExecutor())
+    assert batched == serial
+    assert len(dispatches) == 1  # the whole figure sweep crossed the pool once
+    (payloads,) = dispatches
+    shipments = Counter()
+    for payload in payloads:
+        for group in payload.factories:
+            shipments[group] += 1
+    # Each factory ships to at most two shards (a boundary split), and the
+    # total is far below the one-per-(point, shard) of per-point dispatching.
+    assert all(count <= 2 for count in shipments.values())
+    assert sum(shipments.values()) <= len(tiny_groups) + len(payloads) - 1
+
+
+@pytest.mark.parametrize("n_workers", SHARD_COUNTS)
+def test_figure6_batched_process_dispatch_is_shard_count_invariant(
+    tiny_environment, tiny_groups, n_workers
+):
+    """Figure 6's single-dispatch parallel path stays exact at every shard count."""
+    serial = figure6.run(environment=tiny_environment, groups=tiny_groups)
+    sharded = figure6.run(
+        environment=tiny_environment, groups=tiny_groups, n_workers=n_workers
+    )
+    assert sharded == serial

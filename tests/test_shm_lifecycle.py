@@ -221,3 +221,177 @@ def test_unlink_keeps_live_worker_mappings_valid(tiny_workload):
     # but the records computed from still-mapped views were already correct.
     reference = evaluate_tasks(tasks, factories)
     assert list(before) == reference
+
+
+# -- affinity-column segments --------------------------------------------------------------------
+
+
+@pytest.fixture()
+def columnar_workload(tiny_workload):
+    """The tiny workload with its tasks swapped to the columnar affinity shape."""
+    from dataclasses import replace
+
+    from repro.core.affinity import AffinityColumns
+
+    factories, tasks = tiny_workload
+    columns = AffinityColumns.from_components(tasks[0].static, {}, {})
+    columnar = [
+        replace(task, static={}, periodic={}, averages={}, affinity_ref=columns, n_periods=0)
+        for task in tasks
+    ]
+    return factories, columnar, columns
+
+
+def test_affinity_segments_unlink_on_context_exit(columnar_workload):
+    _, _, columns = columnar_workload
+    with SharedArrayRegistry() as registry:
+        handle = registry.export_affinity(columns)
+        names = registry.segment_names
+        assert handle.segment_names() <= set(names)
+        # Memoised per columns object: the same export, the same segment.
+        assert registry.export_affinity(columns) is handle
+        probe = shared_memory.SharedMemory(name=handle.static.segment)
+        probe.close()
+    assert_unlinked(names)
+
+
+def test_affinity_segments_unlink_when_the_body_raises(columnar_workload):
+    _, _, columns = columnar_workload
+    with pytest.raises(RuntimeError):
+        with SharedArrayRegistry() as registry:
+            registry.export_affinity(columns)
+            names = registry.segment_names
+            raise RuntimeError("boom")
+    assert_unlinked(names)
+
+
+def test_affinity_export_refused_after_close(columnar_workload):
+    from repro.exceptions import ConfigurationError
+
+    _, _, columns = columnar_workload
+    registry = SharedArrayRegistry()
+    registry.close()
+    with pytest.raises(ConfigurationError):
+        registry.export_affinity(columns)
+
+
+def test_ephemeral_registry_with_columnar_tasks_unlinked(
+    columnar_workload, recording_registries
+):
+    """The shm-affinity default path leaks nothing after a process dispatch."""
+    factories, tasks, _ = columnar_workload
+    records = evaluate_tasks(tasks, factories, n_shards=2, executor="process")
+    assert len(records) == len(tasks)
+    (registry,) = recording_registries
+    assert registry.closed
+    assert_unlinked(registry.segment_names)
+
+
+def test_ephemeral_registry_with_columnar_tasks_unlinked_after_worker_exception(
+    columnar_workload, recording_registries
+):
+    from dataclasses import replace
+
+    from repro.exceptions import AlgorithmError
+
+    factories, tasks, _ = columnar_workload
+    poisoned = tasks + [replace(tasks[0], k=0)]  # Greca rejects k <= 0 worker-side
+    with pytest.raises(AlgorithmError):
+        evaluate_tasks(poisoned, factories, n_shards=2, executor="process")
+    (registry,) = recording_registries
+    assert registry.closed
+    assert_unlinked(registry.segment_names)
+
+
+def test_unlink_purges_local_affinity_and_index_caches(columnar_workload):
+    """In-process attachments of affinity segments are forgotten on unlink."""
+    from repro.parallel import shm
+
+    factories, tasks, _ = columnar_workload
+    registry = SharedArrayRegistry()
+    records = evaluate_tasks(
+        tasks, factories, n_shards=1, executor="serial", shipment="shm", registry=registry
+    )
+    assert len(records) == len(tasks)
+    names = set(registry.segment_names)
+    assert any(handle.segment_names() & names for handle in shm._AFFINITY_CACHE)
+    assert any(
+        (key[0].segment_names() | key[1].segment_names()) & names
+        for key in shm._INDEX_CACHE
+    )
+    registry.close()
+    assert all(not (handle.segment_names() & names) for handle in shm._AFFINITY_CACHE)
+    assert all(
+        not ((key[0].segment_names() | key[1].segment_names()) & names)
+        for key in shm._INDEX_CACHE
+    )
+    assert_unlinked(registry.segment_names)
+
+
+# -- worker-side memo bounds ---------------------------------------------------------------------
+
+
+def _fresh_factory(seed: int):
+    """A small distinct factory (different aprefs per seed)."""
+    rng = np.random.default_rng(seed)
+    members = [1, 2, 3]
+    items = list(range(201, 221))
+    aprefs = {
+        member: {item: round(float(rng.uniform(0.0, 5.0)), 3) for item in items}
+        for member in members
+    }
+    return GrecaIndexFactory(members=members, aprefs=aprefs)
+
+
+def test_factory_memo_is_lru_bounded(monkeypatch):
+    """A warm worker's factory memo evicts past the cap instead of growing forever."""
+    from repro.parallel import shm
+
+    monkeypatch.setattr(shm, "FACTORY_CACHE_MAX", 2)
+    with SharedArrayRegistry() as registry:
+        handles = [registry.export(_fresh_factory(seed)) for seed in (1, 2, 3)]
+        first = shm.materialise_factory(handles[0])
+        for handle in handles:
+            shm.materialise_factory(handle)
+        assert len([h for h in handles if h in shm._FACTORY_CACHE]) <= 2
+        assert handles[0] not in shm._FACTORY_CACHE  # least recently used went first
+        # An evicted factory re-materialises transparently (fresh attach).
+        again = shm.materialise_factory(handles[0])
+        assert again is not first
+        assert again.members == first.members and again.items == first.items
+
+
+def test_factory_memo_lru_order_respects_hits(monkeypatch):
+    from repro.parallel import shm
+
+    monkeypatch.setattr(shm, "FACTORY_CACHE_MAX", 2)
+    with SharedArrayRegistry() as registry:
+        handles = [registry.export(_fresh_factory(seed)) for seed in (11, 12, 13)]
+        shm.materialise_factory(handles[0])
+        shm.materialise_factory(handles[1])
+        shm.materialise_factory(handles[0])  # refresh 0 → 1 becomes the LRU entry
+        shm.materialise_factory(handles[2])
+        assert handles[0] in shm._FACTORY_CACHE
+        assert handles[1] not in shm._FACTORY_CACHE
+        assert handles[2] in shm._FACTORY_CACHE
+
+
+def test_index_memo_is_lru_bounded(monkeypatch, columnar_workload):
+    """The per-process index memo for handle-addressed tasks stays bounded."""
+    from dataclasses import replace
+
+    from repro.parallel import shm
+
+    monkeypatch.setattr(shm, "INDEX_CACHE_MAX", 1)
+    factories, tasks, _ = columnar_workload
+    # Two distinct item restrictions → two distinct index memo keys.
+    variants = [
+        replace(tasks[0], items=tuple(range(101, 121))),
+        replace(tasks[1], items=tuple(range(101, 131))),
+    ]
+    with SharedArrayRegistry() as registry:
+        records = evaluate_tasks(
+            variants, factories, n_shards=1, executor="serial", shipment="shm", registry=registry
+        )
+        assert len(records) == 2
+        assert len(shm._INDEX_CACHE) <= 1
