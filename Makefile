@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all ci test test-fast test-parallel test-slow bench bench-engine bench-record bench-record-paper bench-record-shipment bench-all golden golden-freshness
+.PHONY: all ci test test-fast test-parallel test-chaos test-slow bench bench-engine bench-record bench-record-paper bench-record-shipment bench-all golden golden-freshness
 
 # Default: the fast equivalence suite (golden grid + property/metamorphic
 # tests) plus the perf budget gate, so access-equivalence and performance
@@ -24,6 +24,12 @@ test-fast:
 # random-partition property cases) and the shm segment-lifecycle suite.
 test-parallel:
 	$(PYTHON) -m pytest tests/test_parallel_equivalence.py tests/test_shm_lifecycle.py -q
+
+# Chaos suite: deterministic fault injection (worker crashes, raised
+# exceptions, stalls) against the supervised dispatch layer, plus the shm
+# segment-lifecycle suite — recovery must stay bit-identical and leak-free.
+test-chaos:
+	$(PYTHON) -m pytest tests/test_fault_tolerance.py tests/test_shm_lifecycle.py -q
 
 # Minutes-scale opt-in tests (full MovieLens-1M synthetic substrate,
 # Table 5 headline statistics).  Gated behind the `slow` marker via
@@ -82,4 +88,4 @@ golden-freshness:
 # Everything CI runs, in CI's order — reproduce a red pipeline locally
 # without pushing.  (CI additionally fans test-fast out over Python
 # 3.10/3.11/3.12 and treats the bench budget as advisory on shared runners.)
-ci: test-fast test-parallel bench golden-freshness
+ci: test-fast test-parallel test-chaos bench golden-freshness

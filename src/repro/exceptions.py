@@ -54,3 +54,66 @@ class AlgorithmError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when an experiment or generator configuration is invalid."""
+
+
+class DispatchError(ReproError):
+    """Raised when a supervised parallel dispatch cannot produce results.
+
+    The supervisor (:class:`repro.parallel.resilience.SupervisedDispatch`)
+    absorbs worker crashes, timeouts and transient exceptions by retrying
+    and degrading to the serial executor; this error surfaces only once
+    every recovery tier is exhausted or disabled.  The triggering failure
+    rides along as ``__cause__``.
+    """
+
+
+class ShardTimeoutError(DispatchError):
+    """Raised (and recorded) when a shard exceeds its wall-clock timeout."""
+
+    def __init__(self, shard: int, timeout: float) -> None:
+        super().__init__(f"shard {shard} exceeded its {timeout:.3f}s wall-clock timeout")
+        self.shard = shard
+        self.timeout = timeout
+
+    def __reduce__(self):
+        return (type(self), (self.shard, self.timeout))
+
+
+class WorkerCrashError(DispatchError):
+    """Raised (and recorded) when a worker process died mid-shard."""
+
+    def __init__(self, shard: int, detail: str = "") -> None:
+        message = f"worker process died while running shard {shard}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.shard = shard
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.shard, self.detail))
+
+
+class InjectedFaultError(ReproError):
+    """The ``raise`` fault mode of the deterministic fault-injection harness.
+
+    Raised worker-side by :meth:`repro.parallel.resilience.FaultPlan.trigger`
+    at the planned (shard, task-position, attempt) coordinate.  Deliberately
+    *not* a :class:`DispatchError`: it impersonates an arbitrary user/worker
+    exception, which is exactly what the chaos suite wants the supervisor to
+    recover from.
+    """
+
+    def __init__(self, shard: int, position: int, attempt: int) -> None:
+        super().__init__(
+            f"injected fault: shard {shard}, task position {position}, attempt {attempt}"
+        )
+        self.shard = shard
+        self.position = position
+        self.attempt = attempt
+
+    def __reduce__(self):
+        # Exceptions cross the worker→parent pickle boundary; without this,
+        # unpickling would call __init__ with the message alone and the
+        # reconstruction failure would poison the whole pool.
+        return (type(self), (self.shard, self.position, self.attempt))

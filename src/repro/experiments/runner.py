@@ -16,6 +16,14 @@ Usage::
                                                        # pool + one shared-memory
                                                        # substrate shipment for the
                                                        # whole figure suite
+    python -m repro.experiments.runner --workers 4 --executor supervised
+                                                       # fault-tolerant dispatch:
+                                                       # per-shard timeouts, retries,
+                                                       # pool self-healing, serial
+                                                       # degradation; prints a
+                                                       # dispatch summary at the end
+                                                       # (--shard-timeout/--retries
+                                                       # tune the policy)
 
 Each experiment prints the same rows/series the paper reports (with the
 paper's own values alongside where they are known).  Quality experiments
@@ -40,7 +48,12 @@ from repro.experiments import (
     table5,
 )
 from repro.experiments.scalability import ScalabilityEnvironment
-from repro.parallel import VALID_EXECUTORS, validate_executor_name
+from repro.parallel import (
+    SupervisionPolicy,
+    executor_names,
+    summarise_reports,
+    validate_executor_name,
+)
 from repro.study.environment import build_study_environment
 
 #: Experiment names in the order they appear in the paper.
@@ -62,6 +75,7 @@ def run_all(
     print_fn: Callable[[str], None] = print,
     n_workers: int | None = None,
     executor: str | None = None,
+    supervision: SupervisionPolicy | None = None,
 ) -> dict[str, object]:
     """Run the selected experiments (all of them by default) and print their tables.
 
@@ -69,10 +83,13 @@ def run_all(
     function is also usable programmatically (EXPERIMENTS.md was produced from
     these results).  ``n_workers`` shards the group evaluations of the
     figure 4-8 drivers across process workers (results are bit-identical to
-    the serial run); ``executor`` picks the backend (``serial``, ``process``
-    or ``persistent`` — the latter keeps one warm worker pool across the
-    whole figure suite, paying spawn and substrate shipment once).  Unknown
-    executor names raise :class:`ValueError` before anything runs.
+    the serial run); ``executor`` picks the backend (``serial``, ``process``,
+    ``persistent`` — a warm worker pool across the whole figure suite, paying
+    spawn and substrate shipment once — or ``supervised``, which adds
+    fault-tolerant dispatch on top of that warm pool and prints a recovery
+    summary at the end).  ``supervision`` overrides the supervised policy
+    (timeouts, retry budget).  Unknown executor names raise
+    :class:`ValueError` before anything runs.
     """
     if executor is not None:
         validate_executor_name(executor)
@@ -97,6 +114,8 @@ def run_all(
         if scalability_env is None:
             print_fn("[setup] building the scalability environment (dataset, recommender)...")
             scalability_env = ScalabilityEnvironment()
+            if supervision is not None:
+                scalability_env.supervision = supervision
         return scalability_env
 
     knobs = dict(n_workers=n_workers, executor=executor)
@@ -123,6 +142,9 @@ def run_all(
                 result = figure8.run(environment=scalability_environment(), **knobs)
             results[name] = result
             print_fn(result.format_table())
+        if scalability_env is not None and scalability_env.dispatch_reports:
+            print_fn("")
+            print_fn(summarise_reports(scalability_env.dispatch_reports))
     finally:
         if scalability_env is not None:
             scalability_env.close()  # warm pools / shm segments, if any
@@ -153,9 +175,25 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="NAME",
         help="execution backend for sharded evaluation: one of "
-        + ", ".join(VALID_EXECUTORS)
+        + ", ".join(executor_names())
         + " (default: process when --workers is given; unknown names raise "
         "ValueError at the single validation choice point)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard wall-clock timeout for --executor supervised "
+        "(default: the policy default; only meaningful with supervised)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-shard retry budget for --executor supervised before "
+        "degrading to the serial executor (default: the policy default)",
     )
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers <= 0:
@@ -169,6 +207,18 @@ def main(argv: list[str] | None = None) -> int:
                 f"--executor {args.executor} needs --workers N "
                 "(process-based backends require an explicit worker count)"
             )
+    supervision = None
+    if args.shard_timeout is not None or args.retries is not None:
+        if args.executor != "supervised":
+            raise SystemExit(
+                "--shard-timeout/--retries tune the supervised dispatch policy: "
+                "combine them with --executor supervised"
+            )
+        defaults = SupervisionPolicy()
+        supervision = SupervisionPolicy(
+            timeout=args.shard_timeout if args.shard_timeout is not None else defaults.timeout,
+            max_retries=args.retries if args.retries is not None else defaults.max_retries,
+        )
     if args.list:
         print("\n".join(EXPERIMENTS))
         return 0
@@ -180,7 +230,12 @@ def main(argv: list[str] | None = None) -> int:
         result = run_quick_smoke(n_workers=args.workers, executor=args.executor)
         print(result.format_summary())
         return 0 if result.within_budget else 1
-    run_all(args.experiments or None, n_workers=args.workers, executor=args.executor)
+    run_all(
+        args.experiments or None,
+        n_workers=args.workers,
+        executor=args.executor,
+        supervision=supervision,
+    )
     return 0
 
 

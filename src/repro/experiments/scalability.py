@@ -60,11 +60,16 @@ from repro.exceptions import ConfigurationError
 from repro.groups.formation import GroupFormer
 from repro.parallel import (
     EXECUTOR_PERSISTENT,
+    EXECUTOR_SUPERVISED,
+    DispatchReport,
+    FaultPlan,
     GroupEvalTask,
     GroupRunRecord,
     PersistentShardExecutor,
     ShardExecutor,
     SharedArrayRegistry,
+    SupervisedDispatch,
+    SupervisionPolicy,
     available_cpus,
     evaluate_tasks,
     group_key,
@@ -214,6 +219,11 @@ class ScalabilityEnvironment:
         # registry whose segments are shipped (once) to every dispatch.
         self._persistent_pools: dict[int, PersistentShardExecutor] = {}
         self._registry: SharedArrayRegistry | None = None
+        # Fault-tolerant dispatch: the policy ``executor="supervised"`` runs
+        # under (mutable — assign to tune), and the report trail of every
+        # supervised dispatch this environment performed.
+        self.supervision = SupervisionPolicy()
+        self.dispatch_reports: list[DispatchReport] = []
 
     # -- parallel resource ownership ---------------------------------------------------------
 
@@ -238,9 +248,23 @@ class ScalabilityEnvironment:
     def _resolve_backend(
         self, executor: ShardExecutor | str | None, n_workers: int | None
     ) -> ShardExecutor:
-        """Resolve ``executor=`` — routing ``"persistent"`` to the warm pool."""
+        """Resolve ``executor=`` — routing ``"persistent"`` to the warm pool.
+
+        ``"supervised"`` wraps the warm pool in a fresh
+        :class:`SupervisedDispatch` under :attr:`supervision` — a fresh
+        wrapper per call (wrappers are cheap and stateless between runs)
+        around the memoised pool, so supervised dispatches still reuse warm
+        workers and survive :meth:`close` (the next call re-wraps whatever
+        pool the environment then holds).
+        """
         if executor == EXECUTOR_PERSISTENT:
             return self._persistent_pool(n_workers)
+        if executor == EXECUTOR_SUPERVISED:
+            return SupervisedDispatch(
+                self._persistent_pool(n_workers),
+                policy=self.supervision,
+                owns_executor=False,
+            )
         return resolve_executor(executor, n_workers)
 
     def close(self) -> None:
@@ -470,11 +494,18 @@ class ScalabilityEnvironment:
             **common,
         )
 
+    @property
+    def last_dispatch_report(self) -> DispatchReport | None:
+        """The most recent supervised dispatch's report, if any dispatch ran supervised."""
+        return self.dispatch_reports[-1] if self.dispatch_reports else None
+
     def evaluate(
         self,
         tasks: Sequence[GroupEvalTask],
         n_workers: int | None = None,
         executor: ShardExecutor | str | None = None,
+        supervision: SupervisionPolicy | bool | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> list[GroupRunRecord]:
         """Evaluate materialised tasks, serially or through the sharded layer.
 
@@ -490,6 +521,13 @@ class ScalabilityEnvironment:
         run (``tests/test_parallel_equivalence.py``).
         ``executor="persistent"`` reuses one warm worker pool per worker
         count across calls (released by :meth:`close`).
+        ``executor="supervised"`` adds the fault-tolerant dispatch tier on
+        top of that warm pool, under this environment's :attr:`supervision`
+        policy; each supervised dispatch appends its
+        :class:`~repro.parallel.DispatchReport` to :attr:`dispatch_reports`.
+        A ``supervision=`` policy (or ``True``) supervises any parallel
+        backend for this call, and ``fault_plan=`` injects deterministic
+        faults (the chaos suite's hook).  Serial evaluation ignores both.
         """
         if n_workers is None and executor is None:
             from repro.parallel.worker import run_task
@@ -509,6 +547,9 @@ class ScalabilityEnvironment:
             n_shards=n_workers,
             executor=backend,
             registry=registry,
+            supervision=supervision,
+            fault_plan=fault_plan,
+            reports=self.dispatch_reports,
         )
 
     def run_records(
@@ -521,6 +562,8 @@ class ScalabilityEnvironment:
         n_items: int | None = None,
         n_workers: int | None = None,
         executor: ShardExecutor | str | None = None,
+        supervision: SupervisionPolicy | bool | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> list[GroupRunRecord]:
         """One GRECA run record per group, in group order.
 
@@ -547,13 +590,21 @@ class ScalabilityEnvironment:
             )
             for group in groups
         ]
-        return self.evaluate(tasks, n_workers=n_workers, executor=executor)
+        return self.evaluate(
+            tasks,
+            n_workers=n_workers,
+            executor=executor,
+            supervision=supervision,
+            fault_plan=fault_plan,
+        )
 
     def run_sweep(
         self,
         points: Sequence[SweepPoint],
         n_workers: int | None = None,
         executor: ShardExecutor | str | None = None,
+        supervision: SupervisionPolicy | bool | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> list[list[GroupRunRecord]]:
         """Evaluate many sweep points; one record list per point, in point order.
 
@@ -595,7 +646,11 @@ class ScalabilityEnvironment:
                 entries.append((task.group, point_index, position, task))
         entries.sort(key=lambda entry: entry[:3])
         records = self.evaluate(
-            [entry[3] for entry in entries], n_workers=n_workers, executor=executor
+            [entry[3] for entry in entries],
+            n_workers=n_workers,
+            executor=executor,
+            supervision=supervision,
+            fault_plan=fault_plan,
         )
         results: list[list[GroupRunRecord]] = [
             [None] * len(point.groups) for point in points  # type: ignore[list-item]

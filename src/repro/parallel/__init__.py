@@ -21,7 +21,13 @@ keeping the serial semantics bit-exact:
 * :mod:`repro.parallel.merge` — order-restoring merge of per-shard records;
 * :mod:`repro.parallel.evaluation` — the :func:`evaluate_tasks` pipeline
   gluing them together (shm shipment by default whenever payloads cross a
-  process boundary).
+  process boundary);
+* :mod:`repro.parallel.resilience` — the ``supervised`` fault-tolerant
+  dispatch tier: :class:`SupervisedDispatch` wraps any executor with
+  per-shard timeouts, bounded deterministic retries, pool self-healing and
+  serial degradation, reports every recovery in a :class:`DispatchReport`,
+  and ships a deterministic :class:`FaultPlan` chaos harness for the
+  fault-tolerance suite.
 
 Serial execution remains the reference semantics everywhere: the sharded
 path must (and, per ``tests/test_parallel_equivalence.py``, does) reproduce
@@ -36,15 +42,28 @@ from repro.parallel.pool import (
     EXECUTOR_PERSISTENT,
     EXECUTOR_PROCESS,
     EXECUTOR_SERIAL,
-    VALID_EXECUTORS,
     PersistentPool,
     PersistentShardExecutor,
     ProcessShardExecutor,
     SerialShardExecutor,
     ShardExecutor,
     available_cpus,
+    executor_names,
+    register_executor,
     resolve_executor,
     validate_executor_name,
+)
+from repro.parallel.resilience import (
+    EXECUTOR_SUPERVISED,
+    VALID_FAULT_MODES,
+    DispatchReport,
+    FaultPlan,
+    FaultSpec,
+    ShardAttempt,
+    SupervisedDispatch,
+    SupervisionPolicy,
+    fault_plan_from_env,
+    summarise_reports,
 )
 from repro.parallel.sharding import ShardPlan, plan_shards
 from repro.parallel.shm import (
@@ -72,9 +91,13 @@ from repro.parallel.worker import (
 )
 
 __all__ = [
+    "DispatchReport",
     "EXECUTOR_PERSISTENT",
     "EXECUTOR_PROCESS",
     "EXECUTOR_SERIAL",
+    "EXECUTOR_SUPERVISED",
+    "FaultPlan",
+    "FaultSpec",
     "GroupEvalTask",
     "GroupRunRecord",
     "PersistentPool",
@@ -83,6 +106,7 @@ __all__ = [
     "SHIPMENT_PICKLE",
     "SHIPMENT_SHM",
     "SerialShardExecutor",
+    "ShardAttempt",
     "ShardExecutor",
     "ShardPayload",
     "ShardPlan",
@@ -90,21 +114,37 @@ __all__ = [
     "SharedArraySpec",
     "ShmAffinityHandle",
     "ShmFactoryHandle",
+    "SupervisedDispatch",
+    "SupervisionPolicy",
     "VALID_EXECUTORS",
+    "VALID_FAULT_MODES",
     "VALID_SHIPMENTS",
     "attach_array",
     "available_cpus",
     "build_payloads",
     "evaluate_tasks",
+    "executor_names",
+    "fault_plan_from_env",
     "group_key",
     "materialise_affinity",
     "materialise_factory",
     "merge_shard_records",
     "plan_shards",
     "record_from_result",
+    "register_executor",
     "resolve_executor",
     "resolve_factory",
     "run_shard",
     "run_task",
+    "summarise_reports",
     "validate_executor_name",
 ]
+
+
+def __getattr__(name: str):
+    # ``VALID_EXECUTORS`` is registry-derived now; resolving it lazily means
+    # it always reflects every registered backend, including ones registered
+    # after this package was imported.
+    if name == "VALID_EXECUTORS":
+        return executor_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -32,6 +32,14 @@ from repro.core.affinity import AffinityColumns
 from repro.exceptions import ConfigurationError
 from repro.parallel.merge import merge_shard_records
 from repro.parallel.pool import SerialShardExecutor, ShardExecutor, resolve_executor
+from repro.parallel.resilience import (
+    FaultPlan,
+    SupervisedDispatch,
+    SupervisionPolicy,
+    attach_fault_plan,
+    coerce_policy,
+    fault_plan_from_env,
+)
 from repro.parallel.sharding import ShardPlan, plan_shards
 from repro.parallel.shm import (
     SHIPMENT_PICKLE,
@@ -80,6 +88,9 @@ def evaluate_tasks(
     plan: ShardPlan | None = None,
     shipment: str | None = None,
     registry: SharedArrayRegistry | None = None,
+    supervision: SupervisionPolicy | bool | None = None,
+    fault_plan: FaultPlan | None = None,
+    reports: list | None = None,
 ) -> list[GroupRunRecord]:
     """Evaluate tasks through the sharded pipeline; records come back in task order.
 
@@ -120,6 +131,24 @@ def evaluate_tasks(
         dispatches share segments).  When omitted and shm shipment is in
         effect, an ephemeral registry is created and unlinked on the way
         out, success or failure.
+    supervision:
+        A :class:`~repro.parallel.resilience.SupervisionPolicy` (or ``True``
+        for the defaults) arms fault-tolerant dispatch: the resolved backend
+        is wrapped in a :class:`~repro.parallel.resilience.SupervisedDispatch`
+        enforcing per-shard timeouts, bounded retries with deterministic
+        backoff, pool rebuilds and serial degradation — all bit-identical to
+        an unsupervised run by the architecture invariant.  When the backend
+        already *is* a supervisor (``executor="supervised"`` or a held
+        instance), a policy here overrides its current one.
+    fault_plan:
+        A :class:`~repro.parallel.resilience.FaultPlan` attached to every
+        payload — the deterministic chaos hook the fault-tolerance suite
+        drives.  Defaults to the ``REPRO_FAULT_PLAN`` environment plan, and
+        to no faults when that is unset.
+    reports:
+        A mutable sink; when the backend is supervised, its
+        :class:`~repro.parallel.resilience.DispatchReport` is appended —
+        even when the dispatch ultimately raises.
     """
     if not tasks:
         return []
@@ -128,6 +157,19 @@ def evaluate_tasks(
     else:
         backend = resolve_executor(executor, n_shards)
     owns_backend = backend is not executor
+    policy = coerce_policy(supervision)
+    if isinstance(backend, SupervisedDispatch):
+        if policy is not None:
+            backend.policy = policy
+    elif policy is not None:
+        # owns_backend on the wrapper transfers inner-pool ownership: the
+        # finally below shuts the wrapper down, and the wrapper only shuts
+        # its inner executor when that inner was resolved here (a caller's
+        # warm pool instance stays warm).
+        backend = SupervisedDispatch(backend, policy=policy, owns_executor=owns_backend)
+        owns_backend = True
+    if fault_plan is None:
+        fault_plan = fault_plan_from_env()
     if shipment is None:
         shipment = SHIPMENT_SHM if backend.ships_payloads else SHIPMENT_PICKLE
     if shipment not in VALID_SHIPMENTS:
@@ -159,10 +201,17 @@ def evaluate_tasks(
                 else task
                 for task in tasks
             ]
-        payloads = build_payloads(plan, tasks, factories)
+        payloads = attach_fault_plan(build_payloads(plan, tasks, factories), fault_plan)
+        if isinstance(backend, SupervisedDispatch):
+            # Arm self-healing: the supervisor may re-export segments of
+            # this registry if workers die holding the only live mappings.
+            backend.registry = registry
         shard_records = backend.run(payloads)
         return merge_shard_records(plan, shard_records)
     finally:
+        if isinstance(backend, SupervisedDispatch) and reports is not None:
+            if backend.last_report is not None:
+                reports.append(backend.last_report)
         if owns_backend:
             shutdown = getattr(backend, "shutdown", None)
             if shutdown is not None:

@@ -29,10 +29,14 @@ shard out, *in shard order*:
 
 ``executor=`` strings are validated in exactly one place:
 :func:`validate_executor_name`, which raises :class:`ValueError` listing the
-valid backends (``serial``, ``process``, ``persistent``).  Both
-:func:`resolve_executor` (the library path) and the runner's ``--executor``
-flag go through it, so an unknown name fails at the choice point instead of
-deep inside ``evaluate_tasks``.
+valid backends.  That list is *derived* from the executor registry
+(:func:`register_executor` / :func:`executor_names`) rather than maintained
+by hand, so backends contributed by other modules — the ``supervised``
+fault-tolerant wrapper of :mod:`repro.parallel.resilience` registers itself
+on import — appear in the error text automatically and can never drift out
+of it.  Both :func:`resolve_executor` (the library path) and the runner's
+``--executor`` flag go through it, so an unknown name fails at the choice
+point instead of deep inside ``evaluate_tasks``.
 
 The context-managed shared-memory registry that guarantees segment unlink on
 exit/failure lives in :mod:`repro.parallel.shm` and is re-exported here as
@@ -46,7 +50,8 @@ import abc
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.parallel.shm import SharedArrayRegistry  # noqa: F401  (re-export)
@@ -56,7 +61,51 @@ from repro.parallel.worker import GroupRunRecord, ShardPayload, run_shard
 EXECUTOR_SERIAL = "serial"
 EXECUTOR_PROCESS = "process"
 EXECUTOR_PERSISTENT = "persistent"
-VALID_EXECUTORS = (EXECUTOR_SERIAL, EXECUTOR_PROCESS, EXECUTOR_PERSISTENT)
+
+
+@dataclass(frozen=True)
+class _ExecutorEntry:
+    """One registered backend: how to build it and whether it fans out."""
+
+    builder: Callable[[int | None], "ShardExecutor"]
+    needs_workers: bool
+
+
+#: The single registry behind ``executor=`` strings.  Registration order is
+#: presentation order in the :class:`ValueError` text, so the built-in
+#: backends register at the bottom of this module and extensions append.
+_EXECUTOR_BUILDERS: "dict[str, _ExecutorEntry]" = {}
+
+
+def register_executor(
+    name: str,
+    builder: Callable[[int | None], "ShardExecutor"],
+    *,
+    needs_workers: bool,
+) -> None:
+    """Register an ``executor=`` spelling with the single validation choice point.
+
+    ``builder`` receives the caller's ``n_workers`` (``None`` allowed only
+    when ``needs_workers`` is false) and returns a fresh executor instance.
+    Registering is what puts a backend into :func:`executor_names` — and
+    therefore into the :class:`ValueError` message — so new modes cannot
+    drift out of the error text.
+    """
+    _EXECUTOR_BUILDERS[name] = _ExecutorEntry(builder=builder, needs_workers=needs_workers)
+
+
+def executor_names() -> tuple[str, ...]:
+    """Every registered ``executor=`` spelling, in registration order."""
+    return tuple(_EXECUTOR_BUILDERS)
+
+
+def __getattr__(name: str):  # pragma: no cover - thin compatibility shim
+    # ``VALID_EXECUTORS`` predates the registry; keep the import working but
+    # always reflect the *current* registrations (resilience.py registers
+    # "supervised" when it is imported).
+    if name == "VALID_EXECUTORS":
+        return executor_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def available_cpus() -> int:
@@ -76,14 +125,15 @@ def available_cpus() -> int:
 def validate_executor_name(name: str) -> str:
     """The single choice point for ``executor=`` strings.
 
-    Raises :class:`ValueError` naming the valid backends; both
-    :func:`resolve_executor` and ``runner.py --executor`` route through
-    here, so an unknown spelling never reaches ``evaluate_tasks``.
+    Raises :class:`ValueError` naming the valid backends — derived from the
+    executor registry, never hand-maintained; both :func:`resolve_executor`
+    and ``runner.py --executor`` route through here, so an unknown spelling
+    never reaches ``evaluate_tasks``.
     """
-    if name not in VALID_EXECUTORS:
+    if name not in _EXECUTOR_BUILDERS:
         raise ValueError(
             f"unknown executor {name!r}: valid backends are "
-            + ", ".join(repr(valid) for valid in VALID_EXECUTORS)
+            + ", ".join(repr(valid) for valid in executor_names())
         )
     return name
 
@@ -160,7 +210,13 @@ class PersistentShardExecutor(ShardExecutor):
         """``True`` while a worker pool is alive and reusable."""
         return self._pool is not None
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def ensure_pool(self) -> ProcessPoolExecutor:
+        """The live worker pool, created lazily.
+
+        Public because the dispatch supervisor
+        (:class:`repro.parallel.resilience.SupervisedDispatch`) submits
+        shard futures individually to enforce per-shard timeouts.
+        """
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
         return self._pool
@@ -168,13 +224,43 @@ class PersistentShardExecutor(ShardExecutor):
     def run(self, payloads: Sequence[ShardPayload]) -> list[tuple[GroupRunRecord, ...]]:
         if not payloads:
             return []
-        pool = self._ensure_pool()
+        pool = self.ensure_pool()
         try:
             futures = [pool.submit(run_shard, payload) for payload in payloads]
             return [future.result() for future in futures]
         except BrokenProcessPool:
-            self.shutdown()
+            # A dead worker poisons the whole pool.  Discard it with the
+            # non-blocking teardown — ``shutdown(wait=True)`` can hang
+            # forever when the break coexists with a *wedged* (stalled, not
+            # dead) worker — so the executor is always left in a consistent,
+            # lazily-recreatable state: the next run() starts a fresh pool
+            # without any manual shutdown() in between.
+            self.kill()
             raise
+
+    def kill(self) -> None:
+        """Forcibly discard the pool without ever blocking on its workers.
+
+        Terminates worker processes outright (a worker wedged in an
+        injected stall — or a real infinite loop — never finishes its task,
+        so a graceful ``shutdown(wait=True)`` would deadlock), then detaches
+        from the executor with ``wait=False``.  Used by the broken-pool
+        handler above and by the dispatch supervisor's self-healing rebuild;
+        the next :meth:`run` lazily creates a fresh pool.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # already dead / already reaped
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pool already broken beyond shutdown
+            pass
 
     def shutdown(self) -> None:
         """Release the worker processes; the next :meth:`run` starts fresh."""
@@ -213,15 +299,26 @@ def resolve_executor(
     """
     if isinstance(executor, ShardExecutor):
         return executor
-    if executor is not None:
-        validate_executor_name(executor)
-    if executor is None or executor in (EXECUTOR_PROCESS, EXECUTOR_PERSISTENT):
-        if n_workers is None:
-            raise ConfigurationError(
-                f"the {executor or EXECUTOR_PROCESS} executor needs an explicit "
-                "worker count: pass n_workers (or an executor instance)"
-            )
-        if executor == EXECUTOR_PERSISTENT:
-            return PersistentShardExecutor(n_workers)
-        return ProcessShardExecutor(n_workers)
-    return SerialShardExecutor()
+    name = EXECUTOR_PROCESS if executor is None else validate_executor_name(executor)
+    entry = _EXECUTOR_BUILDERS[name]
+    if entry.needs_workers and n_workers is None:
+        raise ConfigurationError(
+            f"the {name} executor needs an explicit "
+            "worker count: pass n_workers (or an executor instance)"
+        )
+    return entry.builder(n_workers)
+
+
+# -- built-in backend registrations --------------------------------------------------------------
+# Registration order is the order the ValueError text lists backends in;
+# extensions (repro.parallel.resilience's "supervised") append on import.
+
+register_executor(EXECUTOR_SERIAL, lambda n_workers: SerialShardExecutor(), needs_workers=False)
+register_executor(
+    EXECUTOR_PROCESS, lambda n_workers: ProcessShardExecutor(n_workers), needs_workers=True
+)
+register_executor(
+    EXECUTOR_PERSISTENT,
+    lambda n_workers: PersistentShardExecutor(n_workers),
+    needs_workers=True,
+)

@@ -61,7 +61,7 @@ from __future__ import annotations
 
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing import resource_tracker, shared_memory
 from typing import Sequence
 
@@ -349,6 +349,49 @@ def resolve_affinity_columns(
     )
 
 
+def rewrite_spec(spec: SharedArraySpec, mapping: "dict[str, str]") -> SharedArraySpec:
+    """The same descriptor pointed at a (possibly) re-exported segment."""
+    new_name = mapping.get(spec.segment)
+    if new_name is None:
+        return spec
+    return replace(spec, segment=new_name)
+
+
+def rewrite_factory_handle(
+    handle: ShmFactoryHandle, mapping: "dict[str, str]"
+) -> ShmFactoryHandle:
+    """A factory handle with every segment reference passed through ``mapping``.
+
+    Used by the supervisor's self-healing path: when the registry re-exports
+    a vanished segment under a fresh name, pending retry payloads must ship
+    handles that reference the replacement.
+    """
+    if not mapping or not (handle.segment_names() & mapping.keys()):
+        return handle
+    return replace(
+        handle,
+        matrix=rewrite_spec(handle.matrix, mapping),
+        repr_rank=rewrite_spec(handle.repr_rank, mapping),
+        items_spec=(
+            None if handle.items_spec is None else rewrite_spec(handle.items_spec, mapping)
+        ),
+    )
+
+
+def rewrite_affinity_handle(
+    handle: ShmAffinityHandle, mapping: "dict[str, str]"
+) -> ShmAffinityHandle:
+    """An affinity handle with every segment reference passed through ``mapping``."""
+    if not mapping or not (handle.segment_names() & mapping.keys()):
+        return handle
+    return replace(
+        handle,
+        static=rewrite_spec(handle.static, mapping),
+        periodic=rewrite_spec(handle.periodic, mapping),
+        averages=rewrite_spec(handle.averages, mapping),
+    )
+
+
 def cached_index(key: tuple) -> GrecaIndex | None:
     """The per-process memoised index for a content-stable shipment key."""
     return _cache_get(_INDEX_CACHE, key)
@@ -404,6 +447,65 @@ class SharedArrayRegistry:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- self-healing --------------------------------------------------------------------
+
+    def reexport_missing(self) -> dict[str, str]:
+        """Recreate any owned segment whose system entry has vanished.
+
+        A segment can disappear from under a live registry — a foreign
+        unlink, an over-eager resource tracker on an abnormal worker death —
+        while the registry's own mapping (and its byte content) stays valid.
+        This probes every owned name, copies the bytes of each vanished
+        segment into a fresh one, rewrites the memoised export handles, and
+        returns ``{old_name: new_name}`` so the caller (the dispatch
+        supervisor's self-healing rebuild) can rewrite pending payloads via
+        :func:`rewrite_factory_handle` / :func:`rewrite_affinity_handle`.
+        An empty mapping means every segment is still attachable — the
+        normal case, and the cheap one (one probe attach per segment).
+        """
+        if self._closed:
+            return {}
+        mapping: dict[str, str] = {}
+        for position, name in enumerate(list(self._names)):
+            old = self._segments[position]
+            try:
+                probe = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                fresh = shared_memory.SharedMemory(create=True, size=old.size)
+                fresh.buf[: old.size] = old.buf[: old.size]
+                _OWNED_NAMES.add(fresh.name)
+                # In-place index assignment: the finalizer backstop holds
+                # references to these exact list objects.
+                self._segments[position] = fresh
+                self._names[position] = fresh.name
+                mapping[name] = fresh.name
+                # Forget parent-side caches of the dead name.  No tracker
+                # unregister: every unlink path (a foreign unlink, a tracker
+                # cleanup) already unregistered the name when it removed the
+                # file, so the registration is gone along with the segment.
+                _forget_segments([name])
+                try:
+                    old.close()
+                except BufferError:  # live views — keep the mapping alive
+                    _ZOMBIES.append(old)
+            else:
+                # Still attachable — just drop the probe mapping.  No tracker
+                # unregister here: the name is *owned* by this process, so the
+                # probe's attach-registration was an idempotent no-op on the
+                # already-tracked name, and unregistering would strip the
+                # ownership registration the eventual unlink pairs with.
+                probe.close()
+        if mapping:
+            self._handles = {
+                key: (factory, rewrite_factory_handle(handle, mapping))
+                for key, (factory, handle) in self._handles.items()
+            }
+            self._affinity_handles = {
+                key: (columns, rewrite_affinity_handle(handle, mapping))
+                for key, (columns, handle) in self._affinity_handles.items()
+            }
+        return mapping
 
     # -- export --------------------------------------------------------------------------
 

@@ -129,12 +129,24 @@ class ShardPayload:
     :class:`~repro.parallel.shm.ShmFactoryHandle` (zero-copy shared-memory
     shipment: only segment descriptors cross the pickle boundary, and
     :func:`run_shard` reattaches the arrays worker-side).
+
+    ``fault_plan`` is the deterministic fault-injection harness of
+    :mod:`repro.parallel.resilience`: when set, :func:`run_shard` consults
+    it before every task and crashes (``os._exit``), raises or stalls at
+    the planned (shard, task-position) coordinates.  ``attempt`` is the
+    supervisor's dispatch-attempt counter for this shard — retries re-ship
+    the payload with ``attempt`` incremented, which is what lets a plan
+    fire on the first N attempts and then let the retry succeed without
+    any cross-process state.  Both default to the fault-free shape, so
+    payloads built by unsupervised callers are unchanged.
     """
 
     shard_index: int
     task_indices: tuple[int, ...]
     tasks: tuple[GroupEvalTask, ...]
     factories: Mapping[GroupKey, object]
+    fault_plan: "object | None" = None
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if len(self.task_indices) != len(self.tasks):
@@ -227,7 +239,12 @@ def run_shard(payload: ShardPayload) -> tuple[GroupRunRecord, ...]:
     factories = {key: shm.resolve_factory(value) for key, value in payload.factories.items()}
     local_indexes: dict[tuple, GrecaIndex] = {}
     records = []
-    for task in payload.tasks:
+    for position, task in enumerate(payload.tasks):
+        if payload.fault_plan is not None:
+            # Deterministic chaos hook: the plan decides, from (shard,
+            # position, attempt) alone, whether to crash, raise or stall
+            # here.  A payload without a plan never pays this branch.
+            payload.fault_plan.trigger(payload.shard_index, position, payload.attempt)
         factory = factories[task.group]
         stable_key = _stable_index_key(task, payload.factories[task.group])
         local_key = _shard_local_key(task)

@@ -179,6 +179,32 @@ def test_string_persistent_backend_is_shut_down_and_unlinked(
     assert_unlinked(registry.segment_names)
 
 
+def test_ephemeral_registry_unlinked_after_worker_crash(
+    tiny_workload, recording_registries
+):
+    """A worker killed by ``os._exit`` mid-shard must not leak segments.
+
+    The fault fires at task position 1, *after* the worker has materialised
+    the shipped factory — so the process dies holding live views on the
+    segments.  Unlink is owned by the parent-side registry, not by worker
+    exit handlers (``os._exit`` runs none), so the ephemeral registry still
+    closes and every segment is gone.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.parallel import FaultPlan, FaultSpec
+
+    factories, tasks = tiny_workload
+    crash = FaultPlan((FaultSpec(shard=0, position=1, mode="crash", fires=1),))
+    with pytest.raises(BrokenProcessPool):
+        evaluate_tasks(
+            tasks, factories, n_shards=1, executor="process", fault_plan=crash
+        )
+    (registry,) = recording_registries
+    assert registry.closed
+    assert_unlinked(registry.segment_names)
+
+
 # -- KeyboardInterrupt-style shutdown ------------------------------------------------------------
 
 
