@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all ci test test-fast test-parallel test-chaos test-slow bench bench-engine bench-record bench-record-paper bench-record-shipment bench-all golden golden-freshness
+.PHONY: all ci test test-fast test-parallel test-chaos test-service test-slow serve-smoke bench bench-engine bench-record bench-record-paper bench-record-shipment bench-record-service bench-all golden golden-freshness
 
 # Default: the fast equivalence suite (golden grid + property/metamorphic
 # tests) plus the perf budget gate, so access-equivalence and performance
@@ -30,6 +30,19 @@ test-parallel:
 # segment-lifecycle suite — recovery must stay bit-identical and leak-free.
 test-chaos:
 	$(PYTHON) -m pytest tests/test_fault_tolerance.py tests/test_shm_lifecycle.py -q
+
+# Serving layer: the service equivalence + concurrency suite (concurrent
+# clients bit-identical to serial, crash recovery with honest reports,
+# coalescing caps, drain-on-stop) plus the pool/registry/environment
+# concurrency regression tests behind it.
+test-service:
+	$(PYTHON) -m pytest tests/test_service.py tests/test_pool_concurrency.py -q
+
+# Serving smoke gate: start the service on the scaled-down substrate, fire
+# the load generator at it, and self-check — responses bit-identical to the
+# serial reference, p50/p95/p99 recorded, /dev/shm empty after the drain.
+serve-smoke:
+	$(PYTHON) -m repro.service --smoke --clients 4 --queries 5 --check-equivalence
 
 # Minutes-scale opt-in tests (full MovieLens-1M synthetic substrate,
 # Table 5 headline statistics).  Gated behind the `slow` marker via
@@ -66,6 +79,13 @@ bench-record-paper:
 bench-record-shipment:
 	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --shipment --workers $(WORKERS) $(if $(OUTPUT),--output $(OUTPUT))
 
+# Append a measured service latency/throughput record (p50/p95/p99 at N
+# concurrent clients, plus a bit-identical equivalence flag) to
+# BENCH_service.json, alongside BENCH_engine.json.  LABEL=... required;
+# OUTPUT writes a standalone file (the CI artifact) instead.
+bench-record-service:
+	$(PYTHON) scripts/bench_service.py --label $(LABEL) $(if $(OUTPUT),--output $(OUTPUT))
+
 # Every paper figure/table benchmark (minutes).
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ -q
@@ -88,4 +108,4 @@ golden-freshness:
 # Everything CI runs, in CI's order — reproduce a red pipeline locally
 # without pushing.  (CI additionally fans test-fast out over Python
 # 3.10/3.11/3.12 and treats the bench budget as advisory on shared runners.)
-ci: test-fast test-parallel test-chaos bench golden-freshness
+ci: test-fast test-parallel test-chaos test-service serve-smoke bench golden-freshness

@@ -94,6 +94,17 @@ class WorkerCrashError(DispatchError):
         return (type(self), (self.shard, self.detail))
 
 
+class ServiceError(ReproError):
+    """Raised by the serving layer (:mod:`repro.service`).
+
+    Covers lifecycle misuse (submitting to a stopped service, starting a
+    service twice) and queue overflow under load shedding.  Dispatch
+    failures inside a request are *not* wrapped: the triggering
+    :class:`DispatchError` (or worker exception) propagates to the awaiting
+    client unchanged so callers can distinguish failure modes.
+    """
+
+
 class InjectedFaultError(ReproError):
     """The ``raise`` fault mode of the deterministic fault-injection harness.
 

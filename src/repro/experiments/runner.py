@@ -180,6 +180,15 @@ def main(argv: list[str] | None = None) -> int:
         "ValueError at the single validation choice point)",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="serving smoke: start the GrecaService front-end over the default "
+        "substrate, fire the deterministic load generator, print the "
+        "p50/p95/p99 latency summary and exit non-zero unless responses are "
+        "bit-identical to the serial reference and /dev/shm is left clean "
+        "(--workers/--executor tune the service pool)",
+    )
+    parser.add_argument(
         "--shard-timeout",
         type=float,
         default=None,
@@ -198,6 +207,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers <= 0:
         raise SystemExit("--workers must be positive")
+    if args.serve:
+        if args.experiments or args.quick:
+            raise SystemExit("--serve does not combine with experiment names or --quick")
+        # Delegate to the service CLI (python -m repro.service): same smoke
+        # contract as `make serve-smoke`, over the full default substrate.
+        from repro.service.__main__ import main as service_main
+
+        forwarded = ["--check-equivalence"]
+        if args.workers is not None:
+            forwarded += ["--workers", str(args.workers)]
+        if args.executor is not None:
+            forwarded += ["--executor", args.executor]
+        return service_main(forwarded)
     if args.executor is not None:
         # The single choice point (repro.parallel.pool.validate_executor_name):
         # unknown backends fail here, not deep inside evaluate_tasks.

@@ -36,6 +36,7 @@ to it.  :func:`run_paper_scale` drives the full Table 5-scale substrate
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -224,6 +225,11 @@ class ScalabilityEnvironment:
         # supervised dispatch this environment performed.
         self.supervision = SupervisionPolicy()
         self.dispatch_reports: list[DispatchReport] = []
+        # One reentrant lock serialises every memo/lifecycle mutation above:
+        # the serving layer dispatches from worker threads while clients keep
+        # materialising tasks, and unlocked check-then-set on the pool or
+        # registry dicts would let two threads build (and orphan) duplicates.
+        self._state_lock = threading.RLock()
 
     # -- parallel resource ownership ---------------------------------------------------------
 
@@ -233,17 +239,32 @@ class ScalabilityEnvironment:
             raise ConfigurationError(
                 "the persistent executor needs an explicit worker count: pass n_workers"
             )
-        pool = self._persistent_pools.get(int(n_workers))
-        if pool is None:
-            pool = PersistentShardExecutor(int(n_workers))
-            self._persistent_pools[int(n_workers)] = pool
-        return pool
+        with self._state_lock:
+            pool = self._persistent_pools.get(int(n_workers))
+            if pool is None:
+                pool = PersistentShardExecutor(int(n_workers))
+                self._persistent_pools[int(n_workers)] = pool
+            return pool
 
     def _shared_registry(self) -> SharedArrayRegistry:
         """The environment's shm registry (recreated lazily after close())."""
-        if self._registry is None or self._registry.closed:
-            self._registry = SharedArrayRegistry()
-        return self._registry
+        with self._state_lock:
+            if self._registry is None or self._registry.closed:
+                self._registry = SharedArrayRegistry()
+            return self._registry
+
+    def shm_segment_names(self) -> tuple[str, ...]:
+        """Names of the live shared-memory segments this environment owns.
+
+        Empty when no registry exists (nothing parallel has run, or
+        :meth:`close` already released everything).  The serving layer's
+        shutdown checks and the lifecycle tests use this to assert
+        ``/dev/shm`` really is clean.
+        """
+        with self._state_lock:
+            if self._registry is None or self._registry.closed:
+                return ()
+            return tuple(self._registry.segment_names)
 
     def _resolve_backend(
         self, executor: ShardExecutor | str | None, n_workers: int | None
@@ -276,12 +297,15 @@ class ScalabilityEnvironment:
         ``close()`` still unlinks its segments via its ``weakref.finalize``
         backstop — this method just makes the release deterministic.
         """
-        for pool in self._persistent_pools.values():
-            pool.shutdown()
-        self._persistent_pools.clear()
-        if self._registry is not None:
-            self._registry.close()
+        with self._state_lock:
+            pools = list(self._persistent_pools.values())
+            self._persistent_pools.clear()
+            registry = self._registry
             self._registry = None
+        for pool in pools:
+            pool.shutdown()
+        if registry is not None:
+            registry.close()
 
     def __enter__(self) -> "ScalabilityEnvironment":
         return self
@@ -316,8 +340,11 @@ class ScalabilityEnvironment:
         key = group_key(group)
         factory = self._index_factories.get(key)
         if factory is None:
-            factory = self.recommender.index_factory(list(group), exclude_rated=False)
-            self._index_factories[key] = factory
+            with self._state_lock:
+                factory = self._index_factories.get(key)
+                if factory is None:
+                    factory = self.recommender.index_factory(list(group), exclude_rated=False)
+                    self._index_factories[key] = factory
         return factory
 
     def affinity_columns(
@@ -336,7 +363,12 @@ class ScalabilityEnvironment:
         """
         key = (group_key(group), str(affinity))
         entry = self._affinity_columns.get(key)
-        if entry is None:
+        if entry is not None:
+            return entry
+        with self._state_lock:
+            entry = self._affinity_columns.get(key)
+            if entry is not None:
+                return entry
             members = list(group)
             if affinity in ("discrete", "continuous"):
                 pairs = [
@@ -541,9 +573,15 @@ class ScalabilityEnvironment:
         # once, and every dispatch (figure drivers, persistent-pool calls)
         # references the same segments.
         registry = self._shared_registry() if backend.ships_payloads else None
+        # Snapshot the factory memo: concurrent service requests keep
+        # inserting factories via task_for while this dispatch iterates the
+        # map, and sharing the live dict would intermittently raise
+        # "dictionary changed size during iteration" mid-dispatch.
+        with self._state_lock:
+            factories = dict(self._index_factories)
         return evaluate_tasks(
             tasks,
-            self._index_factories,
+            factories,
             n_shards=n_workers,
             executor=backend,
             registry=registry,

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import abc
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -195,6 +196,15 @@ class PersistentShardExecutor(ShardExecutor):
     whole substrate shipment to once per environment.  A pool broken by a
     dead worker is discarded, so the next dispatch transparently starts a
     fresh one.
+
+    Pool lifecycle is thread-safe: concurrent dispatches (the serving layer
+    routes many client requests onto one memoised pool) may race a dead
+    pool's teardown against its rebuild, and an unserialized
+    check-then-create in :meth:`ensure_pool` would build two pools — the
+    loser overwritten and orphaned together with its worker processes and
+    ``/dev/shm`` attachments.  A single lock covers every ``_pool``
+    transition (create, kill, shutdown), so exactly one thread rebuilds and
+    every other thread reuses its pool.
     """
 
     ships_payloads = True
@@ -204,6 +214,7 @@ class PersistentShardExecutor(ShardExecutor):
             raise ConfigurationError("n_workers must be positive")
         self.n_workers = n_workers
         self._pool: ProcessPoolExecutor | None = None
+        self._lifecycle = threading.Lock()
 
     @property
     def warm(self) -> bool:
@@ -211,15 +222,16 @@ class PersistentShardExecutor(ShardExecutor):
         return self._pool is not None
 
     def ensure_pool(self) -> ProcessPoolExecutor:
-        """The live worker pool, created lazily.
+        """The live worker pool, created lazily (at most once across threads).
 
         Public because the dispatch supervisor
         (:class:`repro.parallel.resilience.SupervisedDispatch`) submits
         shard futures individually to enforce per-shard timeouts.
         """
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
-        return self._pool
+        with self._lifecycle:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+            return self._pool
 
     def run(self, payloads: Sequence[ShardPayload]) -> list[tuple[GroupRunRecord, ...]]:
         if not payloads:
@@ -248,8 +260,9 @@ class PersistentShardExecutor(ShardExecutor):
         handler above and by the dispatch supervisor's self-healing rebuild;
         the next :meth:`run` lazily creates a fresh pool.
         """
-        pool = self._pool
-        self._pool = None
+        with self._lifecycle:
+            pool = self._pool
+            self._pool = None
         if pool is None:
             return
         for process in list(getattr(pool, "_processes", {}).values()):
@@ -264,9 +277,13 @@ class PersistentShardExecutor(ShardExecutor):
 
     def shutdown(self) -> None:
         """Release the worker processes; the next :meth:`run` starts fresh."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
+        with self._lifecycle:
+            pool = self._pool
             self._pool = None
+        if pool is not None:
+            # The blocking wait happens outside the lock so a concurrent
+            # ensure_pool() is never stalled behind worker teardown.
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "PersistentShardExecutor":
         return self

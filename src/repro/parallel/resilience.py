@@ -258,8 +258,10 @@ def attach_fault_plan(
 class SupervisionPolicy:
     """The knobs of one supervised dispatch.
 
-    ``timeout`` is a per-shard wall-clock budget measured from submission
-    (``None`` disables preemption); ``max_retries`` bounds re-dispatches
+    ``timeout`` is a per-shard wall-clock budget measured from the moment
+    the shard reaches a worker — not from submission, so shards queued
+    behind a saturated pool do not burn budget while waiting (``None``
+    disables preemption); ``max_retries`` bounds re-dispatches
     *per shard* beyond the first attempt; the backoff before retry ``r``
     (1-based) is ``min(backoff_base * 2**(r-1), backoff_cap)`` stretched by
     up to ``jitter`` — the jitter is drawn from a generator seeded with
@@ -582,11 +584,15 @@ class SupervisedDispatch(ShardExecutor):
                     needs_rebuild = True
             for index, (future, started) in submitted.items():
                 shard = pending[index].shard_index
-                budget = (
-                    None
-                    if policy.timeout is None
-                    else max(0.0, started + policy.timeout - time.perf_counter())
-                )
+                # The timeout budget is measured from the moment collection
+                # *reaches* this future, not from submission.  Futures are
+                # collected in submission order over a FIFO pool, so by the
+                # time the loop gets here every earlier shard has resolved
+                # and this shard is executing (or finished) — a shard queued
+                # behind a saturated pool no longer burns its wall-clock
+                # budget while waiting for a worker, which under concurrent
+                # dispatches used to time out shards that never got to run.
+                budget = policy.timeout
                 try:
                     records = future.result(timeout=budget)
                 except FutureTimeoutError:

@@ -59,6 +59,7 @@ per shard.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace
@@ -419,6 +420,12 @@ class SharedArrayRegistry:
         self._handles: dict[int, tuple[GrecaIndexFactory, ShmFactoryHandle]] = {}
         self._affinity_handles: dict[int, tuple[AffinityColumns, ShmAffinityHandle]] = {}
         self._closed = False
+        # Reentrant: export() calls share_arrays() under the same lock.  The
+        # serving layer exports from concurrent dispatch threads; without
+        # serialisation, two threads racing the id()-memo check both pack the
+        # same factory into segments, and the loser's segment lingers as an
+        # unmemoised duplicate until close().
+        self._lock = threading.RLock()
         self._finalizer = weakref.finalize(
             self, _release_segments, self._segments, self._names
         )
@@ -436,11 +443,12 @@ class SharedArrayRegistry:
         return tuple(self._names)
 
     def close(self) -> None:
-        """Unlink every owned segment; idempotent."""
-        self._closed = True
-        self._handles.clear()
-        self._affinity_handles.clear()
-        self._finalizer()
+        """Unlink every owned segment; idempotent (and thread-safe)."""
+        with self._lock:
+            self._closed = True
+            self._handles.clear()
+            self._affinity_handles.clear()
+            self._finalizer()
 
     def __enter__(self) -> "SharedArrayRegistry":
         return self
@@ -464,6 +472,10 @@ class SharedArrayRegistry:
         An empty mapping means every segment is still attachable — the
         normal case, and the cheap one (one probe attach per segment).
         """
+        with self._lock:
+            return self._reexport_missing_locked()
+
+    def _reexport_missing_locked(self) -> dict[str, str]:
         if self._closed:
             return {}
         mapping: dict[str, str] = {}
@@ -511,6 +523,10 @@ class SharedArrayRegistry:
 
     def share_arrays(self, arrays: Sequence[np.ndarray]) -> list[SharedArraySpec]:
         """Pack arrays into one fresh segment; one descriptor per array."""
+        with self._lock:
+            return self._share_arrays_locked(arrays)
+
+    def _share_arrays_locked(self, arrays: Sequence[np.ndarray]) -> list[SharedArraySpec]:
         if self._closed:
             raise ConfigurationError("the shared-array registry is closed")
         arrays = [np.ascontiguousarray(array) for array in arrays]
@@ -552,6 +568,10 @@ class SharedArrayRegistry:
         """
         if isinstance(factory, ShmFactoryHandle):
             return factory
+        with self._lock:
+            return self._export_locked(factory)
+
+    def _export_locked(self, factory: GrecaIndexFactory) -> ShmFactoryHandle:
         cached = self._handles.get(id(factory))
         if cached is not None:
             return cached[1]
@@ -586,6 +606,10 @@ class SharedArrayRegistry:
         """
         if isinstance(columns, ShmAffinityHandle):
             return columns
+        with self._lock:
+            return self._export_affinity_locked(columns)
+
+    def _export_affinity_locked(self, columns: AffinityColumns) -> ShmAffinityHandle:
         cached = self._affinity_handles.get(id(columns))
         if cached is not None:
             return cached[1]

@@ -624,3 +624,52 @@ def test_kill_discards_a_wedged_pool_promptly(workload):
         assert len(records) == 1
     finally:
         pool.shutdown()
+
+
+def test_queued_shard_does_not_burn_timeout_budget_while_waiting(workload, reference):
+    """Stall-behind-queue: a shard queued behind a saturated pool keeps its budget.
+
+    One worker, two shards, both stalling 0.9s on their first task, a 1.5s
+    per-shard timeout.  Shard 1 spends ~0.9s queued behind shard 0 before a
+    worker even picks it up; a submission-anchored budget (the old
+    accounting) had already burnt that wait and preempted shard 1 mid-run —
+    a spurious timeout, retry and pool rebuild for a shard that was merely
+    *queued*, which is exactly what concurrent service dispatches provoke.
+    The budget now starts when the shard reaches the worker, so neither
+    shard times out and the dispatch is retry-free.
+    """
+    factories, tasks = workload
+    plan = FaultPlan(
+        (
+            FaultSpec(shard=0, position=0, mode="stall", fires=1, stall_seconds=0.9),
+            FaultSpec(shard=1, position=0, mode="stall", fires=1, stall_seconds=0.9),
+        )
+    )
+    pool = PersistentShardExecutor(1)  # saturated: shard 1 must queue
+    registry = SharedArrayRegistry()
+    supervisor = SupervisedDispatch(
+        pool, policy=SupervisionPolicy(timeout=1.5, **FAST), owns_executor=True
+    )
+    reports: list[DispatchReport] = []
+    try:
+        records = evaluate_tasks(
+            tasks,
+            factories,
+            n_shards=2,
+            executor=supervisor,
+            registry=registry,
+            fault_plan=plan,
+            reports=reports,
+        )
+    finally:
+        supervisor.shutdown()
+        names = registry.segment_names
+        registry.close()
+    assert_unlinked(names)
+    assert records == reference
+    (report,) = reports
+    assert report.ok
+    outcomes = [attempt.outcome for attempt in report.attempts]
+    assert "timeout" not in outcomes, outcomes
+    assert report.retries == 0
+    assert report.rebuilds == 0

@@ -421,3 +421,61 @@ def test_index_memo_is_lru_bounded(monkeypatch, columnar_workload):
         )
         assert len(records) == 2
         assert len(shm._INDEX_CACHE) <= 1
+
+
+# -- service shutdown ----------------------------------------------------------------------------
+
+
+def test_service_sigterm_drains_and_unlinks_segments():
+    """SIGTERM against a live service drains in-flight work and empties /dev/shm.
+
+    The CLI's serve mode answers a warmup query (so segments exist), prints
+    the segment names and READY, then blocks on the signal.  The graceful
+    path must exit 0 with every printed segment unlinked — the service-kill
+    contract of the serving layer's shutdown handler.
+    """
+    import os
+    import signal
+    import subprocess
+    import sys
+
+    from multiprocessing import resource_tracker
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--smoke", "--serve-seconds", "120"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=root,
+    )
+    segments: list[str] = []
+    tail = ""
+    try:
+        for line in proc.stdout:
+            if line.startswith("SEGMENTS"):
+                segments = line.split()[1:]
+            if line.startswith("READY"):
+                break
+        assert segments, "service printed no shm segments before READY"
+        for name in segments:  # live while the service is serving
+            probe = shared_memory.SharedMemory(name=name)
+            try:  # a probe attach is not ownership — undo its registration
+                resource_tracker.unregister(
+                    getattr(probe, "_name", probe.name), "shared_memory"
+                )
+            except Exception:
+                pass
+            probe.close()
+        proc.send_signal(signal.SIGTERM)
+        tail, _ = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == 0, tail
+    assert "CLEAN" in tail, tail
+    assert_unlinked(segments)
