@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all ci test test-fast test-parallel test-chaos test-service test-slow serve-smoke bench bench-engine bench-record bench-record-paper bench-record-shipment bench-record-service bench-all golden golden-freshness
+.PHONY: all ci test test-fast test-parallel test-chaos test-service test-epoch test-slow serve-smoke bench bench-engine bench-record bench-record-paper bench-record-shipment bench-record-service bench-record-epoch bench-all golden golden-freshness
 
 # Default: the fast equivalence suite (golden grid + property/metamorphic
 # tests) plus the perf budget gate, so access-equivalence and performance
@@ -37,6 +37,16 @@ test-chaos:
 # concurrency regression tests behind it.
 test-service:
 	$(PYTHON) -m pytest tests/test_service.py tests/test_pool_concurrency.py -q
+
+# Epoch suite: the delta-equivalence matrix (incremental apply_delta state
+# bit-identical to a full rebuild over the merged history, across the
+# serial/persistent/supervised/service tiers, shard counts {1, 2, 3, 7},
+# pickle + shm shipment, figure drivers and snapshot/restore), plus the
+# epoch-adoption chaos case and the retired-segment drain case.
+test-epoch:
+	$(PYTHON) -m pytest tests/test_epoch_updates.py \
+		tests/test_fault_tolerance.py::test_supervised_crash_during_epoch_adoption_recovers_on_new_epoch \
+		"tests/test_shm_lifecycle.py::test_retired_epoch_segments_unlink_after_in_flight_reader_drains" -q
 
 # Serving smoke gate: start the service on the scaled-down substrate, fire
 # the load generator at it, and self-check — responses bit-identical to the
@@ -86,6 +96,14 @@ bench-record-shipment:
 bench-record-service:
 	$(PYTHON) scripts/bench_service.py --label $(LABEL) $(if $(OUTPUT),--output $(OUTPUT))
 
+# Append the epoch point (incremental delta-apply latency vs the full
+# rebuild a non-incremental system would pay for the same freshness, with
+# the equivalence oracle enforced) to BENCH_engine.json.
+# Usage: make bench-record-epoch LABEL=... [DELTAS=5] [OUTPUT=path.json]
+DELTAS ?= 5
+bench-record-epoch:
+	$(PYTHON) scripts/bench_epoch.py --label $(LABEL) --deltas $(DELTAS) $(if $(OUTPUT),--output $(OUTPUT))
+
 # Every paper figure/table benchmark (minutes).
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ -q
@@ -108,4 +126,4 @@ golden-freshness:
 # Everything CI runs, in CI's order — reproduce a red pipeline locally
 # without pushing.  (CI additionally fans test-fast out over Python
 # 3.10/3.11/3.12 and treats the bench budget as advisory on shared runners.)
-ci: test-fast test-parallel test-chaos test-service serve-smoke bench golden-freshness
+ci: test-fast test-parallel test-chaos test-service test-epoch serve-smoke bench golden-freshness

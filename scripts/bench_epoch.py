@@ -1,0 +1,157 @@
+"""Measure delta-apply latency vs full-rebuild cost, append to ``BENCH_engine.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/bench_epoch.py --label epoch-after
+
+The measurement behind the incremental-updates subsystem
+(:mod:`repro.updates`): a warm :class:`ScalabilityEnvironment` — caches,
+factories and aprefs populated by a query wave, the state a live service
+carries — ingests N random :class:`RatingDelta` batches through
+``apply_delta`` (touched-row similarity refresh, partial apref patching,
+append-only affinity extension, memo invalidation, shm retirement).  The
+per-delta apply latency is compared against what a non-incremental system
+pays for the same freshness: one full rebuild over the merged history
+(substrate merge + CF fit + factory re-warm).
+
+The record refuses to exist unless the post-delta records are bit-identical
+to the rebuilt environment's — the equivalence oracle is enforced, not
+sampled — so a faster apply path can never silently buy its speed with a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.experiments.scalability import ScalabilityConfig, ScalabilityEnvironment  # noqa: E402
+from repro.updates import EpochManager, random_deltas  # noqa: E402
+
+
+def bench_epoch(n_deltas: int = 5) -> dict[str, object]:
+    """Incremental apply over a warm environment vs one full rebuild."""
+    config = ScalabilityConfig()
+    base = ScalabilityEnvironment(config)
+    base_substrate = base.substrate
+    groups = base.random_groups()
+    base.run_records(groups)  # warm the caches a live service would carry
+
+    deltas = random_deltas(
+        base.ratings,
+        base.social,
+        base.timeline,
+        n_deltas=n_deltas,
+        seed=17,
+        new_period_every=3,
+    )
+
+    manager = EpochManager(base)
+    apply_seconds: list[float] = []
+    for delta in deltas:
+        start = time.perf_counter()
+        manager.apply(delta)
+        apply_seconds.append(time.perf_counter() - start)
+
+    start = time.perf_counter()
+    incremental_records = base.run_records(groups)
+    requery_seconds = time.perf_counter() - start
+
+    # What the same freshness costs without the incremental path: merge the
+    # history, rebuild the environment (CF fit included) and re-warm the
+    # same query set.
+    start = time.perf_counter()
+    oracle = ScalabilityEnvironment(config, substrate=base_substrate.with_deltas(deltas))
+    oracle_records = oracle.run_records(groups)
+    full_rebuild_seconds = time.perf_counter() - start
+
+    identical = incremental_records == oracle_records
+    oracle.close()
+    base.close()
+    if not identical:  # the record must never hide an equivalence break
+        raise SystemExit("epoch-bench incremental records diverged from full rebuild")
+
+    apply_mean = sum(apply_seconds) / len(apply_seconds)
+    return {
+        "n_users": config.n_users,
+        "n_items": config.n_items,
+        "n_ratings": config.n_ratings,
+        "n_groups": len(groups),
+        "n_deltas": n_deltas,
+        "final_epoch": manager.epoch,
+        "full_rebuilds_taken": sum(1 for r in manager.reports if r.full_rebuild),
+        "apply_seconds_each": [round(s, 4) for s in apply_seconds],
+        "apply_seconds_mean": round(apply_mean, 4),
+        "requery_after_deltas_seconds": round(requery_seconds, 4),
+        "full_rebuild_seconds": round(full_rebuild_seconds, 4),
+        "rebuild_over_apply": round(full_rebuild_seconds / apply_mean, 1),
+        "identical": identical,
+    }
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:  # pragma: no cover - git metadata is best-effort
+        return "unknown"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", required=True, help="short tag for this measurement")
+    parser.add_argument(
+        "--deltas", type=int, default=5, help="number of delta batches to apply (default: 5)"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the record to PATH instead of appending to BENCH_engine.json "
+        "(CI uses this to upload the measurement as an artifact without "
+        "mutating the committed trajectory)",
+    )
+    args = parser.parse_args(argv)
+
+    record = {
+        "label": args.label,
+        "git": git_revision(),
+        "python": platform.python_version(),
+        "epoch_updates": bench_epoch(n_deltas=args.deltas),
+    }
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+    else:
+        target = os.path.join(ROOT, "BENCH_engine.json")
+        history = []
+        if os.path.exists(target):
+            with open(target, "r", encoding="utf-8") as handle:
+                history = json.load(handle)
+        history.append(record)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(history, handle, indent=2)
+            handle.write("\n")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -82,6 +82,17 @@ class RatingMatrix:
         """The stored rating or 0.0 when unrated."""
         return float(self._matrix[self.user_position(user_id), self.item_position(item_id)])
 
+    def set_rating(self, user_id: int, item_id: int, value: float) -> None:
+        """Write one cell in place — the delta-ingestion path.
+
+        Both ids must already exist in the matrix (a delta introducing a new
+        user or item changes the matrix shape and forces a full rebuild
+        upstream).  Views handed out earlier — ``values``, ``user_row`` — see
+        the new value immediately; model state derived from the matrix (norms,
+        similarities, means) must be refreshed by the caller.
+        """
+        self._matrix[self.user_position(user_id), self.item_position(item_id)] = value
+
     def rated_mask(self) -> np.ndarray:
         """Boolean mask of rated cells."""
         return self._matrix > 0

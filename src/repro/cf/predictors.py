@@ -26,7 +26,7 @@ import abc
 import numpy as np
 
 from repro.cf.matrix import RatingMatrix
-from repro.cf.similarity import similarity_matrix
+from repro.cf.similarity import CosineState, similarity_matrix
 from repro.data.ratings import MAX_RATING, MIN_RATING, RatingsDataset
 from repro.exceptions import AlgorithmError, ConfigurationError
 
@@ -66,6 +66,44 @@ class RatingPredictor(abc.ABC):
     def predict_all(self, user_id: int) -> dict[int, float]:
         """Predictions for every item in the dataset."""
         return {item: self.predict(user_id, item) for item in self.matrix.items}
+
+    def predict_for_items(self, user_id: int, items) -> dict[int, float]:
+        """Predictions for a subset of items.
+
+        The default delegates to :meth:`predict`, which every subclass keeps
+        consistent with :meth:`predict_all`; :class:`UserBasedCF` overrides
+        this with the shared vectorised per-item path so partial apref-cache
+        patching is bit-identical to the full recomputation.
+        """
+        return {item: self.predict(user_id, item) for item in items}
+
+    def partial_refit(self, touched_users) -> None:
+        """Refresh model state after in-place cell updates on the fitted matrix.
+
+        ``touched_users`` are the ids whose rating rows changed.  The default
+        simply re-runs :meth:`_fit` on the (already updated) matrix — always
+        correct; subclasses override to skip work that is bit-stable under a
+        row-subset refresh.
+        """
+        self._fit(self.matrix)
+
+    def stale_prediction_items(self, touched_users) -> tuple[int, ...]:
+        """Items whose predictions may have changed for *untouched* users.
+
+        The conservative default declares every item stale.  Subclasses with
+        a provably narrower footprint (see :class:`UserBasedCF`) override.
+        """
+        return self.matrix.items
+
+    def patchable_users(self, users) -> set[int]:
+        """Subset of ``users`` whose cached predictions can be patched item-wise.
+
+        A user is patchable when refreshing only :meth:`stale_prediction_items`
+        reproduces a full :meth:`predict_all` bit-for-bit.  The conservative
+        default patches no one (callers fall back to a full recomputation per
+        user); :class:`UserBasedCF` overrides.
+        """
+        return set()
 
     @staticmethod
     def _clip(value: float) -> float:
@@ -129,11 +167,68 @@ class UserBasedCF(RatingPredictor):
         self.min_similarity = min_similarity
 
     def _fit(self, matrix: RatingMatrix) -> None:
-        self._similarity = similarity_matrix(matrix, metric=self.metric, axis="user")
+        if self.metric == "cosine":
+            # Keep the cosine state (row norms + normalised rows) so a delta
+            # can refresh only the touched rows; the gemm itself is redone in
+            # full each time because a row-subset product is not bit-stable.
+            self._cosine_state = CosineState(matrix.values)
+            self._similarity = self._cosine_state.similarity()
+        else:
+            self._cosine_state = None
+            self._similarity = similarity_matrix(matrix, metric=self.metric, axis="user")
         np.fill_diagonal(self._similarity, 0.0)
         self._user_means = matrix.user_means()
         rated = matrix.values[matrix.rated_mask()]
         self._global_mean = float(rated.mean()) if rated.size else 3.0
+
+    def partial_refit(self, touched_users) -> None:
+        """Refresh after in-place row updates, reusing untouched cosine rows.
+
+        Bit-identical to a fresh :meth:`_fit` on the updated matrix: per-row
+        norms and the row-wise division are bit-stable under subsetting, and
+        the similarity gemm, means and global mean are recomputed through the
+        exact full-fit code paths.
+        """
+        matrix = self.matrix
+        state = getattr(self, "_cosine_state", None)
+        if state is None or state.vectors is not matrix.values:
+            self._fit(matrix)
+            return
+        state.refresh_rows(matrix.user_position(user) for user in touched_users)
+        self._similarity = state.similarity()
+        np.fill_diagonal(self._similarity, 0.0)
+        self._user_means = matrix.user_means()
+        rated = matrix.values[matrix.rated_mask()]
+        self._global_mean = float(rated.mean()) if rated.size else 3.0
+
+    def stale_prediction_items(self, touched_users) -> tuple[int, ...]:
+        """Items whose predictions may differ for users *not* in ``touched_users``.
+
+        For an untouched user ``u`` with a positive mean, ``predict(u, i)``
+        reads: ``u``'s similarity to the raters of ``i``, those raters'
+        ratings of ``i`` and their means.  Unless a touched user rates ``i``
+        (post-update), every one of those inputs is bit-unchanged — unchanged
+        pairs of the recomputed similarity gemm are bit-stable — so only the
+        items rated by a touched user can move.
+        """
+        matrix = self.matrix
+        stale: set[int] = set()
+        for user in touched_users:
+            row = matrix.values[matrix.user_position(user)]
+            for col in np.flatnonzero(row > 0):
+                stale.add(matrix.items[int(col)])
+        return tuple(sorted(stale))
+
+    def patchable_users(self, users) -> set[int]:
+        """Users with a positive (post-update) mean: their baseline is their
+        own mean, not the global mean that moves with every delta, so only
+        the stale items can change for them."""
+        matrix = self.matrix
+        return {
+            user
+            for user in users
+            if self._user_means[matrix.user_position(user)] > 0
+        }
 
     def predict(self, user_id: int, item_id: int) -> float:
         matrix = self.matrix
@@ -170,42 +265,68 @@ class UserBasedCF(RatingPredictor):
             return self._clip(baseline)
         return self._clip(baseline + numerator / denominator)
 
-    def predict_all(self, user_id: int) -> dict[int, float]:
-        """Vectorised prediction of every item for one user."""
+    def _prediction_inputs(self, user_id: int):
+        """Per-user state shared by :meth:`predict_all` and :meth:`predict_for_items`."""
         matrix = self.matrix
         row = matrix.user_position(user_id)
         values = matrix.values
-        n_items = values.shape[1]
         baseline = self._user_means[row] if self._user_means[row] > 0 else self._global_mean
-
         similarities = self._similarity[row].copy()
         similarities[similarities <= self.min_similarity] = 0.0
+        return matrix, row, values, baseline, similarities
 
-        predictions = np.full(n_items, baseline)
+    def _raw_prediction(self, row, col, values, rated_mask, similarities, baseline) -> float:
+        """Unclipped prediction for one cell — the single per-item code path.
+
+        Both the full sweep and the item-subset patcher call this, which is
+        what makes partial apref-cache refreshes bit-identical to a full
+        recomputation (same argsort, same summation order, same fallbacks).
+        """
+        observed = values[row, col]
+        if observed > 0:
+            return float(observed)
+        raters = np.flatnonzero(rated_mask[:, col])
+        sims = similarities[raters]
+        keep = sims > 0
+        raters = raters[keep]
+        sims = sims[keep]
+        if raters.size == 0:
+            return float(baseline)
+        if self.k_neighbors is not None and raters.size > self.k_neighbors:
+            order = np.argsort(-sims)[: self.k_neighbors]
+            raters = raters[order]
+            sims = sims[order]
+        centred = values[raters, col] - self._user_means[raters]
+        denominator = float(np.sum(np.abs(sims)))
+        if denominator > 0:
+            return float(baseline) + float(np.sum(sims * centred)) / denominator
+        return float(baseline)
+
+    def predict_all(self, user_id: int) -> dict[int, float]:
+        """Vectorised prediction of every item for one user."""
+        matrix, row, values, baseline, similarities = self._prediction_inputs(user_id)
+        n_items = values.shape[1]
         rated_mask = values > 0
+        predictions = np.full(n_items, baseline)
         for col in range(n_items):
-            observed = values[row, col]
-            if observed > 0:
-                predictions[col] = observed
-                continue
-            raters = np.flatnonzero(rated_mask[:, col])
-            sims = similarities[raters]
-            keep = sims > 0
-            raters = raters[keep]
-            sims = sims[keep]
-            if raters.size == 0:
-                continue
-            if self.k_neighbors is not None and raters.size > self.k_neighbors:
-                order = np.argsort(-sims)[: self.k_neighbors]
-                raters = raters[order]
-                sims = sims[order]
-            centred = values[raters, col] - self._user_means[raters]
-            denominator = float(np.sum(np.abs(sims)))
-            if denominator > 0:
-                predictions[col] = baseline + float(np.sum(sims * centred)) / denominator
-
+            predictions[col] = self._raw_prediction(
+                row, col, values, rated_mask, similarities, baseline
+            )
         predictions = np.clip(predictions, MIN_RATING, MAX_RATING)
         return {item: float(predictions[index]) for index, item in enumerate(matrix.items)}
+
+    def predict_for_items(self, user_id: int, items) -> dict[int, float]:
+        """Predictions for a subset of items, bit-identical to the same
+        entries of :meth:`predict_all` (shared per-item path; the scalar clip
+        equals the vector clip elementwise)."""
+        matrix, row, values, baseline, similarities = self._prediction_inputs(user_id)
+        rated_mask = values > 0
+        predictions = {}
+        for item in items:
+            col = matrix.item_position(item)
+            raw = self._raw_prediction(row, col, values, rated_mask, similarities, baseline)
+            predictions[item] = float(np.clip(raw, MIN_RATING, MAX_RATING))
+        return predictions
 
 
 class ItemBasedCF(RatingPredictor):

@@ -15,21 +15,61 @@ from repro.cf.matrix import RatingMatrix
 from repro.exceptions import ConfigurationError
 
 
+class CosineState:
+    """Row norms and normalised rows — the incrementally maintainable half of
+    the cosine computation.
+
+    The gemm (``normalised @ normalised.T``) is *not* incrementally
+    maintainable bit-for-bit: BLAS accumulates a full row product in a
+    different order than a row-subset product, so updating only affected
+    rows/columns of the similarity matrix would drift from a fresh
+    computation in the last ulp.  Per-row norms and the row-wise division
+    *are* bit-stable under subsetting (``np.linalg.norm(v[rows], axis=1)``
+    equals the corresponding rows of ``np.linalg.norm(v, axis=1)``, and
+    likewise for the division), so a delta refresh recomputes those only for
+    touched rows and then redoes the full gemm — which is the cheap part to
+    keep identical and the expensive part to verify.
+    """
+
+    def __init__(self, vectors: np.ndarray) -> None:
+        self.vectors = vectors
+        self.norms = np.linalg.norm(vectors, axis=1)
+        safe_norms = np.where(self.norms == 0, 1.0, self.norms)
+        self.normalised = vectors / safe_norms[:, None]
+
+    def refresh_rows(self, rows) -> None:
+        """Recompute norms and normalised vectors for ``rows`` only.
+
+        Bit-identical to rebuilding the state from scratch as long as
+        ``self.vectors`` already holds the new values for those rows (and
+        unchanged values everywhere else).
+        """
+        rows = np.asarray(sorted(set(int(row) for row in rows)), dtype=np.intp)
+        if rows.size == 0:
+            return
+        changed = self.vectors[rows]
+        norms = np.linalg.norm(changed, axis=1)
+        safe_norms = np.where(norms == 0, 1.0, norms)
+        self.norms[rows] = norms
+        self.normalised[rows] = changed / safe_norms[:, None]
+
+    def similarity(self) -> np.ndarray:
+        """The full cosine similarity matrix from the current state."""
+        similarity = self.normalised @ self.normalised.T
+        zero_rows = self.norms == 0
+        similarity[zero_rows, :] = 0.0
+        similarity[:, zero_rows] = 0.0
+        np.clip(similarity, -1.0, 1.0, out=similarity)
+        return similarity
+
+
 def cosine_similarity_matrix(vectors: np.ndarray) -> np.ndarray:
     """Pairwise cosine similarity between the rows of ``vectors``.
 
     Rows with zero norm (users with no ratings) get similarity 0 with every
     other row, including themselves.
     """
-    norms = np.linalg.norm(vectors, axis=1)
-    safe_norms = np.where(norms == 0, 1.0, norms)
-    normalised = vectors / safe_norms[:, None]
-    similarity = normalised @ normalised.T
-    zero_rows = norms == 0
-    similarity[zero_rows, :] = 0.0
-    similarity[:, zero_rows] = 0.0
-    np.clip(similarity, -1.0, 1.0, out=similarity)
-    return similarity
+    return CosineState(vectors).similarity()
 
 
 def pearson_similarity_matrix(vectors: np.ndarray) -> np.ndarray:

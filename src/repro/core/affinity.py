@@ -555,6 +555,58 @@ class ComputedAffinities:
         instance._install_columns(pairs, tuple(timeline), static, periodic)
         return instance
 
+    def extended(
+        self,
+        network: SocialNetwork,
+        timeline: Timeline,
+        touched_users: Iterable[int] = (),
+    ) -> "ComputedAffinities":
+        """A new instance reflecting appended like history and appended periods.
+
+        ``network`` must cover the same users with the same friendships (the
+        static column is carried over verbatim); ``timeline`` must extend
+        ``self.timeline`` — existing periods unchanged, new ones appended;
+        and only users in ``touched_users`` may have gained likes.  Periodic
+        columns of pairs involving a touched user are recounted across the
+        whole timeline (a new like can land in any period) and the rows of
+        appended periods are counted for every pair; all other cells are
+        copied.  Raw counts are integers-as-floats, so the copied cells are
+        value-identical to a recount, and the maxima/averages derivation runs
+        through the same ``_install_columns`` path as a fresh network scan —
+        the result is bit-identical to ``ComputedAffinities(network,
+        timeline, self.users)``.
+        """
+        periods = tuple(timeline)
+        old_periods = self._periods
+        if periods[: len(old_periods)] != old_periods:
+            raise AffinityError(
+                "an extended timeline must keep the existing periods unchanged"
+            )
+        touched = set(touched_users)
+        unknown = touched - set(self.users)
+        if unknown:
+            raise AffinityError(
+                f"touched users {sorted(unknown)} are outside the affinity universe"
+            )
+        periodic = np.zeros((len(periods), len(self.pairs)))
+        periodic[: len(old_periods)] = self._periodic_mat
+        for column, (left, right) in enumerate(self.pairs):
+            if left in touched or right in touched:
+                rows: range = range(len(periods))
+            else:
+                rows = range(len(old_periods), len(periods))
+            for row in rows:
+                periodic[row, column] = float(
+                    network.common_category_likes(left, right, periods[row])
+                )
+        return ComputedAffinities.from_columns(
+            timeline,
+            self.users,
+            self._static_col.copy(),
+            periodic,
+            network=network,
+        )
+
     def raw_columns(self) -> tuple[np.ndarray, np.ndarray]:
         """The raw ``(static, periodic)`` columnar substrate (shared, read-only use)."""
         return self._static_col, self._periodic_mat

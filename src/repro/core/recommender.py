@@ -190,6 +190,72 @@ class GroupRecommender:
             self._apref_cache[user_id] = self.predictor.predict_all(user_id)
         return self._apref_cache[user_id]
 
+    # -- incremental refresh ------------------------------------------------------
+
+    def refresh_aprefs(self, touched_users: Sequence[int]) -> set[int]:
+        """Patch the apref cache after an in-place predictor refresh.
+
+        Call after the predictor's matrix has been updated and
+        :meth:`~repro.cf.predictors.RatingPredictor.partial_refit` has run.
+        Touched users — and cached users the predictor cannot patch
+        item-wise — are fully recomputed; every other cached user is patched
+        only on the predictor's stale items, which is bit-identical to the
+        full recomputation by the shared per-item code path.  Returns the
+        ids of cached users whose apref values actually changed, so callers
+        can invalidate only the groups containing one of them.
+        """
+        self._require_fitted()
+        if not self._apref_cache:
+            return set()
+        touched = set(touched_users)
+        stale_items = self.predictor.stale_prediction_items(touched)
+        patchable = self.predictor.patchable_users(set(self._apref_cache) - touched)
+        changed: set[int] = set()
+        for user in list(self._apref_cache):
+            cached = self._apref_cache[user]
+            if user in touched or user not in patchable:
+                fresh = self.predictor.predict_all(user)
+            else:
+                fresh = dict(cached)
+                fresh.update(self.predictor.predict_for_items(user, stale_items))
+            if fresh != cached:
+                changed.add(user)
+                self._apref_cache[user] = fresh
+        return changed
+
+    def invalidate_aprefs(self) -> set[int]:
+        """Drop every cached apref vector; returns the users that were cached.
+
+        The full-rebuild companion of :meth:`refresh_aprefs`: after a
+        predictor re-fit every cached vector is suspect, so callers treat
+        the returned set as "changed".
+        """
+        dropped = set(self._apref_cache)
+        self._apref_cache.clear()
+        return dropped
+
+    def refresh_affinities(
+        self,
+        social: SocialNetwork,
+        timeline: Timeline,
+        touched_users: Sequence[int] = (),
+    ) -> None:
+        """Adopt an extended social network / timeline without a full re-fit.
+
+        ``social`` must extend the current network by page likes only (same
+        users, same friendships) and ``timeline`` must keep existing periods
+        unchanged; the pre-computed affinities are then extended in place of
+        a full rescan (see :meth:`ComputedAffinities.extended`), which is
+        bit-identical to re-fitting on the merged history.
+        """
+        self.social = social
+        self.timeline = timeline
+        if self._computed is not None:
+            self._computed = self._computed.extended(social, timeline, touched_users)
+        elif self.social is not None and self.timeline is not None:
+            universe = self.affinity_universe or self.social.users
+            self._computed = ComputedAffinities(self.social, self.timeline, universe)
+
     # -- index construction ----------------------------------------------------------------------
 
     def affinity_components(

@@ -184,6 +184,18 @@ class Timeline:
         self.index_of(period)  # validates membership
         return max(1, period.end - self.beginning)
 
+    # -- incremental extension ----------------------------------------------------
+
+    def extended(self, period: Period) -> "Timeline":
+        """A new timeline with ``period`` appended after the current one.
+
+        The existing periods are carried over unchanged (prefix-identical),
+        which is what lets the affinity layer extend its periodic columns
+        append-only instead of recomputing history.  The constructor enforces
+        that the new period starts after the current end.
+        """
+        return Timeline((*self._periods, period))
+
 
 def discretize(
     start: int,

@@ -197,6 +197,42 @@ class RatingsDataset:
             max_timestamp=max(timestamps),
         )
 
+    def extended(self, new_ratings: Iterable[Rating]) -> "RatingsDataset":
+        """A new dataset with ``new_ratings`` appended — the delta-ingest path.
+
+        State-identical to ``RatingsDataset(list(self.ratings) + list(new_
+        ratings))`` (same record order, same sorted id tuples, same duplicate
+        detection) but built by copying the indexes instead of replaying every
+        historical rating, so applying a small delta to a large dataset costs
+        O(|dataset| + |delta|) dictionary work with no re-validation pass.
+        """
+        extended = RatingsDataset.__new__(RatingsDataset)
+        extended.name = self.name
+        extended._ratings = list(self._ratings)
+        extended._by_user = defaultdict(dict, {u: dict(r) for u, r in self._by_user.items()})
+        extended._by_item = defaultdict(dict, {i: dict(r) for i, r in self._by_item.items()})
+        new_keys = False
+        for rating in new_ratings:
+            if rating.item_id in extended._by_user[rating.user_id]:
+                raise DataError(
+                    f"duplicate rating for user {rating.user_id}, item {rating.item_id}"
+                )
+            new_keys = (
+                new_keys
+                or rating.user_id not in self._by_user
+                or rating.item_id not in self._by_item
+            )
+            extended._ratings.append(rating)
+            extended._by_user[rating.user_id][rating.item_id] = rating
+            extended._by_item[rating.item_id][rating.user_id] = rating
+        if new_keys:
+            extended._users = tuple(sorted(extended._by_user))
+            extended._items = tuple(sorted(extended._by_item))
+        else:
+            extended._users = self._users
+            extended._items = self._items
+        return extended
+
     def filter(
         self,
         predicate: Callable[[Rating], bool],

@@ -142,6 +142,33 @@ class SocialNetwork:
                     non_empty += 1
         return non_empty / total if total else 0.0
 
+    def friendship_pairs(self) -> tuple[tuple[int, int], ...]:
+        """Every friendship edge as a canonical ``(smaller, larger)`` pair."""
+        return tuple(
+            sorted(
+                (left, right)
+                for left in self._users
+                for right in self._friends[left]
+                if left < right
+            )
+        )
+
+    def with_likes(self, new_likes: Iterable[PageLike]) -> "SocialNetwork":
+        """A new network with ``new_likes`` appended — the affinity-delta path.
+
+        The friendship graph is carried over unchanged (the paper treats
+        friendship as "relatively stable over time", §4.1.2) and like order
+        is preserved old-then-new, so the result is state-identical to
+        rebuilding the network with the concatenated like history.  Likes
+        referencing unknown users raise the constructor's usual
+        :class:`~repro.exceptions.DataError`.
+        """
+        return SocialNetwork(
+            self._users,
+            self.friendship_pairs(),
+            list(self._likes) + list(new_likes),
+        )
+
     def restrict(self, user_ids: Iterable[int]) -> "SocialNetwork":
         """A sub-network containing only ``user_ids`` and their internal edges."""
         keep = set(user_ids)

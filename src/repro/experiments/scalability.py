@@ -181,14 +181,26 @@ class SweepPoint:
             raise ConfigurationError("a sweep point needs at least one group")
 
 
-class ScalabilityEnvironment:
-    """Shared substrate for Figures 5-8: data, recommender and group pool."""
+@dataclass(frozen=True)
+class EnvironmentSubstrate:
+    """The raw data a :class:`ScalabilityEnvironment` is built from.
 
-    def __init__(self, config: ScalabilityConfig | None = None) -> None:
-        self.config = config or ScalabilityConfig()
-        config = self.config
+    Normally derived from a :class:`ScalabilityConfig` by :meth:`generate`;
+    the incremental-update machinery injects one explicitly so a *fresh*
+    environment can be built over already-merged data — the equivalence
+    oracle for :meth:`ScalabilityEnvironment.apply_delta` is precisely a
+    fresh environment over :meth:`with_deltas` of the base substrate.
+    """
 
-        self.ratings: RatingsDataset = generate_movielens_like(
+    ratings: RatingsDataset
+    timeline: Timeline
+    participants: tuple[int, ...]
+    social: SocialNetwork
+
+    @classmethod
+    def generate(cls, config: ScalabilityConfig) -> "EnvironmentSubstrate":
+        """The config-driven synthetic substrate (the historical default)."""
+        ratings = generate_movielens_like(
             MovieLensConfig(
                 n_users=config.n_users,
                 n_items=config.n_items,
@@ -196,11 +208,83 @@ class ScalabilityEnvironment:
                 seed=config.seed,
             )
         )
-        self.timeline: Timeline = one_year_timeline(granularity=config.granularity)
-        self.participants: tuple[int, ...] = tuple(self.ratings.users[: config.n_participants])
-        self.social: SocialNetwork = SocialNetworkGenerator(
-            SocialConfig(seed=config.seed)
-        ).generate(self.participants, self.timeline)
+        timeline = one_year_timeline(granularity=config.granularity)
+        participants = tuple(ratings.users[: config.n_participants])
+        social = SocialNetworkGenerator(SocialConfig(seed=config.seed)).generate(
+            participants, timeline
+        )
+        return cls(
+            ratings=ratings, timeline=timeline, participants=participants, social=social
+        )
+
+    def with_deltas(self, deltas) -> "EnvironmentSubstrate":
+        """The substrate after applying ``deltas`` in order (by full merge).
+
+        Each delta contributes ``ratings``, ``page_likes`` and optionally a
+        ``new_period`` (the :class:`~repro.updates.deltas.RatingDelta`
+        shape).  The participants are carried over explicitly — they are a
+        prefix of the *base* user set and must not drift when a delta
+        introduces new users.
+        """
+        ratings, social, timeline = self.ratings, self.social, self.timeline
+        for delta in deltas:
+            if delta.new_period is not None:
+                timeline = timeline.extended(delta.new_period)
+            if delta.ratings:
+                ratings = ratings.extended(delta.ratings)
+            if delta.page_likes:
+                social = social.with_likes(delta.page_likes)
+        return EnvironmentSubstrate(
+            ratings=ratings,
+            timeline=timeline,
+            participants=self.participants,
+            social=social,
+        )
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What one :meth:`ScalabilityEnvironment.apply_delta` call did.
+
+    ``full_rebuild`` reports whether the CF substrate took the incremental
+    path (in-place cell writes + partial refit) or fell back to a full
+    predictor re-fit (a delta introducing unseen users or items changes the
+    matrix shape).  Either way the resulting state is bit-identical to a
+    fresh environment over the merged substrate.  ``changed_users`` are the
+    cached-apref users whose values actually moved; ``invalidated_groups``
+    the memoised group keys dropped because of them (or of an affinity
+    change); ``retired_segments`` the shm segments unlinked because their
+    exports died with those memos.
+    """
+
+    epoch: int
+    touched_users: tuple[int, ...]
+    changed_users: tuple[int, ...]
+    invalidated_groups: tuple[tuple[int, ...], ...]
+    retired_segments: tuple[str, ...]
+    full_rebuild: bool
+    affinity_changed: bool
+
+
+class ScalabilityEnvironment:
+    """Shared substrate for Figures 5-8: data, recommender and group pool."""
+
+    def __init__(
+        self,
+        config: ScalabilityConfig | None = None,
+        substrate: EnvironmentSubstrate | None = None,
+    ) -> None:
+        self.config = config or ScalabilityConfig()
+        config = self.config
+
+        if substrate is None:
+            substrate = EnvironmentSubstrate.generate(config)
+        self.ratings: RatingsDataset = substrate.ratings
+        self.timeline: Timeline = substrate.timeline
+        self.participants: tuple[int, ...] = substrate.participants
+        self.social: SocialNetwork = substrate.social
+        #: Epoch counter: 0 for the base substrate, +1 per applied delta.
+        self.epoch = 0
         self.recommender = GroupRecommender(
             ratings=self.ratings,
             social=self.social,
@@ -312,6 +396,118 @@ class ScalabilityEnvironment:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- incremental updates (epoch adoption) ------------------------------------------------
+
+    @property
+    def substrate(self) -> EnvironmentSubstrate:
+        """The current raw substrate (reflecting every applied delta)."""
+        with self._state_lock:
+            return EnvironmentSubstrate(
+                ratings=self.ratings,
+                timeline=self.timeline,
+                participants=self.participants,
+                social=self.social,
+            )
+
+    def apply_delta(self, delta) -> DeltaReport:
+        """Adopt a :class:`~repro.updates.deltas.RatingDelta` as a new epoch.
+
+        New ratings over known users/items are written into the fitted CF
+        matrix in place and the model state is partially refit (touched
+        similarity rows, full gemm, means); a delta introducing unseen users
+        or items falls back to a full predictor re-fit.  New page likes and
+        an optional appended period extend the affinity substrate
+        append-only.  Cached aprefs are patched item-wise where provably
+        bit-stable, and only the memoised factories/indexes of groups whose
+        inputs actually changed are dropped — the next dispatch rebuilds
+        exactly those, while shm exports of the dropped memos are retired
+        (unlinked) and warm pool workers purge the dead generations via the
+        payload-carried floor, with **zero pool restarts**.
+
+        The resulting environment state is bit-identical to a fresh
+        ``ScalabilityEnvironment(config, substrate=old.substrate
+        .with_deltas([delta]))`` — the equivalence the epoch test matrix
+        enforces across serial, persistent, supervised and service paths.
+        """
+        with self._state_lock:
+            return self._apply_delta_locked(delta)
+
+    def _apply_delta_locked(self, delta) -> DeltaReport:
+        touched = tuple(sorted({rating.user_id for rating in delta.ratings}))
+        affinity_changed = bool(delta.page_likes) or delta.new_period is not None
+        full_rebuild = False
+        changed_users: set[int] = set()
+
+        if delta.ratings:
+            merged = self.ratings.extended(delta.ratings)
+            predictor = self.recommender.predictor
+            known = all(
+                self.ratings.has_user(rating.user_id) and self.ratings.has_item(rating.item_id)
+                for rating in delta.ratings
+            )
+            self.ratings = merged
+            self.recommender.ratings = merged
+            if known and predictor.is_fitted:
+                for rating in delta.ratings:
+                    predictor.matrix.set_rating(rating.user_id, rating.item_id, rating.value)
+                predictor.partial_refit(touched)
+                changed_users = self.recommender.refresh_aprefs(touched)
+            else:
+                # Shape change (new user/item row or column): rebuild the CF
+                # substrate outright — identical to the oracle by construction.
+                full_rebuild = True
+                predictor.fit(merged)
+                changed_users = self.recommender.invalidate_aprefs()
+
+        if affinity_changed:
+            timeline = self.timeline
+            if delta.new_period is not None:
+                timeline = timeline.extended(delta.new_period)
+            social = self.social.with_likes(delta.page_likes)
+            like_users = sorted({like.user_id for like in delta.page_likes})
+            self.recommender.refresh_affinities(social, timeline, like_users)
+            self.social = social
+            self.timeline = timeline
+
+        # Memo invalidation: a group is dirty when a member's aprefs changed
+        # (its factory embeds them); any affinity change dirties every
+        # affinity-column memo and every finished index.
+        if full_rebuild:
+            invalidated = set(self._index_factories)
+        else:
+            invalidated = {
+                key for key in self._index_factories if changed_users.intersection(key)
+            }
+        for key in invalidated:
+            del self._index_factories[key]
+        if affinity_changed or full_rebuild:
+            self._affinity_columns.clear()
+            self._index_cache.clear()
+        else:
+            for key in [key for key in self._index_cache if key[0] in invalidated]:
+                del self._index_cache[key]
+
+        # Retire shm exports whose memos just died: their segments unlink
+        # now, and the next dispatch's payloads carry the raised generation
+        # floor so warm workers purge the dead caches — no pool restart.
+        retired: tuple[str, ...] = ()
+        if self._registry is not None and not self._registry.closed:
+            retired = self._registry.retire_stale(
+                live_factories=list(self._index_factories.values()),
+                live_columns=[entry[0] for entry in self._affinity_columns.values()],
+            )
+
+        self.epoch += 1
+        return DeltaReport(
+            epoch=self.epoch,
+            touched_users=touched,
+            changed_users=tuple(sorted(changed_users)),
+            invalidated_groups=tuple(sorted(invalidated)),
+            retired_segments=retired,
+            full_rebuild=full_rebuild,
+            affinity_changed=affinity_changed,
+        )
 
     # -- index reuse -----------------------------------------------------------------------------
 

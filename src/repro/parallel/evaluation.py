@@ -202,6 +202,15 @@ def evaluate_tasks(
                 for task in tasks
             ]
         payloads = attach_fault_plan(build_payloads(plan, tasks, factories), fault_plan)
+        if shipment == SHIPMENT_SHM and not owns_registry:
+            # Epoch adoption: a long-lived (environment) registry may have
+            # retired exports since the pool's workers last ran; the floor
+            # stamped here tells them which cached generations are dead
+            # (see ShardPayload.min_generation).  An ephemeral registry
+            # never retires anything, so its payloads keep the no-op 0.
+            floor = registry.generation_floor
+            if floor:
+                payloads = [replace(p, min_generation=floor) for p in payloads]
         if isinstance(backend, SupervisedDispatch):
             # Arm self-healing: the supervisor may re-export segments of
             # this registry if workers die holding the only live mappings.

@@ -80,6 +80,23 @@ VALID_SHIPMENTS = (SHIPMENT_PICKLE, SHIPMENT_SHM)
 #: Byte alignment of arrays packed into one segment.
 _ALIGNMENT = 16
 
+#: Process-wide export generation counter.  Every export (and every healing
+#: re-export) stamps its handle with the next value, so two exports can
+#: never produce equal handles even when the OS recycles a segment name for
+#: a same-shape layout — which is guaranteed to happen once epochs re-export
+#: refreshed substrates over identical shapes.  Worker-side caches key on
+#: handles, so the token versions every cache entry for free.
+_GENERATION_LOCK = threading.Lock()
+_GENERATION_COUNTER = 0
+
+
+def next_generation() -> int:
+    """The next process-wide export generation (monotonic, never reused)."""
+    global _GENERATION_COUNTER
+    with _GENERATION_LOCK:
+        _GENERATION_COUNTER += 1
+        return _GENERATION_COUNTER
+
 #: Segment names created by *this* process (fork children inherit a copy,
 #: which is exactly right: with a fork-inherited resource tracker the extra
 #: attach-registration is an idempotent no-op, while spawn children start
@@ -91,6 +108,12 @@ _OWNED_NAMES: set[str] = set()
 #: stay mapped for the life of the process so numpy views handed out by
 #: :func:`attach_array` never lose their buffer.
 _ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+#: Newest export generation observed per attached segment name.  A mapping
+#: attached for generation g is stale the moment a handle for the same name
+#: arrives with generation > g: the name was unlinked and recycled in the
+#: meantime, and the old mapping still shows the dead segment's bytes.
+_ATTACHED_GENERATIONS: dict[str, int] = {}
 
 #: Process-local memo of materialised factories (handle → factory), the
 #: warm-cache that makes persistent pools pay shipment once per factory.
@@ -177,6 +200,37 @@ def _attached_segment(name: str) -> shared_memory.SharedMemory:
     return segment
 
 
+def _refresh_attachments(names: set[str], generation: int) -> None:
+    """Drop attached mappings that predate a handle's export generation.
+
+    A persistent worker keeps segments mapped for the life of the process;
+    if the parent unlinked one and the OS later recycled its name for a new
+    export, the stale mapping would silently serve the dead segment's bytes.
+    A handle stamped with a newer generation than the mapping's recorded one
+    proves exactly that happened — re-attach before serving.  Mappings with
+    live numpy views cannot be closed; they are parked in ``_ZOMBIES``.
+    """
+    if generation <= 0:
+        return
+    for name in names:
+        if _ATTACHED_GENERATIONS.get(name, 0) >= generation:
+            continue
+        segment = _ATTACHED.pop(name, None)
+        _ATTACHED_GENERATIONS.pop(name, None)
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:  # live views — keep the mapping alive
+                _ZOMBIES.append(segment)
+
+
+def _record_attachment_generation(names: set[str], generation: int) -> None:
+    """Remember the newest export generation served through these names."""
+    for name in names:
+        if generation > _ATTACHED_GENERATIONS.get(name, 0):
+            _ATTACHED_GENERATIONS[name] = generation
+
+
 def attach_array(spec: SharedArraySpec) -> np.ndarray:
     """A read-only ndarray view over the described segment region (no copy)."""
     segment = _attached_segment(spec.segment)
@@ -210,6 +264,7 @@ def _forget_segments(names: Sequence[str]) -> None:
         _INDEX_CACHE.pop(key, None)
     for name in names:
         _OWNED_NAMES.discard(name)
+        _ATTACHED_GENERATIONS.pop(name, None)
         segment = _ATTACHED.pop(name, None)
         if segment is not None:
             try:
@@ -243,6 +298,12 @@ class ShmFactoryHandle:
     tie-break ranking and (when the item ids are plain ints, which is the
     int64-roundtrip-exact case) the item-id column.  ``items`` carries the
     literal tuple only in the fallback case of non-integer item ids.
+
+    ``generation`` versions the handle: segment names + shapes alone do not
+    identify content, because an unlinked name can be recycled by the OS for
+    a later export of the same layout.  The export generation is part of
+    dataclass equality, so worker-side caches keyed on handles can never
+    alias a recycled name to a stale cached object.
     """
 
     members: tuple[int, ...]
@@ -251,6 +312,7 @@ class ShmFactoryHandle:
     max_apref: float
     items_spec: SharedArraySpec | None = None
     items: tuple | None = None
+    generation: int = 0
 
     def __post_init__(self) -> None:
         if (self.items_spec is None) == (self.items is None):
@@ -277,6 +339,7 @@ def materialise_factory(handle: ShmFactoryHandle) -> GrecaIndexFactory:
     """Rebuild (once per process, LRU-bounded) the factory around the attached arrays."""
     factory = _cache_get(_FACTORY_CACHE, handle)
     if factory is None:
+        _refresh_attachments(handle.segment_names(), handle.generation)
         matrix = attach_array(handle.matrix)
         repr_rank = attach_array(handle.repr_rank)
         if handle.items_spec is not None:
@@ -286,6 +349,7 @@ def materialise_factory(handle: ShmFactoryHandle) -> GrecaIndexFactory:
         factory = GrecaIndexFactory.from_columns(
             handle.members, items, matrix, handle.max_apref, repr_rank=repr_rank
         )
+        _record_attachment_generation(handle.segment_names(), handle.generation)
         _cache_put(_FACTORY_CACHE, handle, factory, FACTORY_CACHE_MAX)
     return factory
 
@@ -307,12 +371,17 @@ class ShmAffinityHandle:
     handle covers a group's *full* timeline — tasks select their query
     period's prefix via :attr:`~repro.parallel.worker.GroupEvalTask
     .n_periods` — so a whole period sweep references a single export.
+
+    ``generation`` versions the handle exactly as on
+    :class:`ShmFactoryHandle`: recycled segment names must never alias a
+    stale cached columns object.
     """
 
     pairs: tuple[tuple[int, int], ...]
     static: SharedArraySpec
     periodic: SharedArraySpec
     averages: SharedArraySpec
+    generation: int = 0
 
     def segment_names(self) -> set[str]:
         """Every segment this handle references."""
@@ -327,12 +396,14 @@ def materialise_affinity(handle: ShmAffinityHandle) -> AffinityColumns:
     """Reattach (once per process, LRU-bounded) the columns behind a handle."""
     columns = _cache_get(_AFFINITY_CACHE, handle)
     if columns is None:
+        _refresh_attachments(handle.segment_names(), handle.generation)
         columns = AffinityColumns(
             pairs=handle.pairs,
             static=attach_array(handle.static),
             periodic=attach_array(handle.periodic),
             averages=attach_array(handle.averages),
         )
+        _record_attachment_generation(handle.segment_names(), handle.generation)
         _cache_put(_AFFINITY_CACHE, handle, columns, AFFINITY_CACHE_MAX)
     return columns
 
@@ -391,6 +462,57 @@ def rewrite_affinity_handle(
         periodic=rewrite_spec(handle.periodic, mapping),
         averages=rewrite_spec(handle.averages, mapping),
     )
+
+
+def purge_stale(min_generation: int) -> int:
+    """Drop worker-side cache entries from exports older than ``min_generation``.
+
+    The epoch-adoption contract: when the parent retires an epoch's exports
+    (unlinking their segments), warm persistent workers are *not* restarted —
+    they learn about the retirement from the ``min_generation`` stamped on
+    the next payload they run.  Everything below the floor — materialised
+    factories, affinity columns, finished indexes, and the attached mappings
+    behind them — is provably dead for the stamping registry, so it is
+    dropped here before any task of the new dispatch runs.  Returns the
+    number of cache entries removed (attachments not counted).
+    """
+    if min_generation <= 0:
+        return 0
+    stale_factories = [h for h in _FACTORY_CACHE if h.generation < min_generation]
+    stale_affinities = [h for h in _AFFINITY_CACHE if h.generation < min_generation]
+    stale_keys = [
+        k
+        for k in _INDEX_CACHE
+        if k[0].generation < min_generation or k[1].generation < min_generation
+    ]
+    stale_names: set[str] = set()
+    for handle in stale_factories:
+        stale_names |= handle.segment_names()
+        _FACTORY_CACHE.pop(handle, None)
+    for handle in stale_affinities:
+        stale_names |= handle.segment_names()
+        _AFFINITY_CACHE.pop(handle, None)
+    for key in stale_keys:
+        stale_names |= key[0].segment_names() | key[1].segment_names()
+        _INDEX_CACHE.pop(key, None)
+    # Keep mappings that a still-live (>= floor) cached handle references:
+    # a recycled name can be shared between a stale entry and a live one.
+    live_names: set[str] = set()
+    for handle in _FACTORY_CACHE:
+        live_names |= handle.segment_names()
+    for handle in _AFFINITY_CACHE:
+        live_names |= handle.segment_names()
+    for name in stale_names - live_names:
+        if _ATTACHED_GENERATIONS.get(name, 0) >= min_generation:
+            continue
+        _ATTACHED_GENERATIONS.pop(name, None)
+        segment = _ATTACHED.pop(name, None)
+        if segment is not None:
+            try:
+                segment.close()
+            except BufferError:  # live views — keep the mapping alive
+                _ZOMBIES.append(segment)
+    return len(stale_factories) + len(stale_affinities) + len(stale_keys)
 
 
 def cached_index(key: tuple) -> GrecaIndex | None:
@@ -486,6 +608,13 @@ class SharedArrayRegistry:
             except FileNotFoundError:
                 fresh = shared_memory.SharedMemory(create=True, size=old.size)
                 fresh.buf[: old.size] = old.buf[: old.size]
+                # The OS may hand back a *recycled* name — one an earlier
+                # (since unlinked) segment used while this process cached
+                # attachments or indexes derived from it.  Purge those stale
+                # entries before anything can alias the recycled name to the
+                # dead segment's content.  Must run before the ownership
+                # registration below (_forget_segments drops owned names).
+                _forget_segments([fresh.name])
                 _OWNED_NAMES.add(fresh.name)
                 # In-place index assignment: the finalizer backstop holds
                 # references to these exact list objects.
@@ -519,6 +648,81 @@ class SharedArrayRegistry:
             }
         return mapping
 
+    # -- epoch retirement ----------------------------------------------------------------
+
+    @property
+    def generation_floor(self) -> int:
+        """The smallest export generation still live in this registry.
+
+        Every handle below the floor belongs to a retired (or never-made)
+        export of this registry; :func:`repro.parallel.evaluate_tasks` stamps
+        the floor onto payloads so warm workers can purge retired-epoch cache
+        entries (:func:`purge_stale`) without a pool restart.  ``0`` while
+        nothing has been exported (no purge).
+        """
+        with self._lock:
+            generations = [handle.generation for _, handle in self._handles.values()]
+            generations += [
+                handle.generation for _, handle in self._affinity_handles.values()
+            ]
+            return min(generations, default=0)
+
+    def retire_stale(
+        self,
+        live_factories: Sequence[object] = (),
+        live_columns: Sequence[object] = (),
+    ) -> tuple[str, ...]:
+        """Unlink segments backing exports absent from the caller's live sets.
+
+        The epoch-adoption primitive: after an incremental update replaces
+        some of the environment's memoised factories / affinity columns, the
+        old objects' exports are dead weight — their segments hold the
+        retired epoch's bytes.  The caller passes the objects it still
+        serves; every memoised export whose object is not among them is
+        dropped and its segment unlinked (raising :attr:`generation_floor`).
+        POSIX semantics keep in-flight attachments valid: workers that
+        already mapped a retired segment finish their current dispatch on
+        it, and only new attaches fail (healed by the supervisor if ever
+        raced).  Returns the unlinked segment names.
+        """
+        with self._lock:
+            return self._retire_stale_locked(live_factories, live_columns)
+
+    def _retire_stale_locked(
+        self, live_factories: Sequence[object], live_columns: Sequence[object]
+    ) -> tuple[str, ...]:
+        if self._closed:
+            return ()
+        live_factory_ids = {id(factory) for factory in live_factories}
+        live_column_ids = {id(columns) for columns in live_columns}
+        victim_names: set[str] = set()
+        for key in [k for k in self._handles if k not in live_factory_ids]:
+            _, handle = self._handles.pop(key)
+            victim_names |= handle.segment_names()
+        for key in [k for k in self._affinity_handles if k not in live_column_ids]:
+            _, handle = self._affinity_handles.pop(key)
+            victim_names |= handle.segment_names()
+        retired = []
+        for name in sorted(victim_names):
+            if name not in self._names:
+                continue
+            # In-place removal: the finalizer backstop holds references to
+            # these exact list objects.
+            position = self._names.index(name)
+            segment = self._segments.pop(position)
+            del self._names[position]
+            _forget_segments([name])
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+            try:
+                segment.close()
+            except BufferError:  # live views — keep the mapping alive
+                _ZOMBIES.append(segment)
+            retired.append(name)
+        return tuple(retired)
+
     # -- export --------------------------------------------------------------------------
 
     def share_arrays(self, arrays: Sequence[np.ndarray]) -> list[SharedArraySpec]:
@@ -537,6 +741,11 @@ class SharedArrayRegistry:
             offsets.append(total)
             total += array.nbytes
         segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        # A fresh segment can land on a recycled name (one a since-unlinked
+        # segment used while this process cached attachments or indexes for
+        # it) — drop any such stale process-local state before the name can
+        # alias.  Ordering matters: _forget_segments drops owned names.
+        _forget_segments([segment.name])
         _OWNED_NAMES.add(segment.name)
         self._segments.append(segment)
         self._names.append(segment.name)
@@ -590,6 +799,7 @@ class SharedArrayRegistry:
             max_apref=float(max_apref),
             items_spec=specs[2] if items_array is not None else None,
             items=None if items_array is not None else tuple(items),
+            generation=next_generation(),
         )
         # The strong factory reference keeps id(factory) stable for the memo.
         self._handles[id(factory)] = (factory, handle)
@@ -619,6 +829,7 @@ class SharedArrayRegistry:
             static=specs[0],
             periodic=specs[1],
             averages=specs[2],
+            generation=next_generation(),
         )
         # The strong columns reference keeps id(columns) stable for the memo.
         self._affinity_handles[id(columns)] = (columns, handle)

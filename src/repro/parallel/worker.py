@@ -139,6 +139,15 @@ class ShardPayload:
     fire on the first N attempts and then let the retry succeed without
     any cross-process state.  Both default to the fault-free shape, so
     payloads built by unsupervised callers are unchanged.
+
+    ``min_generation`` is the epoch-adoption floor: the smallest shm export
+    generation still live in the shipping registry
+    (:attr:`~repro.parallel.shm.SharedArrayRegistry.generation_floor`).
+    Warm workers purge cache entries below it before running any task
+    (:func:`~repro.parallel.shm.purge_stale`), which is how a persistent
+    pool adopts a new epoch — retired-segment caches dropped in-worker —
+    without being restarted.  ``0`` (the pickle-shipment default) purges
+    nothing.
     """
 
     shard_index: int
@@ -147,6 +156,7 @@ class ShardPayload:
     factories: Mapping[GroupKey, object]
     fault_plan: "object | None" = None
     attempt: int = 0
+    min_generation: int = 0
 
     def __post_init__(self) -> None:
         if len(self.task_indices) != len(self.tasks):
@@ -236,6 +246,11 @@ def run_shard(payload: ShardPayload) -> tuple[GroupRunRecord, ...]:
     """
     from repro.parallel import shm
 
+    if payload.min_generation:
+        # Epoch adoption on a warm pool: drop caches (and attachments) of
+        # exports the shipping registry has since retired, before anything
+        # in this dispatch can be served from them.
+        shm.purge_stale(payload.min_generation)
     factories = {key: shm.resolve_factory(value) for key, value in payload.factories.items()}
     local_indexes: dict[tuple, GrecaIndex] = {}
     records = []

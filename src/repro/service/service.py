@@ -301,6 +301,22 @@ class GrecaService:
             n_items=query.n_items,
         )
 
+    async def submit_delta(self, delta) -> "object":
+        """Apply a :class:`~repro.updates.deltas.RatingDelta` as a new epoch.
+
+        The application runs on the single dispatch thread, so it serialises
+        with query batches: every query picked up before the delta finishes
+        on the epoch it was dispatched under, and every later batch sees the
+        new epoch — no query ever observes a half-applied update, and no
+        worker pool is restarted.  Returns the environment's
+        :class:`~repro.experiments.scalability.DeltaReport`.
+        """
+        if not self._accepting or self._loop is None or self._dispatch_pool is None:
+            raise ServiceError("service is not accepting updates")
+        return await self._loop.run_in_executor(
+            self._dispatch_pool, self.environment.apply_delta, delta
+        )
+
     def reference_record(self, query: GroupQuery) -> GroupRunRecord:
         """The serial reference answer for one query (the equivalence oracle).
 
@@ -356,31 +372,16 @@ class GrecaService:
 
     async def _dispatch_batch(self, batch: list) -> None:
         picked_up = time.perf_counter()
-        # Group-major order — run_sweep's batching discipline — so a
-        # contiguous shard plan ships each group's factory (and affinity
-        # columns) to as few shards as possible.
-        entries: list[tuple[tuple[int, ...], int, GroupEvalTask]] = []
         try:
-            for position, pending in enumerate(batch):
-                task = self.task_for(pending.query)
-                entries.append((task.group, position, task))
-        except Exception as exc:
-            self._fail_batch(batch, exc)
-            return
-        entries.sort(key=lambda entry: entry[:2])
-        tasks = [entry[2] for entry in entries]
-        try:
-            records, report, dispatch_seconds = await self._loop.run_in_executor(
-                self._dispatch_pool, self._evaluate, tasks
+            by_position, report, dispatch_seconds = await self._loop.run_in_executor(
+                self._dispatch_pool,
+                self._materialise_and_evaluate,
+                [pending.query for pending in batch],
             )
         except Exception as exc:
             self._fail_batch(batch, exc)
             return
         merge_start = time.perf_counter()
-        by_position = {
-            position: record
-            for (_group, position, _task), record in zip(entries, records)
-        }
         self.batch_sizes.append(len(batch))
         for position, pending in enumerate(batch):
             now = time.perf_counter()
@@ -406,6 +407,32 @@ class GrecaService:
         for pending in batch:
             if not pending.future.done():
                 pending.future.set_exception(exc)
+
+    def _materialise_and_evaluate(
+        self, queries: Sequence[GroupQuery]
+    ) -> tuple[dict, DispatchReport | None, float]:
+        """Dispatch-thread body: materialise, order group-major, evaluate.
+
+        Materialising tasks here — not on the event loop — makes each batch
+        atomic with respect to :meth:`submit_delta`: both run on the single
+        dispatch thread, so a batch's tasks and its evaluation always see
+        one epoch.  Group-major order is run_sweep's batching discipline,
+        shipping each group's factory (and affinity columns) to as few
+        shards as possible.
+        """
+        entries: list[tuple[tuple[int, ...], int, GroupEvalTask]] = []
+        for position, query in enumerate(queries):
+            task = self.task_for(query)
+            entries.append((task.group, position, task))
+        entries.sort(key=lambda entry: entry[:2])
+        records, report, dispatch_seconds = self._evaluate(
+            [entry[2] for entry in entries]
+        )
+        by_position = {
+            position: record
+            for (_group, position, _task), record in zip(entries, records)
+        }
+        return by_position, report, dispatch_seconds
 
     def _evaluate(
         self, tasks: Sequence[GroupEvalTask]

@@ -1,0 +1,28 @@
+"""Epoch-versioned incremental updates (delta ingestion without rebuilds).
+
+Public surface:
+
+* :class:`~repro.updates.deltas.RatingDelta` — one batch of new ratings /
+  page likes / an appended period, and :func:`~repro.updates.deltas
+  .random_deltas` to synthesise valid sequences;
+* :class:`~repro.updates.epoch.EpochManager` — apply deltas through
+  :meth:`~repro.experiments.scalability.ScalabilityEnvironment.apply_delta`,
+  journal them, snapshot the journal to disk and restore by replay.
+
+The contract underneath: applying N deltas incrementally leaves the
+environment bit-identical to a full rebuild over the merged history —
+same similarity matrices, same aprefs, same affinity columns, same GRECA
+records on every execution tier — while warm worker pools adopt each new
+epoch without a restart.
+"""
+
+from repro.updates.deltas import RatingDelta, random_deltas
+from repro.updates.epoch import EpochManager, delta_from_json, delta_to_json
+
+__all__ = [
+    "EpochManager",
+    "RatingDelta",
+    "delta_from_json",
+    "delta_to_json",
+    "random_deltas",
+]

@@ -1,0 +1,132 @@
+"""Delta batches: the unit of incremental ingestion.
+
+A deployed recommender does not rebuild its substrate per update — new
+ratings and page likes arrive continuously and the current period eventually
+closes.  :class:`RatingDelta` packages one batch of such events; applying it
+to a :class:`~repro.experiments.scalability.ScalabilityEnvironment`
+(:meth:`~repro.experiments.scalability.ScalabilityEnvironment.apply_delta`)
+advances the environment by one *epoch*, with the hard guarantee that the
+post-delta state is bit-identical to a full rebuild over the merged history.
+
+:func:`random_deltas` synthesises valid delta sequences for the equivalence
+matrix and the bench: new ``(user, item)`` ratings only (the dataset rejects
+duplicates), page likes restricted to the network's users, timestamps inside
+the timeline, and an optional appended period every few batches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.timeline import Period, Timeline
+from repro.data.ratings import Rating, RatingsDataset
+from repro.data.social import N_PAGE_CATEGORIES, PageLike, SocialNetwork
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RatingDelta:
+    """One batch of incremental updates.
+
+    ``ratings`` are new ``(user, item)`` observations (a pair may appear at
+    most once across the whole history — re-rating is not modelled, matching
+    :class:`~repro.data.ratings.RatingsDataset`).  ``page_likes`` extend the
+    social like history; ``new_period`` optionally appends one period after
+    the timeline's current end (the "period closed" event that makes the
+    appended likes queryable as their own drift step).
+    """
+
+    ratings: tuple[Rating, ...] = ()
+    page_likes: tuple[PageLike, ...] = ()
+    new_period: Period | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ratings", tuple(self.ratings))
+        object.__setattr__(self, "page_likes", tuple(self.page_likes))
+        seen: set[tuple[int, int]] = set()
+        for rating in self.ratings:
+            key = (rating.user_id, rating.item_id)
+            if key in seen:
+                raise ConfigurationError(
+                    f"delta contains duplicate rating for user {rating.user_id}, "
+                    f"item {rating.item_id}"
+                )
+            seen.add(key)
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the delta carries no event at all."""
+        return not self.ratings and not self.page_likes and self.new_period is None
+
+
+def random_deltas(
+    ratings: RatingsDataset,
+    social: SocialNetwork,
+    timeline: Timeline,
+    n_deltas: int,
+    seed: int = 0,
+    ratings_per_delta: int = 12,
+    likes_per_delta: int = 8,
+    new_period_every: int | None = None,
+) -> list[RatingDelta]:
+    """Synthesise ``n_deltas`` valid delta batches against a base substrate.
+
+    Ratings draw unrated ``(user, item)`` pairs from the existing universe
+    (so the incremental CF fast path applies); likes draw users from the
+    social network with timestamps in the period their batch targets.  With
+    ``new_period_every=j``, every ``j``-th delta appends a fresh period of
+    the current tail length and places its likes there; other batches land
+    likes uniformly in the existing span.  Deltas are cumulative: a pair
+    rated by an earlier delta is never re-drawn by a later one.
+    """
+    if n_deltas <= 0:
+        raise ConfigurationError("n_deltas must be positive")
+    rng = random.Random(seed)
+    users = list(ratings.users)
+    items = list(ratings.items)
+    rated = {
+        (rating.user_id, rating.item_id) for rating in ratings.ratings
+    }
+    like_users = list(social.users)
+    span_start = timeline.beginning
+    span_end = timeline.end
+    tail_length = timeline.current.length
+
+    deltas: list[RatingDelta] = []
+    for batch in range(n_deltas):
+        new_ratings: list[Rating] = []
+        for _ in range(ratings_per_delta * 4):
+            if len(new_ratings) >= ratings_per_delta:
+                break
+            user = rng.choice(users)
+            item = rng.choice(items)
+            if (user, item) in rated:
+                continue
+            rated.add((user, item))
+            new_ratings.append(
+                Rating(user, item, float(rng.randint(1, 5)), rng.randint(span_start, span_end))
+            )
+        new_period: Period | None = None
+        if new_period_every and (batch + 1) % new_period_every == 0:
+            new_period = Period(span_end + 1, span_end + tail_length)
+            span_end = new_period.end
+        like_start, like_end = (
+            (new_period.start, new_period.end) if new_period else (span_start, span_end)
+        )
+        likes = [
+            PageLike(
+                rng.choice(like_users),
+                rng.randrange(N_PAGE_CATEGORIES),
+                rng.randint(like_start, like_end),
+            )
+            for _ in range(likes_per_delta)
+        ]
+        deltas.append(
+            RatingDelta(
+                ratings=tuple(new_ratings),
+                page_likes=tuple(likes),
+                new_period=new_period,
+            )
+        )
+    return deltas

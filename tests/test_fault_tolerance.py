@@ -604,6 +604,51 @@ def test_environment_supervised_crash_mid_sweep_recovers(small_environment):
     assert env.evaluate(tasks, n_workers=2, executor="persistent") == serial
 
 
+def test_supervised_crash_during_epoch_adoption_recovers_on_new_epoch():
+    """A worker crash on the first post-delta dispatch heals onto the new epoch.
+
+    The crash fires while the warm workers are adopting a freshly applied
+    :class:`~repro.updates.deltas.RatingDelta` — stale-epoch caches being
+    purged in-worker, retired segments re-exported on demand — so the
+    supervisor's rebuild + retry must land on the *new* epoch's substrate:
+    the merged records equal the post-delta serial reference bit-for-bit,
+    never the pre-delta one resurrected from a stale cache.
+    """
+    from repro.experiments.scalability import ScalabilityConfig, ScalabilityEnvironment
+    from repro.updates import random_deltas
+
+    config = ScalabilityConfig(
+        n_users=40,
+        n_items=300,
+        n_ratings=3_000,
+        n_participants=12,
+        n_groups=2,
+        group_size=3,
+    )
+    env = ScalabilityEnvironment(config)
+    try:
+        groups = env.random_groups()
+        serial_before = env.run_records(groups)
+        # Warm the supervised tier (pool + shm exports) on epoch 0.
+        assert env.run_records(groups, n_workers=2, executor="supervised") == serial_before
+        delta = random_deltas(env.ratings, env.social, env.timeline, n_deltas=1, seed=3)[0]
+        report = env.apply_delta(delta)
+        assert report.epoch == 1 and report.touched_users
+        serial_after = env.run_records(groups)
+        crash = FaultPlan((FaultSpec(shard=0, position=0, mode="crash", fires=1),))
+        env.dispatch_reports.clear()
+        records = env.run_records(
+            groups, n_workers=2, executor="supervised", fault_plan=crash
+        )
+        assert records == serial_after
+        dispatch = env.last_dispatch_report
+        assert dispatch.ok and dispatch.rebuilds >= 1
+        # The healed pool keeps serving the new epoch without further drama.
+        assert env.run_records(groups, n_workers=2, executor="persistent") == serial_after
+    finally:
+        env.close()
+
+
 def test_kill_discards_a_wedged_pool_promptly(workload):
     """kill() must never block on a stalled worker (shutdown(wait=True) would)."""
     factories, tasks = workload

@@ -479,3 +479,316 @@ def test_service_sigterm_drains_and_unlinks_segments():
     assert proc.returncode == 0, tail
     assert "CLEAN" in tail, tail
     assert_unlinked(segments)
+
+
+# -- generation tokens: recycled names must never alias stale caches ----------------------------
+
+
+def test_recycled_segment_name_does_not_alias_stale_affinity_cache():
+    """A same-shape re-export under a recycled name must not serve stale bytes.
+
+    Simulates a warm persistent worker: its handle-keyed caches and attached
+    mappings survive the parent registry's unlink (the parent-side purge
+    runs in the parent process only).  When the OS recycles the segment name
+    for a later export of the identical layout — guaranteed once epochs
+    re-export refreshed substrates over the same shapes — a handle equal in
+    names + shapes would alias the dead segment's content.  The export
+    generation token is what keeps the handles distinct.
+    """
+    from dataclasses import replace
+
+    from repro.core.affinity import AffinityColumns
+    from repro.parallel import shm
+
+    old_columns = AffinityColumns.from_components(
+        {(1, 2): 0.4, (1, 3): 0.1, (2, 3): 0.8}, {}, {}
+    )
+    new_columns = AffinityColumns.from_components(
+        {(1, 2): 0.9, (1, 3): 0.5, (2, 3): 0.2}, {}, {}
+    )
+
+    registry = SharedArrayRegistry()
+    old_handle = registry.export_affinity(old_columns)
+    materialised = shm.materialise_affinity(old_handle)
+    name = old_handle.static.segment
+    stale_mapping = shm._ATTACHED[name]
+    registry.close()
+    # Warm-worker simulation: the worker never observed the parent's purge.
+    shm._cache_put(shm._AFFINITY_CACHE, old_handle, materialised, shm.AFFINITY_CACHE_MAX)
+    shm._ATTACHED[name] = stale_mapping
+
+    # The new epoch's export lands on the recycled name with the same layout.
+    second = SharedArrayRegistry()
+    try:
+        fresh_handle = second.export_affinity(new_columns)
+        recycled = shared_memory.SharedMemory(name=name, create=True, size=1024)
+        # Mark the hand-made segment as owned so the attach path does not
+        # strip its tracker registration (we unlink it ourselves below).
+        shm._OWNED_NAMES.add(name)
+        try:
+            view = np.frombuffer(
+                recycled.buf,
+                dtype=np.float64,
+                count=3,
+                offset=fresh_handle.static.offset,
+            )
+            view[:] = new_columns.static
+            del view
+            shipped = shm.rewrite_affinity_handle(
+                fresh_handle, {fresh_handle.static.segment: name}
+            )
+            served = shm.materialise_affinity(shipped)
+            assert served.static.tolist() == new_columns.static.tolist()
+        finally:
+            recycled.unlink()
+            try:
+                recycled.close()
+            except BufferError:
+                shm._ZOMBIES.append(recycled)
+    finally:
+        second.close()
+        shm._forget_segments([name])
+
+
+def test_reexport_under_recycled_names_invalidates_stale_index_entries(monkeypatch):
+    """After a heal re-export, run_shard must not serve a pre-heal index.
+
+    The supervisor's self-healing path re-exports vanished segments and
+    rewrites pending payload handles — but a warm worker may still hold
+    ``_INDEX_CACHE`` entries (and attached mappings) from segments whose
+    names the re-export now reuses.  Pre-fix, the rewritten handles compare
+    equal to the stale ones (same names, same shapes), so the worker serves
+    an index built from the *old* substrate.  The purge path must invalidate
+    index entries derived from a re-exported factory too.
+    """
+    from dataclasses import replace
+
+    from repro.core.affinity import AffinityColumns
+    from repro.parallel import run_task
+    from repro.parallel import shm
+
+    def build_factory(seed):
+        rng = np.random.default_rng(seed)
+        members = [1, 2, 3]
+        items = list(range(101, 141))
+        aprefs = {
+            member: {item: round(float(rng.uniform(0.0, 5.0)), 3) for item in items}
+            for member in members
+        }
+        return GrecaIndexFactory(members=members, aprefs=aprefs, max_apref=5.0)
+
+    static = {(1, 2): 0.4, (1, 3): 0.1, (2, 3): 0.8}
+    key = group_key([1, 2, 3])
+
+    def payload_for(registry, factory, columns):
+        handle = registry.export(factory)
+        affinity = registry.export_affinity(columns)
+        task = GroupEvalTask(
+            group=key,
+            k=3,
+            consensus=make_consensus("AP"),
+            static={},
+            periodic={},
+            averages={},
+            time_model="discrete",
+            affinity_ref=affinity,
+            n_periods=0,
+        )
+        return build_payloads(plan_shards(1, 1), [task], {key: handle})[0]
+
+    old_factory = build_factory(3)
+    new_factory = build_factory(4)
+
+    # Serial reference for the NEW substrate, computed before any cache
+    # pollution (dict-based task: the columnar path must match it exactly).
+    reference = run_task(
+        GroupEvalTask(
+            group=key,
+            k=3,
+            consensus=make_consensus("AP"),
+            static=static,
+            periodic={},
+            averages={},
+            time_model="discrete",
+        ),
+        new_factory,
+    )
+
+    first = SharedArrayRegistry()
+    payload_old = payload_for(
+        first, old_factory, AffinityColumns.from_components(static, {}, {})
+    )
+    (old_record,) = run_shard(payload_old)
+    assert old_record != reference  # the two substrates must disagree
+    old_names = list(first.segment_names)
+    stale_entries = dict(shm._INDEX_CACHE)
+    stale_mappings = {n: shm._ATTACHED[n] for n in old_names if n in shm._ATTACHED}
+    assert stale_entries and stale_mappings
+    first.close()
+    # Warm-worker simulation: the worker never observed the parent's purge.
+    for cache_key, index in stale_entries.items():
+        shm._cache_put(shm._INDEX_CACHE, cache_key, index, shm.INDEX_CACHE_MAX)
+    shm._ATTACHED.update(stale_mappings)
+
+    second = SharedArrayRegistry()
+    try:
+        payload_new = payload_for(
+            second, new_factory, AffinityColumns.from_components(static, {}, {})
+        )
+        # The new exports vanish (foreign unlink / dead-worker tracker)...
+        for name in list(second.segment_names):
+            victim = shared_memory.SharedMemory(name=name)
+            victim.unlink()
+            try:
+                victim.close()
+            except BufferError:
+                shm._ZOMBIES.append(victim)
+        # ...and the heal's re-export lands on the OLD, recycled names.
+        real_shared_memory = shared_memory.SharedMemory
+        pending_names = list(old_names)
+
+        def recycling(name=None, create=False, size=0):
+            if create and name is None and pending_names:
+                return real_shared_memory(
+                    name=pending_names.pop(0), create=True, size=size
+                )
+            if name is None:
+                return real_shared_memory(create=create, size=size)
+            return real_shared_memory(name=name, create=create, size=size)
+
+        monkeypatch.setattr(shm.shared_memory, "SharedMemory", recycling)
+        mapping = second.reexport_missing()
+        monkeypatch.undo()
+        assert set(mapping.values()) == set(old_names)
+
+        healed = replace(
+            payload_new,
+            factories={
+                key: shm.rewrite_factory_handle(payload_new.factories[key], mapping)
+            },
+            tasks=tuple(
+                replace(
+                    task,
+                    affinity_ref=shm.rewrite_affinity_handle(task.affinity_ref, mapping),
+                )
+                for task in payload_new.tasks
+            ),
+        )
+        (served,) = run_shard(healed)
+        assert served == reference
+    finally:
+        second.close()
+        shm._forget_segments(old_names)
+
+
+def test_purge_stale_drops_retired_generation_caches(columnar_workload):
+    """retire_stale + purge_stale: retired-epoch caches die, live ones survive."""
+    from dataclasses import replace
+
+    from repro.parallel import shm
+
+    factories, tasks, columns = columnar_workload
+    with SharedArrayRegistry() as registry:
+        records = evaluate_tasks(
+            tasks, factories, n_shards=1, executor="serial", shipment="shm", registry=registry
+        )
+        assert len(records) == len(tasks)
+        floor = registry.generation_floor
+        assert floor > 0
+        # Nothing is below the live floor yet.
+        assert shm.purge_stale(floor) == 0
+        old_factory_handle = registry.export(next(iter(factories.values())))
+
+        # New epoch: a refreshed factory object replaces the old one.
+        new_factory = _fresh_factory(99)
+        new_handle = registry.export(new_factory)
+        assert new_handle.generation > old_factory_handle.generation
+        stale_factories = dict(shm._FACTORY_CACHE)
+        stale_affinities = dict(shm._AFFINITY_CACHE)
+        stale_indexes = dict(shm._INDEX_CACHE)
+        retired = registry.retire_stale(live_factories=[new_factory], live_columns=[])
+        assert retired
+        assert_unlinked(retired)
+        # Warm-worker simulation: a pool worker never observes the parent's
+        # retire-time purge; restore its view of the caches.
+        for handle, factory in stale_factories.items():
+            shm._cache_put(shm._FACTORY_CACHE, handle, factory, shm.FACTORY_CACHE_MAX)
+        for handle, cols in stale_affinities.items():
+            shm._cache_put(shm._AFFINITY_CACHE, handle, cols, shm.AFFINITY_CACHE_MAX)
+        for cache_key, index in stale_indexes.items():
+            shm._cache_put(shm._INDEX_CACHE, cache_key, index, shm.INDEX_CACHE_MAX)
+        new_floor = registry.generation_floor
+        assert new_floor == new_handle.generation
+        # The worker-side purge at the new floor drops every retired entry.
+        shm.materialise_factory(new_handle)
+        purged = shm.purge_stale(new_floor)
+        assert purged > 0
+        assert all(h.generation >= new_floor for h in shm._FACTORY_CACHE)
+        assert all(h.generation >= new_floor for h in shm._AFFINITY_CACHE)
+        assert all(
+            k[0].generation >= new_floor and k[1].generation >= new_floor
+            for k in shm._INDEX_CACHE
+        )
+        assert shm.purge_stale(new_floor) == 0  # idempotent
+
+
+def test_retired_epoch_segments_unlink_after_in_flight_reader_drains():
+    """apply_delta unlinks retired-epoch segments; in-flight mappings survive.
+
+    POSIX unlink removes the *name*, not the bytes: a reader that attached a
+    segment before the epoch swap (a query in flight) keeps a valid mapping
+    until it closes, and only new attaches fail.  This pins both halves of
+    the drain contract — every name in ``DeltaReport.retired_segments`` is
+    unattachable immediately after the swap, while attachments opened before
+    it still read the retired epoch's exact bytes; once the last reader
+    closes, the kernel reclaims the memory.  The next dispatch then serves
+    the new epoch from fresh segments through the *same* registry, and
+    closing the environment leaves ``/dev/shm`` empty.
+    """
+    from repro.experiments.scalability import ScalabilityConfig, ScalabilityEnvironment
+    from repro.updates import random_deltas
+
+    config = ScalabilityConfig(
+        n_users=40,
+        n_items=150,
+        n_ratings=1_600,
+        n_participants=12,
+        n_groups=3,
+        seed=5,
+    )
+    env = ScalabilityEnvironment(config)
+    try:
+        groups = env.random_groups()
+        env.run_records(groups, n_workers=2, executor="persistent")  # epoch-0 exports
+        registry = env._registry
+        names_before = registry.segment_names
+        assert names_before
+        # Queries in flight: attach every epoch-0 segment before the swap.
+        inflight = {}
+        for name in names_before:
+            handle = shared_memory.SharedMemory(name=name)
+            inflight[name] = (handle, bytes(handle.buf[: min(64, handle.size)]))
+
+        delta = random_deltas(env.ratings, env.social, env.timeline, n_deltas=1, seed=11)[0]
+        report = env.apply_delta(delta)
+        # The affinity columns (at least) were invalidated, so the old
+        # epoch's exports are dead weight — retired and unlinked at once.
+        assert report.retired_segments
+        assert_unlinked(report.retired_segments)
+        for name in report.retired_segments:
+            handle, snapshot = inflight[name]
+            # The in-flight mapping still serves the retired epoch's bytes...
+            assert bytes(handle.buf[: len(snapshot)]) == snapshot
+        for handle, _ in inflight.values():
+            handle.close()  # ...and the last reader draining frees the memory
+
+        post_serial = env.run_records(groups)
+        post = env.run_records(groups, n_workers=2, executor="persistent")
+        assert post == post_serial
+        # Same registry object adopted the new epoch; no retired name reused.
+        assert env._registry is registry and not registry.closed
+        names_after = registry.segment_names
+        assert set(names_after).isdisjoint(report.retired_segments)
+    finally:
+        env.close()
+    assert_unlinked(names_after)
