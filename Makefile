@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all ci test test-fast test-parallel test-chaos test-service test-epoch test-slow serve-smoke bench bench-engine bench-record bench-record-paper bench-record-shipment bench-record-service bench-record-epoch bench-all golden golden-freshness
+.PHONY: all ci test test-fast test-parallel test-chaos test-service test-epoch test-storage test-slow serve-smoke bench bench-engine bench-record bench-record-paper bench-record-shipment bench-record-service bench-record-epoch bench-record-storage bench-all golden golden-freshness
 
 # Default: the fast equivalence suite (golden grid + property/metamorphic
 # tests) plus the perf budget gate, so access-equivalence and performance
@@ -47,6 +47,14 @@ test-epoch:
 	$(PYTHON) -m pytest tests/test_epoch_updates.py \
 		tests/test_fault_tolerance.py::test_supervised_crash_during_epoch_adoption_recovers_on_new_epoch \
 		"tests/test_shm_lifecycle.py::test_retired_epoch_segments_unlink_after_in_flight_reader_drains" -q
+
+# Storage suite: the mmap spool backend and the ExecutionPolicy bundle —
+# file-backed columns bit-identical to shm and serial across shard counts,
+# spool-file lifecycle (normal exit, worker crash, KeyboardInterrupt), the
+# /dev/shm budget spill guard, shm/mmap handle anti-aliasing, policy
+# round-trips and the mixed-spelling error, plus the mmap epoch-swap cases.
+test-storage:
+	$(PYTHON) -m pytest tests/test_parallel_equivalence.py tests/test_shm_lifecycle.py tests/test_epoch_updates.py -q -k "storage or mmap or spool or policy"
 
 # Serving smoke gate: start the service on the scaled-down substrate, fire
 # the load generator at it, and self-check — responses bit-identical to the
@@ -104,6 +112,13 @@ DELTAS ?= 5
 bench-record-epoch:
 	$(PYTHON) scripts/bench_epoch.py --label $(LABEL) --deltas $(DELTAS) $(if $(OUTPUT),--output $(OUTPUT))
 
+# Append the storage-backend point (shared-memory vs mmap spool dispatch
+# latency and descriptor payload bytes over the figure-6 sweep, serial
+# equivalence enforced) to BENCH_engine.json.
+# Usage: make bench-record-storage LABEL=... [WORKERS=4] [OUTPUT=path.json]
+bench-record-storage:
+	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --storage --workers $(WORKERS) $(if $(OUTPUT),--output $(OUTPUT))
+
 # Every paper figure/table benchmark (minutes).
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ -q
@@ -126,4 +141,4 @@ golden-freshness:
 # Everything CI runs, in CI's order — reproduce a red pipeline locally
 # without pushing.  (CI additionally fans test-fast out over Python
 # 3.10/3.11/3.12 and treats the bench budget as advisory on shared runners.)
-ci: test-fast test-parallel test-chaos test-service test-epoch serve-smoke bench golden-freshness
+ci: test-fast test-parallel test-chaos test-service test-epoch test-storage serve-smoke bench golden-freshness

@@ -30,6 +30,12 @@ process and persistent backends) over the figure-6 sweep of the default
 substrate — the measurement behind the ≥ 10× payload-shrink acceptance bar
 of the shm path.
 
+``--storage`` records the storage-backend point instead: the same figure-6
+sweep dispatched over ``/dev/shm`` segments versus mmap spool files —
+descriptor payload bytes and dispatch wall-clock per backend, with serial
+equivalence enforced before anything is written (``make
+bench-record-storage``).
+
 ``--paper-scale`` records a different point instead: the full MovieLens-1M
 substrate (6,040 users × 3,952 movies × 1,000,209 synthetic ratings) with
 every default group evaluated at every query period, serial versus the
@@ -337,6 +343,111 @@ def bench_shipment(n_workers: int = 4) -> dict[str, object]:
     return record
 
 
+def bench_storage(n_workers: int = 4) -> dict[str, object]:
+    """Shared-memory vs mmap spool dispatch: payload bytes and wall-clock.
+
+    The workload is the same figure-6 sweep ``bench_shipment`` measures —
+    every default random group at every query period, columnar tasks — run
+    once per storage backend through real process workers and a persistent
+    pool (cold first dispatch, warm second).  Descriptor payloads are
+    byte-sized per backend too: an mmap descriptor carries an absolute spool
+    path instead of a short shm name, so the delta is visible but small.
+    Every backend's records are checked against the serial reference before
+    the point is recorded — a faster backend that diverges must never land
+    in the trajectory.
+    """
+    import pickle
+    from dataclasses import replace
+
+    from repro.parallel import (
+        PersistentShardExecutor,
+        SharedArrayRegistry,
+        available_cpus,
+        build_payloads,
+        evaluate_tasks,
+        plan_shards,
+    )
+
+    env = ScalabilityEnvironment(ScalabilityConfig())
+    groups = env.random_groups()
+    periods = list(env.timeline)
+    tasks = [
+        env.task_for(group, period=period) for group in groups for period in periods
+    ]
+    factories = {task.group: env.index_factory(task.group) for task in tasks}
+    plan = plan_shards(len(tasks), n_workers)
+
+    def payload_bytes(shipped_tasks, factory_map) -> int:
+        return sum(
+            len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            for payload in build_payloads(plan, shipped_tasks, factory_map)
+        )
+
+    start = time.perf_counter()
+    serial_records = evaluate_tasks(tasks, factories)
+    serial_seconds = time.perf_counter() - start
+
+    n_cpus = available_cpus()
+    record: dict[str, object] = {}
+    if n_cpus < n_workers:
+        record["note"] = (
+            f"host grants {n_cpus} cpu(s) for {n_workers} workers: wall-clocks "
+            "measure dispatch overhead per backend, not parallel speedup"
+        )
+    record.update(
+        n_tasks=len(tasks),
+        n_groups=len(groups),
+        n_periods=len(periods),
+        n_workers=n_workers,
+        n_cpus=n_cpus,
+        serial_seconds=round(serial_seconds, 4),
+    )
+
+    for storage in ("shm", "mmap"):
+        with SharedArrayRegistry(storage=storage) as registry:
+            handles = {key: registry.export(factory) for key, factory in factories.items()}
+            shipped = [
+                replace(task, affinity_ref=registry.export_affinity(task.affinity_ref))
+                for task in tasks
+            ]
+            record[f"payload_bytes_{storage}"] = payload_bytes(shipped, handles)
+
+        start = time.perf_counter()
+        process_records = evaluate_tasks(
+            tasks, factories, n_shards=n_workers, executor="process", storage=storage
+        )
+        record[f"process_{storage}_seconds"] = round(time.perf_counter() - start, 4)
+
+        with PersistentShardExecutor(n_workers) as pool, SharedArrayRegistry(
+            storage=storage
+        ) as registry:
+            start = time.perf_counter()
+            cold_records = evaluate_tasks(tasks, factories, executor=pool, registry=registry)
+            record[f"persistent_cold_{storage}_seconds"] = round(
+                time.perf_counter() - start, 4
+            )
+            start = time.perf_counter()
+            warm_records = evaluate_tasks(tasks, factories, executor=pool, registry=registry)
+            record[f"persistent_warm_{storage}_seconds"] = round(
+                time.perf_counter() - start, 4
+            )
+
+        if not (
+            process_records == serial_records
+            and cold_records == serial_records
+            and warm_records == serial_records
+        ):  # the record must never hide an equivalence break
+            raise SystemExit(f"storage-bench {storage} records diverged from serial")
+
+    record["identical"] = True
+    shm_seconds = record["process_shm_seconds"]
+    record["mmap_dispatch_overhead"] = (
+        round(record["process_mmap_seconds"] / shm_seconds, 3) if shm_seconds else None
+    )
+    print(json.dumps({"storage": record}, indent=2))
+    return record
+
+
 def bench_parallel_paper_scale(n_workers: int = 4) -> dict[str, object]:
     """Serial vs sharded evaluation over the full Table 5-scale substrate."""
     from repro.experiments.scalability import ScalabilityConfig, run_paper_scale
@@ -410,6 +521,13 @@ def main(argv: list[str] | None = None) -> int:
         "the default engine sections",
     )
     parser.add_argument(
+        "--storage",
+        action="store_true",
+        help="record the storage-backend point (shared-memory vs mmap spool "
+        "dispatch latency and descriptor payload bytes over the figure-6 "
+        "sweep) instead of the default engine sections",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         metavar="PATH",
@@ -428,6 +546,8 @@ def main(argv: list[str] | None = None) -> int:
         record["parallel_paper_scale"] = bench_parallel_paper_scale(n_workers=args.workers)
     elif args.shipment:
         record["shipment"] = bench_shipment(n_workers=args.workers)
+    elif args.storage:
+        record["storage"] = bench_storage(n_workers=args.workers)
     else:
         record.update(
             greca_end_to_end=bench_greca_end_to_end(repeats=args.repeats),

@@ -81,6 +81,7 @@ def run(
     seed: int = 29,
     n_workers: int | None = None,
     executor=None,
+    policy=None,
 ) -> Figure4Result:
     """Regenerate Figure 4.
 
@@ -94,8 +95,9 @@ def run(
         The observation window.
     seed:
         Seed for the generated cohort when ``social`` is omitted.
-    n_workers / executor:
-        Accepted so the runner can pass the same parallelism knobs to every
+    n_workers / executor / policy:
+        Accepted so the runner can pass the same parallelism knobs (loose or
+        bundled as an :class:`~repro.parallel.ExecutionPolicy`) to every
         figure 4-8 driver; this figure measures per-granularity period
         statistics (no group evaluation), so the knobs have nothing to shard
         and the driver always runs serially.

@@ -97,15 +97,18 @@ def run(
     item_fractions: Sequence[float] = DEFAULT_ITEM_FRACTIONS,
     n_workers: int | None = None,
     executor=None,
+    policy=None,
 ) -> Figure5Result:
     """Regenerate Figure 5 on the (possibly scaled-down) substrate.
 
     Index construction is shared through the environment's reuse layer: the
     ``k`` sweep reuses each group's index outright, and the item-count sweep
     column-slices the group's columnar substrate instead of rebuilding it.
-    ``n_workers=`` / ``executor=`` batch all three charts' sweep points into
-    one sharded dispatch (serial reference semantics by default); a
-    driver-owned environment is closed on the way out, exception or not.
+    ``n_workers=`` / ``executor=`` (or a bundled
+    :class:`~repro.parallel.ExecutionPolicy` via ``policy=``) batch all
+    three charts' sweep points into one sharded dispatch (serial reference
+    semantics by default); a driver-owned environment is closed on the way
+    out, exception or not.
     """
     with owned_environment(environment, config) as environment:
         base_groups = environment.random_groups()
@@ -121,7 +124,9 @@ def run(
         points = [SweepPoint(groups=base_groups, k=k) for k in k_values]
         points += [SweepPoint(groups=size_groups[size]) for size in group_sizes]
         points += [SweepPoint(groups=base_groups, n_items=n) for n in item_counts]
-        results = environment.run_sweep(points, n_workers=n_workers, executor=executor)
+        results = environment.run_sweep(
+            points, n_workers=n_workers, executor=executor, policy=policy
+        )
         stats = [
             summarize_percent_sa([record.percent_sa for record in records])
             for records in results

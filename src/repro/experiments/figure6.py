@@ -67,12 +67,14 @@ def run(
     groups: Sequence[Sequence[int]] | None = None,
     n_workers: int | None = None,
     executor=None,
+    policy=None,
 ) -> Figure6Result:
     """Regenerate Figure 6: one GRECA run per group per query period.
 
     The reuse layer shares each group's columnar preference substrate across
     all query periods, and the affinity inputs ride as period prefixes of one
-    full-timeline column set per group.  ``n_workers=`` / ``executor=``
+    full-timeline column set per group.  ``n_workers=`` / ``executor=`` (or
+    a bundled :class:`~repro.parallel.ExecutionPolicy` via ``policy=``)
     batch the whole period sweep into a single sharded dispatch (serial
     reference semantics by default).  A driver-owned environment is closed
     on the way out, exception or not, so no worker pool or ``/dev/shm``
@@ -83,7 +85,9 @@ def run(
         points = [
             SweepPoint(groups=groups, period=period) for period in environment.timeline
         ]
-        per_period = environment.run_sweep(points, n_workers=n_workers, executor=executor)
+        per_period = environment.run_sweep(
+            points, n_workers=n_workers, executor=executor, policy=policy
+        )
 
         percent_sa: dict[int, AccessStats] = {}
         mean_accesses: dict[int, float] = {}

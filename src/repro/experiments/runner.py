@@ -24,6 +24,11 @@ Usage::
                                                        # dispatch summary at the end
                                                        # (--shard-timeout/--retries
                                                        # tune the policy)
+    python -m repro.experiments.runner --workers 4 --storage mmap
+                                                       # same bit-identical results,
+                                                       # but the column store spools
+                                                       # to memory-mapped files
+                                                       # instead of /dev/shm
 
 Each experiment prints the same rows/series the paper reports (with the
 paper's own values alongside where they are known).  Quality experiments
@@ -49,10 +54,13 @@ from repro.experiments import (
 )
 from repro.experiments.scalability import ScalabilityEnvironment
 from repro.parallel import (
+    ExecutionPolicy,
     SupervisionPolicy,
     executor_names,
+    resolve_policy,
     summarise_reports,
     validate_executor_name,
+    validate_storage_name,
 )
 from repro.study.environment import build_study_environment
 
@@ -76,6 +84,8 @@ def run_all(
     n_workers: int | None = None,
     executor: str | None = None,
     supervision: SupervisionPolicy | None = None,
+    storage: str | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> dict[str, object]:
     """Run the selected experiments (all of them by default) and print their tables.
 
@@ -88,11 +98,17 @@ def run_all(
     spawn and substrate shipment once — or ``supervised``, which adds
     fault-tolerant dispatch on top of that warm pool and prints a recovery
     summary at the end).  ``supervision`` overrides the supervised policy
-    (timeouts, retry budget).  Unknown executor names raise
-    :class:`ValueError` before anything runs.
+    (timeouts, retry budget).  ``storage`` picks the column-store backend
+    (``shm`` shared memory or ``mmap`` spool files).  All of these can
+    arrive bundled as one :class:`~repro.parallel.ExecutionPolicy` via
+    ``policy=`` instead — mixing the two spellings raises at the
+    :func:`~repro.parallel.resolve_policy` choice point, and unknown
+    executor or storage names raise :class:`ValueError` before anything
+    runs.
     """
-    if executor is not None:
-        validate_executor_name(executor)
+    policy = resolve_policy(
+        policy, n_workers=n_workers, executor=executor, storage=storage
+    )
     selected = list(names) if names else list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
@@ -118,7 +134,7 @@ def run_all(
                 scalability_env.supervision = supervision
         return scalability_env
 
-    knobs = dict(n_workers=n_workers, executor=executor)
+    knobs = dict(policy=policy)
     try:
         for name in selected:
             print_fn(f"\n=== {name} ===")
@@ -180,6 +196,15 @@ def main(argv: list[str] | None = None) -> int:
         "ValueError at the single validation choice point)",
     )
     parser.add_argument(
+        "--storage",
+        default=None,
+        metavar="NAME",
+        help='column-store backend for sharded evaluation: "shm" shared '
+        'memory (the default) or "mmap" memory-mapped spool files — the '
+        "same axis ExecutionPolicy(storage=...) bundles programmatically; "
+        "unknown names raise ValueError at the single storage choice point",
+    )
+    parser.add_argument(
         "--serve",
         action="store_true",
         help="serving smoke: start the GrecaService front-end over the default "
@@ -219,7 +244,14 @@ def main(argv: list[str] | None = None) -> int:
             forwarded += ["--workers", str(args.workers)]
         if args.executor is not None:
             forwarded += ["--executor", args.executor]
+        if args.storage is not None:
+            forwarded += ["--storage", args.storage]
         return service_main(forwarded)
+    if args.storage is not None:
+        # The single storage choice point (repro.parallel.storage
+        # .validate_storage_name): unknown backends fail here, not deep
+        # inside an export.
+        validate_storage_name(args.storage)
     if args.executor is not None:
         # The single choice point (repro.parallel.pool.validate_executor_name):
         # unknown backends fail here, not deep inside evaluate_tasks.
@@ -249,7 +281,9 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit("--quick does not combine with experiment names")
         from repro.experiments.scalability import run_quick_smoke
 
-        result = run_quick_smoke(n_workers=args.workers, executor=args.executor)
+        result = run_quick_smoke(
+            n_workers=args.workers, executor=args.executor, storage=args.storage
+        )
         print(result.format_summary())
         return 0 if result.within_budget else 1
     run_all(
@@ -257,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
         n_workers=args.workers,
         executor=args.executor,
         supervision=supervision,
+        storage=args.storage,
     )
     return 0
 

@@ -32,6 +32,14 @@ in group order.  Serial stays the default and the reference semantics;
 ``tests/test_parallel_equivalence.py`` proves the sharded path bit-identical
 to it.  :func:`run_paper_scale` drives the full Table 5-scale substrate
 (:meth:`ScalabilityConfig.paper_scale`) through that layer.
+
+Every measurement method also takes the bundled spelling — ``policy=``, an
+:class:`~repro.parallel.ExecutionPolicy` — resolved against the legacy
+keywords at the single :func:`~repro.parallel.resolve_policy` choice point
+(mixing the two spellings raises).  The policy's ``storage`` axis selects
+which column-store backend the environment's registry exports into
+(``"shm"`` shared memory or ``"mmap"`` spool files); the environment keeps
+one registry per backend so both can serve dispatches side by side.
 """
 
 from __future__ import annotations
@@ -62,7 +70,9 @@ from repro.groups.formation import GroupFormer
 from repro.parallel import (
     EXECUTOR_PERSISTENT,
     EXECUTOR_SUPERVISED,
+    STORAGE_SHM,
     DispatchReport,
+    ExecutionPolicy,
     FaultPlan,
     GroupEvalTask,
     GroupRunRecord,
@@ -76,6 +86,7 @@ from repro.parallel import (
     group_key,
     record_from_result,
     resolve_executor,
+    resolve_policy,
 )
 
 #: Paper defaults (Section 4.2, "Experiment Settings").
@@ -300,10 +311,11 @@ class ScalabilityEnvironment:
         # prefix), and the shm registry memoises one segment per entry.
         self._affinity_columns: dict[tuple, tuple[AffinityColumns, str]] = {}
         # Parallel resources, created lazily and released by close(): one
-        # warm persistent pool per worker count and one shared-memory
-        # registry whose segments are shipped (once) to every dispatch.
+        # warm persistent pool per worker count and one column-store
+        # registry per storage backend ("shm" / "mmap") whose segments are
+        # shipped (once) to every dispatch using that backend.
         self._persistent_pools: dict[int, PersistentShardExecutor] = {}
-        self._registry: SharedArrayRegistry | None = None
+        self._registries: dict[str, SharedArrayRegistry] = {}
         # Fault-tolerant dispatch: the policy ``executor="supervised"`` runs
         # under (mutable — assign to tune), and the report trail of every
         # supervised dispatch this environment performed.
@@ -330,25 +342,31 @@ class ScalabilityEnvironment:
                 self._persistent_pools[int(n_workers)] = pool
             return pool
 
-    def _shared_registry(self) -> SharedArrayRegistry:
-        """The environment's shm registry (recreated lazily after close())."""
+    def _shared_registry(self, storage: str = STORAGE_SHM) -> SharedArrayRegistry:
+        """The environment's registry for ``storage`` (recreated lazily after close())."""
         with self._state_lock:
-            if self._registry is None or self._registry.closed:
-                self._registry = SharedArrayRegistry()
-            return self._registry
+            registry = self._registries.get(storage)
+            if registry is None or registry.closed:
+                registry = SharedArrayRegistry(storage=storage)
+                self._registries[storage] = registry
+            return registry
 
     def shm_segment_names(self) -> tuple[str, ...]:
-        """Names of the live shared-memory segments this environment owns.
+        """Names of the live column-store segments this environment owns.
 
-        Empty when no registry exists (nothing parallel has run, or
-        :meth:`close` already released everything).  The serving layer's
-        shutdown checks and the lifecycle tests use this to assert
-        ``/dev/shm`` really is clean.
+        Shared-memory segment names and mmap spool-file paths alike, across
+        every storage backend the environment has exported into.  Empty when
+        no registry exists (nothing parallel has run, or :meth:`close`
+        already released everything).  The serving layer's shutdown checks
+        and the lifecycle tests use this to assert ``/dev/shm`` — and the
+        spool directory — really are clean.
         """
         with self._state_lock:
-            if self._registry is None or self._registry.closed:
-                return ()
-            return tuple(self._registry.segment_names)
+            names: list[str] = []
+            for registry in self._registries.values():
+                if not registry.closed:
+                    names.extend(registry.segment_names)
+            return tuple(names)
 
     def _resolve_backend(
         self, executor: ShardExecutor | str | None, n_workers: int | None
@@ -384,11 +402,11 @@ class ScalabilityEnvironment:
         with self._state_lock:
             pools = list(self._persistent_pools.values())
             self._persistent_pools.clear()
-            registry = self._registry
-            self._registry = None
+            registries = list(self._registries.values())
+            self._registries.clear()
         for pool in pools:
             pool.shutdown()
-        if registry is not None:
+        for registry in registries:
             registry.close()
 
     def __enter__(self) -> "ScalabilityEnvironment":
@@ -491,12 +509,18 @@ class ScalabilityEnvironment:
         # Retire shm exports whose memos just died: their segments unlink
         # now, and the next dispatch's payloads carry the raised generation
         # floor so warm workers purge the dead caches — no pool restart.
-        retired: tuple[str, ...] = ()
-        if self._registry is not None and not self._registry.closed:
-            retired = self._registry.retire_stale(
-                live_factories=list(self._index_factories.values()),
-                live_columns=[entry[0] for entry in self._affinity_columns.values()],
-            )
+        retired_names: list[str] = []
+        for registry in self._registries.values():
+            if not registry.closed:
+                retired_names.extend(
+                    registry.retire_stale(
+                        live_factories=list(self._index_factories.values()),
+                        live_columns=[
+                            entry[0] for entry in self._affinity_columns.values()
+                        ],
+                    )
+                )
+        retired = tuple(retired_names)
 
         self.epoch += 1
         return DeltaReport(
@@ -734,6 +758,9 @@ class ScalabilityEnvironment:
         executor: ShardExecutor | str | None = None,
         supervision: SupervisionPolicy | bool | None = None,
         fault_plan: FaultPlan | None = None,
+        shipment: str | None = None,
+        storage: str | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> list[GroupRunRecord]:
         """Evaluate materialised tasks, serially or through the sharded layer.
 
@@ -742,11 +769,11 @@ class ScalabilityEnvironment:
         the serial reference semantics.  With ``n_workers`` (and/or an
         explicit ``executor``: ``"serial"``, ``"process"``, ``"persistent"``
         or an instance) the tasks are partitioned into shards, each worker
-        receives its shard's group factories — by zero-copy shared-memory
-        descriptor for the process-crossing backends, the environment's
-        registry owning the segments — and the per-shard records are merged
-        back deterministically in task order, bit-identical to the serial
-        run (``tests/test_parallel_equivalence.py``).
+        receives its shard's group factories — by zero-copy descriptor for
+        the process-crossing backends, the environment's registry owning the
+        segments — and the per-shard records are merged back
+        deterministically in task order, bit-identical to the serial run
+        (``tests/test_parallel_equivalence.py``).
         ``executor="persistent"`` reuses one warm worker pool per worker
         count across calls (released by :meth:`close`).
         ``executor="supervised"`` adds the fault-tolerant dispatch tier on
@@ -756,19 +783,41 @@ class ScalabilityEnvironment:
         A ``supervision=`` policy (or ``True``) supervises any parallel
         backend for this call, and ``fault_plan=`` injects deterministic
         faults (the chaos suite's hook).  Serial evaluation ignores both.
+        ``storage=`` selects the column-store backend descriptor shipment
+        exports into (``"shm"`` shared memory — the default — or ``"mmap"``
+        spool files); the environment keeps one registry per backend.
+
+        All dispatch knobs can arrive bundled as ``policy=``
+        (:class:`~repro.parallel.ExecutionPolicy`); mixing ``policy=`` with
+        the loose keywords raises at the :func:`~repro.parallel
+        .resolve_policy` choice point.  ``fault_plan`` stays a separate
+        argument — it describes the test harness, not the execution shape.
         """
-        if n_workers is None and executor is None:
+        policy = resolve_policy(
+            policy,
+            n_workers=n_workers,
+            executor=executor,
+            shipment=shipment,
+            supervision=supervision,
+            storage=storage,
+        )
+        if policy.is_serial:
             from repro.parallel.worker import run_task
 
             return [run_task(task, self.index_factory(task.group)) for task in tasks]
         for task in tasks:  # warm any factory not already memoised by task_for
             self.index_factory(task.group)
-        backend = self._resolve_backend(executor, n_workers)
+        backend = self._resolve_backend(policy.executor, policy.n_workers)
         # Process-crossing backends ship zero-copy: the environment-owned
-        # registry places each memoised factory's arrays in shared memory
-        # once, and every dispatch (figure drivers, persistent-pool calls)
-        # references the same segments.
-        registry = self._shared_registry() if backend.ships_payloads else None
+        # registry for the policy's storage backend places each memoised
+        # factory's arrays in its column store once, and every dispatch
+        # (figure drivers, persistent-pool calls) references the same
+        # segments.
+        registry = (
+            self._shared_registry(policy.storage_name)
+            if backend.ships_payloads
+            else None
+        )
         # Snapshot the factory memo: concurrent service requests keep
         # inserting factories via task_for while this dispatch iterates the
         # map, and sharing the live dict would intermittently raise
@@ -778,10 +827,12 @@ class ScalabilityEnvironment:
         return evaluate_tasks(
             tasks,
             factories,
-            n_shards=n_workers,
+            n_shards=policy.n_workers,
             executor=backend,
+            shipment=policy.shipment,
             registry=registry,
-            supervision=supervision,
+            storage=policy.storage,
+            supervision=policy.supervision,
             fault_plan=fault_plan,
             reports=self.dispatch_reports,
         )
@@ -798,17 +849,28 @@ class ScalabilityEnvironment:
         executor: ShardExecutor | str | None = None,
         supervision: SupervisionPolicy | bool | None = None,
         fault_plan: FaultPlan | None = None,
+        shipment: str | None = None,
+        storage: str | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> list[GroupRunRecord]:
         """One GRECA run record per group, in group order.
 
         Serial (the default) goes through :meth:`cached_index`, so repeated
         sweep points reuse finished index objects outright; the sharded path
-        (``n_workers=`` / ``executor=``) ships each shard the memoised
-        factories of its groups and rebuilds the per-point indexes
-        worker-side — a bit-identical computation by the reuse layer's
-        equivalence guarantee.
+        (``n_workers=`` / ``executor=``, or a bundled ``policy=``) ships
+        each shard the memoised factories of its groups and rebuilds the
+        per-point indexes worker-side — a bit-identical computation by the
+        reuse layer's equivalence guarantee.
         """
-        if n_workers is None and executor is None:
+        policy = resolve_policy(
+            policy,
+            n_workers=n_workers,
+            executor=executor,
+            shipment=shipment,
+            supervision=supervision,
+            storage=storage,
+        )
+        if policy.is_serial:
             consensus_fn = self._consensus_fn(consensus)
             records = []
             for group in groups:
@@ -820,17 +882,17 @@ class ScalabilityEnvironment:
             return records
         tasks = [
             self.task_for(
-                group, k=k, consensus=consensus, affinity=affinity, period=period, n_items=n_items
+                group,
+                k=k,
+                consensus=consensus,
+                affinity=affinity,
+                period=period,
+                n_items=n_items,
+                columnar=policy.columnar,
             )
             for group in groups
         ]
-        return self.evaluate(
-            tasks,
-            n_workers=n_workers,
-            executor=executor,
-            supervision=supervision,
-            fault_plan=fault_plan,
-        )
+        return self.evaluate(tasks, policy=policy, fault_plan=fault_plan)
 
     def run_sweep(
         self,
@@ -839,6 +901,9 @@ class ScalabilityEnvironment:
         executor: ShardExecutor | str | None = None,
         supervision: SupervisionPolicy | bool | None = None,
         fault_plan: FaultPlan | None = None,
+        shipment: str | None = None,
+        storage: str | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> list[list[GroupRunRecord]]:
         """Evaluate many sweep points; one record list per point, in point order.
 
@@ -854,7 +919,15 @@ class ScalabilityEnvironment:
         dispatch per point.  Records are bit-identical to the per-point
         serial runs (``tests/test_parallel_equivalence.py``).
         """
-        if n_workers is None and executor is None:
+        policy = resolve_policy(
+            policy,
+            n_workers=n_workers,
+            executor=executor,
+            shipment=shipment,
+            supervision=supervision,
+            storage=storage,
+        )
+        if policy.is_serial:
             return [
                 self.run_records(
                     point.groups,
@@ -876,15 +949,12 @@ class ScalabilityEnvironment:
                     affinity=point.affinity,
                     period=point.period,
                     n_items=point.n_items,
+                    columnar=policy.columnar,
                 )
                 entries.append((task.group, point_index, position, task))
         entries.sort(key=lambda entry: entry[:3])
         records = self.evaluate(
-            [entry[3] for entry in entries],
-            n_workers=n_workers,
-            executor=executor,
-            supervision=supervision,
-            fault_plan=fault_plan,
+            [entry[3] for entry in entries], policy=policy, fault_plan=fault_plan
         )
         results: list[list[GroupRunRecord]] = [
             [None] * len(point.groups) for point in points  # type: ignore[list-item]
@@ -903,13 +973,15 @@ class ScalabilityEnvironment:
         n_items: int | None = None,
         n_workers: int | None = None,
         executor: ShardExecutor | str | None = None,
+        storage: str | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> AccessStats:
         """Average %SA over a collection of groups (one GRECA run each).
 
-        ``n_workers=`` / ``executor=`` route the runs through the sharded
-        layer; the per-group %SA values are merged back in group order before
-        averaging, so the reported mean and standard error are bit-identical
-        to the serial run.
+        ``n_workers=`` / ``executor=`` (or a bundled ``policy=``) route the
+        runs through the sharded layer; the per-group %SA values are merged
+        back in group order before averaging, so the reported mean and
+        standard error are bit-identical to the serial run.
         """
         records = self.run_records(
             groups,
@@ -918,8 +990,9 @@ class ScalabilityEnvironment:
             affinity=affinity,
             period=period,
             n_items=n_items,
-            n_workers=n_workers,
-            executor=executor,
+            policy=resolve_policy(
+                policy, n_workers=n_workers, executor=executor, storage=storage
+            ),
         )
         return summarize_percent_sa([record.percent_sa for record in records])
 
@@ -999,6 +1072,8 @@ def run_quick_smoke(
     config: ScalabilityConfig | None = None,
     n_workers: int | None = None,
     executor: ShardExecutor | str | None = None,
+    storage: str | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> QuickSmokeResult:
     """Run one default scalability point under a wall-clock budget.
 
@@ -1016,10 +1091,13 @@ def run_quick_smoke(
     order-restoring merge — the statistics are bit-identical either way.
     """
     start = time.perf_counter()
+    policy = resolve_policy(
+        policy, n_workers=n_workers, executor=executor, storage=storage
+    )
     environment = ScalabilityEnvironment(config)
     try:
         return _run_quick_smoke(
-            environment, start, total_budget, measure_budget, n_workers, executor
+            environment, start, total_budget, measure_budget, policy
         )
     finally:
         environment.close()  # release any persistent pool / shm segments
@@ -1030,14 +1108,13 @@ def _run_quick_smoke(
     start: float,
     total_budget: float,
     measure_budget: float,
-    n_workers: int | None,
-    executor: ShardExecutor | str | None,
+    policy: ExecutionPolicy,
 ) -> QuickSmokeResult:
     consensus = make_consensus(environment.config.consensus)
     # One draw of the default groups serves both paths (random_groups draws
     # fresh groups per call).
     groups = environment.random_groups()
-    serial = n_workers is None and executor is None
+    serial = policy.is_serial
     if serial:
         # cached_index pre-builds exactly what build_default_indexes would.
         indexes = [environment.cached_index(group) for group in groups]
@@ -1058,7 +1135,7 @@ def _run_quick_smoke(
         values = [result.percent_sequential_accesses for result in results]
     else:
         start = time.perf_counter()
-        records = environment.run_records(groups, n_workers=n_workers, executor=executor)
+        records = environment.run_records(groups, policy=policy)
         measure_seconds = time.perf_counter() - start
         values = [record.percent_sa for record in records]
     stats = summarize_percent_sa(values)
@@ -1068,7 +1145,7 @@ def _run_quick_smoke(
         measure_seconds=measure_seconds,
         total_budget=total_budget,
         measure_budget=measure_budget,
-        n_workers=n_workers,
+        n_workers=policy.n_workers,
         sharded=not serial,
     )
 
@@ -1128,6 +1205,7 @@ def run_paper_scale(
     executor: ShardExecutor | str | None = None,
     config: ScalabilityConfig | None = None,
     environment: ScalabilityEnvironment | None = None,
+    storage: str | None = None,
 ) -> PaperScaleResult:
     """Run the full MovieLens-1M-scale substrate through the sharded path.
 
@@ -1143,7 +1221,7 @@ def run_paper_scale(
     if environment is None:
         environment = ScalabilityEnvironment(config or ScalabilityConfig.paper_scale())
     try:
-        return _run_paper_scale(environment, start, n_workers, executor)
+        return _run_paper_scale(environment, start, n_workers, executor, storage)
     finally:
         if owns_environment:
             environment.close()
@@ -1154,6 +1232,7 @@ def _run_paper_scale(
     start: float,
     n_workers: int,
     executor: ShardExecutor | str | None,
+    storage: str | None = None,
 ) -> PaperScaleResult:
     groups = environment.random_groups()
     periods = list(environment.timeline)
@@ -1172,7 +1251,9 @@ def _run_paper_scale(
     serial_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    sharded_records = environment.evaluate(tasks, n_workers=n_workers, executor=executor)
+    sharded_records = environment.evaluate(
+        tasks, n_workers=n_workers, executor=executor, storage=storage
+    )
     sharded_seconds = time.perf_counter() - start
 
     stats = summarize_percent_sa([record.percent_sa for record in sharded_records])

@@ -27,7 +27,16 @@ keeping the serial semantics bit-exact:
   per-shard timeouts, bounded deterministic retries, pool self-healing and
   serial degradation, reports every recovery in a :class:`DispatchReport`,
   and ships a deterministic :class:`FaultPlan` chaos harness for the
-  fault-tolerance suite.
+  fault-tolerance suite;
+* :mod:`repro.parallel.storage` — the storage tier behind the descriptor
+  seam: spool-backed memory-mapped file segments (``storage="mmap"``) as
+  the out-of-core alternative to ``/dev/shm``, selected per registry and
+  spilled to automatically past a configurable shm budget;
+* :mod:`repro.parallel.policy` — :class:`ExecutionPolicy`, the one frozen
+  bundle of every dispatch knob (``n_workers`` / ``executor`` /
+  ``shipment`` / ``supervision`` / ``columnar`` / ``storage``), resolved
+  against the legacy keyword spellings at a single choice point
+  (:func:`resolve_policy`).
 
 Serial execution remains the reference semantics everywhere: the sharded
 path must (and, per ``tests/test_parallel_equivalence.py``, does) reproduce
@@ -65,6 +74,7 @@ from repro.parallel.resilience import (
     fault_plan_from_env,
     summarise_reports,
 )
+from repro.parallel.policy import ExecutionPolicy, resolve_policy
 from repro.parallel.sharding import ShardPlan, plan_shards
 from repro.parallel.shm import (
     SHIPMENT_PICKLE,
@@ -79,6 +89,14 @@ from repro.parallel.shm import (
     materialise_factory,
     resolve_affinity_columns,
     resolve_factory,
+)
+from repro.parallel.storage import (
+    STORAGE_MMAP,
+    STORAGE_SHM,
+    VALID_STORAGES,
+    MappedFileSegment,
+    SpoolDirectory,
+    validate_storage_name,
 )
 from repro.parallel.worker import (
     GroupEvalTask,
@@ -96,15 +114,19 @@ __all__ = [
     "EXECUTOR_PROCESS",
     "EXECUTOR_SERIAL",
     "EXECUTOR_SUPERVISED",
+    "ExecutionPolicy",
     "FaultPlan",
     "FaultSpec",
     "GroupEvalTask",
     "GroupRunRecord",
+    "MappedFileSegment",
     "PersistentPool",
     "PersistentShardExecutor",
     "ProcessShardExecutor",
     "SHIPMENT_PICKLE",
     "SHIPMENT_SHM",
+    "STORAGE_MMAP",
+    "STORAGE_SHM",
     "SerialShardExecutor",
     "ShardAttempt",
     "ShardExecutor",
@@ -114,11 +136,13 @@ __all__ = [
     "SharedArraySpec",
     "ShmAffinityHandle",
     "ShmFactoryHandle",
+    "SpoolDirectory",
     "SupervisedDispatch",
     "SupervisionPolicy",
     "VALID_EXECUTORS",
     "VALID_FAULT_MODES",
     "VALID_SHIPMENTS",
+    "VALID_STORAGES",
     "attach_array",
     "available_cpus",
     "build_payloads",
@@ -134,10 +158,12 @@ __all__ = [
     "register_executor",
     "resolve_executor",
     "resolve_factory",
+    "resolve_policy",
     "run_shard",
     "run_task",
     "summarise_reports",
     "validate_executor_name",
+    "validate_storage_name",
 ]
 
 

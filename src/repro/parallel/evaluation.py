@@ -47,6 +47,7 @@ from repro.parallel.shm import (
     VALID_SHIPMENTS,
     SharedArrayRegistry,
 )
+from repro.parallel.storage import STORAGE_SHM, validate_storage_name
 from repro.parallel.worker import (
     GroupEvalTask,
     GroupKey,
@@ -88,6 +89,7 @@ def evaluate_tasks(
     plan: ShardPlan | None = None,
     shipment: str | None = None,
     registry: SharedArrayRegistry | None = None,
+    storage: str | None = None,
     supervision: SupervisionPolicy | bool | None = None,
     fault_plan: FaultPlan | None = None,
     reports: list | None = None,
@@ -131,6 +133,14 @@ def evaluate_tasks(
         dispatches share segments).  When omitted and shm shipment is in
         effect, an ephemeral registry is created and unlinked on the way
         out, success or failure.
+    storage:
+        ``"shm"`` (shared-memory segments, the default) or ``"mmap"``
+        (memory-mapped spool files) — which backend descriptor shipment
+        packs arrays into, validated at the single storage choice point
+        (:func:`repro.parallel.storage.validate_storage_name`).  An
+        ephemeral registry is created with this backend; a caller-owned
+        ``registry=`` must already match (mismatching the two is a
+        configuration error, not a silent preference).
     supervision:
         A :class:`~repro.parallel.resilience.SupervisionPolicy` (or ``True``
         for the defaults) arms fault-tolerant dispatch: the resolved backend
@@ -177,6 +187,13 @@ def evaluate_tasks(
             f"unknown shipment {shipment!r}: valid shipments are "
             + ", ".join(repr(valid) for valid in VALID_SHIPMENTS)
         )
+    if storage is not None:
+        validate_storage_name(storage)
+        if registry is not None and registry.storage != storage:
+            raise ConfigurationError(
+                f"storage={storage!r} conflicts with the caller-owned registry's "
+                f"storage={registry.storage!r}"
+            )
     if plan is None:
         if n_shards is None:
             n_shards = getattr(backend, "n_workers", 1)
@@ -185,7 +202,7 @@ def evaluate_tasks(
     try:
         if shipment == SHIPMENT_SHM:
             if registry is None:
-                registry = SharedArrayRegistry()
+                registry = SharedArrayRegistry(storage=storage or STORAGE_SHM)
                 owns_registry = True
             needed = {task.group for task in tasks}
             factories = {

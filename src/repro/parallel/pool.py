@@ -38,6 +38,14 @@ of it.  Both :func:`resolve_executor` (the library path) and the runner's
 ``--executor`` flag go through it, so an unknown name fails at the choice
 point instead of deep inside ``evaluate_tasks``.
 
+The same registry pattern is mirrored by two sibling choice points:
+``storage=`` strings validate through
+:func:`repro.parallel.storage.validate_storage_name` (``"shm"`` /
+``"mmap"`` column-store backends), and the whole knob bundle — workers,
+executor, shipment, supervision, columnar, storage — resolves through
+:func:`repro.parallel.policy.resolve_policy` into one frozen
+:class:`~repro.parallel.policy.ExecutionPolicy`.
+
 The context-managed shared-memory registry that guarantees segment unlink on
 exit/failure lives in :mod:`repro.parallel.shm` and is re-exported here as
 :class:`SharedArrayRegistry` — the executors and the registry are the two

@@ -208,6 +208,11 @@ def _stable_index_key(task: GroupEvalTask, factory_ref: object) -> tuple | None:
     the per-process index memo safe on a warm persistent pool.  By-value
     shipments get no cross-payload key (a fresh pickle copy has no stable
     identity); they still batch within one payload via the shard-local memo.
+
+    Handle equality covers the full descriptor — segment name, shape, dtype,
+    offset, *storage backend* and export generation — so an shm handle and
+    an mmap handle for the same logical column, or two exports over a
+    recycled segment name, can never alias one memo entry.
     """
     from repro.parallel.shm import ShmAffinityHandle, ShmFactoryHandle
 

@@ -44,12 +44,14 @@ from repro.experiments.scalability import ScalabilityConfig, ScalabilityEnvironm
 from repro.parallel import (
     EXECUTOR_SUPERVISED,
     DispatchReport,
+    ExecutionPolicy,
     FaultPlan,
     GroupEvalTask,
     GroupRunRecord,
     group_key,
     run_task,
     validate_executor_name,
+    validate_storage_name,
 )
 
 #: Queue sentinel that tells the batch loop to finish the current backlog
@@ -70,6 +72,13 @@ class ServiceConfig:
     companions before dispatching.  ``max_queue`` bounds the submit queue —
     a full queue sheds load with :class:`ServiceError` instead of growing
     without bound.
+
+    ``storage`` selects the column-store backend dispatches export into
+    (``"shm"`` shared memory — the default — or ``"mmap"`` spool files).
+    The execution knobs can instead arrive bundled as ``policy=`` (an
+    :class:`~repro.parallel.ExecutionPolicy`); combining ``policy=`` with a
+    non-default ``n_workers`` / ``executor`` / ``storage`` raises, mirroring
+    the :func:`~repro.parallel.resolve_policy` mixing rule.
     """
 
     n_workers: int = 2
@@ -77,10 +86,33 @@ class ServiceConfig:
     max_batch_size: int = 32
     max_batch_delay: float = 0.005
     max_queue: int = 1024
+    storage: str | None = None
+    policy: ExecutionPolicy | None = None
 
     def __post_init__(self) -> None:
+        if self.policy is not None:
+            if not isinstance(self.policy, ExecutionPolicy):
+                raise ConfigurationError(
+                    f"policy must be an ExecutionPolicy, got {type(self.policy).__name__}"
+                )
+            mixed = [
+                name
+                for name, value, default in (
+                    ("n_workers", self.n_workers, 2),
+                    ("executor", self.executor, EXECUTOR_SUPERVISED),
+                    ("storage", self.storage, None),
+                )
+                if value != default
+            ]
+            if mixed:
+                spelt = ", ".join(sorted(mixed))
+                raise ConfigurationError(
+                    f"pass either policy= or the legacy knobs ({spelt}), not both"
+                )
         if self.executor is not None:
             validate_executor_name(self.executor)
+        if self.storage is not None:
+            validate_storage_name(self.storage)
         if self.n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
         if self.max_batch_size < 1:
@@ -89,6 +121,22 @@ class ServiceConfig:
             raise ConfigurationError("max_batch_delay must be >= 0")
         if self.max_queue < 1:
             raise ConfigurationError("max_queue must be >= 1")
+
+    def execution_policy(self) -> ExecutionPolicy:
+        """The dispatch policy every batch runs under (one resolution point).
+
+        An explicit ``policy=`` wins.  Otherwise the legacy knobs fold in:
+        ``executor=None`` keeps its historical meaning — the in-process
+        serial reference path, ``n_workers`` notwithstanding — and any other
+        executor runs sharded at ``n_workers`` over ``storage``.
+        """
+        if self.policy is not None:
+            return self.policy
+        if self.executor is None:
+            return ExecutionPolicy(storage=self.storage)
+        return ExecutionPolicy(
+            n_workers=self.n_workers, executor=self.executor, storage=self.storage
+        )
 
 
 @dataclass(frozen=True)
@@ -441,15 +489,11 @@ class GrecaService:
         environment = self.environment
         before = len(environment.dispatch_reports)
         start = time.perf_counter()
-        if self.config.executor is None:
-            records = environment.evaluate(tasks)
-        else:
-            records = environment.evaluate(
-                tasks,
-                n_workers=self.config.n_workers,
-                executor=self.config.executor,
-                fault_plan=self.fault_plan,
-            )
+        records = environment.evaluate(
+            tasks,
+            policy=self.config.execution_policy(),
+            fault_plan=self.fault_plan,
+        )
         dispatch_seconds = time.perf_counter() - start
         report = (
             environment.dispatch_reports[-1]

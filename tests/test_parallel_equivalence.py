@@ -28,6 +28,7 @@ floating-point divergence.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -45,6 +46,7 @@ from repro.experiments.scalability import (
     summarize_percent_sa,
 )
 from repro.parallel import (
+    ExecutionPolicy,
     GroupEvalTask,
     PersistentShardExecutor,
     ProcessShardExecutor,
@@ -60,6 +62,7 @@ from repro.parallel import (
     plan_shards,
     record_from_result,
     resolve_executor,
+    resolve_policy,
     run_shard,
 )
 
@@ -492,8 +495,9 @@ def test_environment_persistent_executor_is_shard_count_invariant(
     assert sharded == serial
     # The environment memoised a warm pool for this worker count...
     assert tiny_environment._persistent_pools[n_workers].warm
-    # ...and its registry owns the shipped segments.
-    assert tiny_environment._registry is not None and not tiny_environment._registry.closed
+    # ...and its shm registry owns the shipped segments.
+    registry = tiny_environment._registries.get("shm")
+    assert registry is not None and not registry.closed
 
 
 def test_environment_persistent_pool_is_reused_across_calls(
@@ -512,7 +516,7 @@ def test_environment_close_releases_and_recreates_lazily(tiny_environment, tiny_
     """close() shuts pools down and unlinks segments; later calls just work."""
     serial = tiny_environment.run_records(tiny_groups)
     tiny_environment.run_records(tiny_groups, n_workers=2, executor="persistent")
-    registry = tiny_environment._registry
+    registry = tiny_environment._registries["shm"]
     names = registry.segment_names
     assert names  # shm shipment actually happened
     tiny_environment.close()
@@ -740,3 +744,260 @@ def test_figure6_batched_process_dispatch_is_shard_count_invariant(
         environment=tiny_environment, groups=tiny_groups, n_workers=n_workers
     )
     assert sharded == serial
+
+
+# -- storage backends: mmap spool files behind the same descriptor seam -------------------------
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_mmap_process_matches_serial(grid_tasks, grid_serial, n_shards):
+    """Golden grid, real process workers over file-backed columns, {1, 2, 3, 7}.
+
+    The mmap backend must be observationally invisible exactly like shm: the
+    workers attach spool files instead of ``/dev/shm`` segments, but every
+    record — %SA, SA/RA counts, top-k, stopping reasons — is bit-identical.
+    """
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        tasks, factories, n_shards=n_shards, executor="process", storage="mmap"
+    )
+    assert_records_identical(records, grid_serial)
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_mmap_inprocess_attach_matches_serial(grid_tasks, grid_serial, n_shards):
+    """Forced descriptor shipment attached in-process, file-backed columns.
+
+    Exercises export → spool file → reattach → ``GrecaIndexFactory
+    .from_columns`` without any process in between, so a divergence here is a
+    storage-backend bug, not a scheduling one.
+    """
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        tasks,
+        factories,
+        n_shards=n_shards,
+        executor=SerialShardExecutor(),
+        shipment="shm",
+        storage="mmap",
+    )
+    assert_records_identical(records, grid_serial)
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_grid_columnar_mmap_process_matches_serial(grid_tasks, grid_serial, n_shards):
+    """Columnar affinity tasks through process workers over spool files."""
+    tasks, factories = grid_tasks
+    records = evaluate_tasks(
+        _columnar_grid_tasks(tasks),
+        factories,
+        n_shards=n_shards,
+        executor="process",
+        storage="mmap",
+    )
+    assert_records_identical(records, grid_serial)
+
+
+def test_grid_mmap_registry_descriptors_are_spool_files(grid_tasks, grid_serial):
+    """A caller-owned mmap registry exports absolute spool paths, all deleted on close."""
+    tasks, factories = grid_tasks
+    with SharedArrayRegistry(storage="mmap") as registry:
+        records = evaluate_tasks(
+            tasks,
+            factories,
+            n_shards=3,
+            executor=SerialShardExecutor(),
+            shipment="shm",
+            registry=registry,
+        )
+        assert_records_identical(records, grid_serial)
+        names = registry.segment_names
+        assert names and all(os.path.isabs(name) for name in names)
+        assert all(os.path.exists(name) for name in names)
+        assert all(name.startswith(registry.spool_path) for name in names)
+    assert registry.closed
+    assert all(not os.path.exists(name) for name in names)
+    assert not os.path.exists(registry.spool_path)
+
+
+def test_grid_mmap_supervised_fault_recovery_matches_serial(grid_tasks, grid_serial):
+    """The chaos path over file-backed columns: recovery is still bit-identical.
+
+    One clean worker exception plus one hard crash; the supervisor retries,
+    rebuilds the pool, re-ships the spool-file descriptors, and the merged
+    records equal the serial reference exactly.
+    """
+    from repro.parallel import FaultPlan, FaultSpec, SupervisionPolicy
+
+    tasks, factories = grid_tasks
+    plan = FaultPlan(
+        (
+            FaultSpec(shard=0, position=1, mode="raise", fires=1),
+            FaultSpec(shard=1, position=0, mode="crash", fires=1),
+        )
+    )
+    records = evaluate_tasks(
+        tasks,
+        factories,
+        n_shards=3,
+        executor="supervised",
+        storage="mmap",
+        supervision=SupervisionPolicy(max_retries=2, backoff_base=0.001),
+        fault_plan=plan,
+    )
+    assert_records_identical(records, grid_serial)
+
+
+@pytest.mark.parametrize("bogus", ["disk", "file", "MMAP", "tape", ""])
+def test_unknown_storage_raises_value_error(grid_tasks, bogus):
+    """Unknown storage names fail at the single choice point, listing backends."""
+    from repro.parallel import validate_storage_name
+
+    tasks, factories = grid_tasks
+    with pytest.raises(ValueError, match="'shm', 'mmap'"):
+        validate_storage_name(bogus)
+    with pytest.raises(ValueError, match="'shm', 'mmap'"):
+        evaluate_tasks(
+            tasks, factories, n_shards=2, executor=SerialShardExecutor(), storage=bogus
+        )
+    with pytest.raises(ValueError, match="'shm', 'mmap'"):
+        ExecutionPolicy(storage=bogus)
+
+
+def test_storage_conflicts_with_caller_owned_registry(grid_tasks):
+    """storage= must agree with a caller-owned registry's backend."""
+    tasks, factories = grid_tasks
+    with SharedArrayRegistry() as registry:
+        with pytest.raises(ConfigurationError, match="storage"):
+            evaluate_tasks(
+                tasks,
+                factories,
+                n_shards=2,
+                executor=SerialShardExecutor(),
+                shipment="shm",
+                registry=registry,
+                storage="mmap",
+            )
+
+
+def test_runner_rejects_unknown_storage_before_running():
+    """--storage goes through the same choice point, before any experiment."""
+    from repro.experiments import runner
+
+    with pytest.raises(ValueError, match="'shm', 'mmap'"):
+        runner.main(["--storage", "tape", "--list"])
+
+
+@pytest.mark.parametrize("n_workers", SHARD_COUNTS)
+def test_environment_mmap_storage_is_shard_count_invariant(
+    tiny_environment, tiny_groups, n_workers
+):
+    """run_records over the mmap backend is exact for every required shard count."""
+    serial = tiny_environment.run_records(tiny_groups)
+    sharded = tiny_environment.run_records(
+        tiny_groups, n_workers=n_workers, executor="persistent", storage="mmap"
+    )
+    assert_records_identical(sharded, serial)
+    # The environment keeps one registry per storage backend; the mmap one
+    # holds absolute spool paths, never shm names.
+    registry = tiny_environment._registries.get("mmap")
+    assert registry is not None and not registry.closed
+    assert registry.storage == "mmap"
+    assert all(os.path.isabs(name) for name in registry.segment_names)
+
+
+def test_environment_average_percent_sa_mmap_matches_serial(
+    tiny_environment, tiny_groups
+):
+    """The headline statistic is exact over file-backed columns too."""
+    serial = tiny_environment.average_percent_sa(tiny_groups)
+    sharded = tiny_environment.average_percent_sa(
+        tiny_groups, n_workers=2, storage="mmap"
+    )
+    assert sharded == serial
+
+
+# -- ExecutionPolicy: one bundle for the knob sprawl --------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "knobs",
+    [
+        dict(n_workers=2),
+        dict(n_workers=3, executor="serial"),
+        dict(n_workers=2, executor="persistent"),
+        dict(n_workers=2, executor="persistent", storage="mmap"),
+        dict(n_workers=2, executor="process", shipment="pickle"),
+        dict(n_workers=2, executor="supervised"),
+    ],
+)
+def test_policy_spelling_round_trips_legacy_knobs(tiny_environment, tiny_groups, knobs):
+    """policy=ExecutionPolicy(**knobs) reproduces the loose-keyword records exactly."""
+    serial = tiny_environment.run_records(tiny_groups)
+    legacy = tiny_environment.run_records(tiny_groups, **knobs)
+    bundled = tiny_environment.run_records(tiny_groups, policy=ExecutionPolicy(**knobs))
+    assert_records_identical(bundled, legacy)
+    assert_records_identical(bundled, serial)
+
+
+def test_policy_default_is_the_serial_reference(tiny_environment, tiny_groups):
+    """An all-defaults policy selects the serial path, same as no knobs at all."""
+    assert ExecutionPolicy().is_serial
+    assert ExecutionPolicy().storage_name == "shm"
+    assert not ExecutionPolicy(n_workers=2).is_serial
+    serial = tiny_environment.run_records(tiny_groups)
+    bundled = tiny_environment.run_records(tiny_groups, policy=ExecutionPolicy())
+    assert_records_identical(bundled, serial)
+
+
+def test_policy_and_legacy_spellings_cannot_mix(tiny_environment, tiny_groups):
+    """Mixing policy= with any loose keyword raises at every entry point."""
+    from repro.experiments.scalability import SweepPoint
+
+    policy = ExecutionPolicy(n_workers=2)
+    with pytest.raises(ConfigurationError, match="not both"):
+        resolve_policy(policy, n_workers=2)
+    with pytest.raises(ConfigurationError, match="not both"):
+        resolve_policy(policy, storage="mmap")
+    with pytest.raises(ConfigurationError, match="not both"):
+        tiny_environment.run_records(tiny_groups, n_workers=2, policy=policy)
+    with pytest.raises(ConfigurationError, match="not both"):
+        tiny_environment.average_percent_sa(
+            tiny_groups, executor="persistent", policy=policy
+        )
+    with pytest.raises(ConfigurationError, match="not both"):
+        tiny_environment.run_sweep(
+            [SweepPoint(groups=tiny_groups)], storage="mmap", policy=policy
+        )
+
+
+def test_execution_policy_validates_on_construction():
+    """The bundle fails exactly where the loose knobs failed, at build time."""
+    with pytest.raises(ConfigurationError):
+        ExecutionPolicy(n_workers=0)
+    with pytest.raises(ValueError, match="'serial', 'process', 'persistent'"):
+        ExecutionPolicy(n_workers=2, executor="threads")
+    with pytest.raises(ValueError, match="shipment"):
+        ExecutionPolicy(shipment="carrier-pigeon")
+    with pytest.raises(ValueError, match="'shm', 'mmap'"):
+        ExecutionPolicy(storage="tape")
+    with pytest.raises(ConfigurationError):
+        resolve_policy("persistent")  # a bare string is not a policy
+
+
+def test_figure_drivers_accept_a_bundled_policy(tiny_environment, tiny_groups):
+    """Figure 6 under policy=(2 workers, mmap) equals its serial rendering."""
+    serial = figure6.run(environment=tiny_environment, groups=tiny_groups)
+    bundled = figure6.run(
+        environment=tiny_environment,
+        groups=tiny_groups,
+        policy=ExecutionPolicy(n_workers=2, storage="mmap"),
+    )
+    assert bundled == serial
+    with pytest.raises(ConfigurationError, match="not both"):
+        figure6.run(
+            environment=tiny_environment,
+            groups=tiny_groups,
+            n_workers=2,
+            policy=ExecutionPolicy(n_workers=2),
+        )
