@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all ci test test-fast test-parallel test-chaos test-service test-epoch test-storage test-slow serve-smoke bench bench-engine bench-record bench-record-paper bench-record-shipment bench-record-service bench-record-epoch bench-record-storage bench-all golden golden-freshness
+.PHONY: all ci test test-fast test-parallel test-chaos test-service test-epoch test-storage test-kernels test-slow serve-smoke bench bench-engine bench-record bench-record-paper bench-record-shipment bench-record-service bench-record-epoch bench-record-storage bench-record-kernel bench-all golden golden-freshness
 
 # Default: the fast equivalence suite (golden grid + property/metamorphic
 # tests) plus the perf budget gate, so access-equivalence and performance
@@ -55,6 +55,14 @@ test-epoch:
 # round-trips and the mixed-spelling error, plus the mmap epoch-swap cases.
 test-storage:
 	$(PYTHON) -m pytest tests/test_parallel_equivalence.py tests/test_shm_lifecycle.py tests/test_epoch_updates.py -q -k "storage or mmap or spool or policy"
+
+# Kernel suite: round-kernel equivalence — every registered tier (reference,
+# fused, and numba when the optional extra is installed) bit-identical to
+# the reference kernel across the golden grid, the randomized property
+# cases, the sharded/chaos/epoch tiers and the policy/service plumbing.
+# Numba-tier cases skip cleanly when the dependency is absent.
+test-kernels:
+	$(PYTHON) -m pytest tests/test_kernels.py -q
 
 # Serving smoke gate: start the service on the scaled-down substrate, fire
 # the load generator at it, and self-check — responses bit-identical to the
@@ -119,6 +127,13 @@ bench-record-epoch:
 bench-record-storage:
 	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --storage --workers $(WORKERS) $(if $(OUTPUT),--output $(OUTPUT))
 
+# Append the round-kernel point (reference vs fused — vs numba when the
+# kernels extra is installed — wall-clock and per-round timing over the
+# default end-to-end workload, serial equivalence enforced).
+# Usage: make bench-record-kernel LABEL=... [OUTPUT=path.json]
+bench-record-kernel:
+	$(PYTHON) scripts/bench_engine.py --label $(LABEL) --kernel $(if $(OUTPUT),--output $(OUTPUT))
+
 # Every paper figure/table benchmark (minutes).
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ -q
@@ -141,4 +156,4 @@ golden-freshness:
 # Everything CI runs, in CI's order — reproduce a red pipeline locally
 # without pushing.  (CI additionally fans test-fast out over Python
 # 3.10/3.11/3.12 and treats the bench budget as advisory on shared runners.)
-ci: test-fast test-parallel test-chaos test-service test-epoch test-storage serve-smoke bench golden-freshness
+ci: test-fast test-parallel test-chaos test-service test-epoch test-storage test-kernels serve-smoke bench golden-freshness

@@ -36,6 +36,12 @@ descriptor payload bytes and dispatch wall-clock per backend, with serial
 equivalence enforced before anything is written (``make
 bench-record-storage``).
 
+``--kernel`` records the round-kernel point instead: the reference tier
+versus the batched fused tier (and the njit tier when the ``kernels`` extra
+is installed) over the default end-to-end workload — wall-clock, per-round
+timing and the fused speedup, with serial equivalence enforced before
+anything is written (``make bench-record-kernel``).
+
 ``--paper-scale`` records a different point instead: the full MovieLens-1M
 substrate (6,040 users × 3,952 movies × 1,000,209 synthetic ratings) with
 every default group evaluated at every query period, serial versus the
@@ -448,6 +454,76 @@ def bench_storage(n_workers: int = 4) -> dict[str, object]:
     return record
 
 
+def bench_kernels(repeats: int = 3) -> dict[str, object]:
+    """Reference vs fused (vs numba, when installed) round-kernel wall-clock.
+
+    The workload is the default end-to-end point — the paper's 3,900-item
+    catalogue, 8 random groups of 6, AP consensus, ``k = 10``, indexes
+    pre-built — run once per registered kernel tier (best of ``repeats``).
+    Per-round timing is derived from the summed round counts, which every
+    tier must report identically.  Every tier's results are checked against
+    the reference kernel before the point is recorded — a faster kernel
+    that diverges must never land in the trajectory.  ``n_cpus`` rides
+    along: the kernels are single-threaded numpy, but BLAS thread counts
+    vary per host.
+    """
+    from repro.core.kernels import KERNEL_REFERENCE, kernel_names  # noqa: E402
+    from repro.parallel import available_cpus  # noqa: E402
+
+    env = ScalabilityEnvironment(ScalabilityConfig())
+    consensus = make_consensus(env.config.consensus)
+    indexes = env.build_default_indexes()
+
+    def equivalence_facts(results) -> list[tuple]:
+        return [
+            (
+                result.items,
+                result.sequential_accesses,
+                result.random_accesses,
+                result.rounds,
+                result.stopping,
+            )
+            for result in results
+        ]
+
+    record: dict[str, object] = {
+        "n_groups": len(indexes),
+        "n_items": env.config.n_items,
+        "k": env.config.k,
+        "consensus": env.config.consensus,
+        "n_cpus": available_cpus(),
+        "kernels": list(kernel_names()),
+    }
+    reference_facts = None
+    reference_seconds = None
+    for kernel in kernel_names():
+        algorithm = Greca(consensus, k=env.config.k, kernel=kernel)
+        best = float("inf")
+        results = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = [algorithm.run(index) for index in indexes]
+            best = min(best, time.perf_counter() - start)
+        facts = equivalence_facts(results)
+        if kernel == KERNEL_REFERENCE:
+            reference_facts = facts
+            reference_seconds = best
+        elif facts != reference_facts:
+            # The record must never hide an equivalence break.
+            raise SystemExit(f"kernel-bench {kernel!r} records diverged from reference")
+        total_rounds = sum(result.rounds for result in results)
+        record[f"{kernel}_seconds"] = round(best, 4)
+        record[f"{kernel}_rounds"] = total_rounds
+        record[f"{kernel}_seconds_per_round"] = (
+            round(best / total_rounds, 9) if total_rounds else None
+        )
+        if kernel != KERNEL_REFERENCE:
+            record[f"{kernel}_speedup"] = round(reference_seconds / best, 3) if best else None
+    record["identical"] = True
+    print(json.dumps({"kernels": record}, indent=2))
+    return record
+
+
 def bench_parallel_paper_scale(n_workers: int = 4) -> dict[str, object]:
     """Serial vs sharded evaluation over the full Table 5-scale substrate."""
     from repro.experiments.scalability import ScalabilityConfig, run_paper_scale
@@ -528,6 +604,14 @@ def main(argv: list[str] | None = None) -> int:
         "sweep) instead of the default engine sections",
     )
     parser.add_argument(
+        "--kernel",
+        action="store_true",
+        help="record the round-kernel point (reference vs fused — vs numba "
+        "when the kernels extra is installed — wall-clock and per-round "
+        "timing over the default end-to-end workload, serial equivalence "
+        "enforced) instead of the default engine sections",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         metavar="PATH",
@@ -548,6 +632,8 @@ def main(argv: list[str] | None = None) -> int:
         record["shipment"] = bench_shipment(n_workers=args.workers)
     elif args.storage:
         record["storage"] = bench_storage(n_workers=args.workers)
+    elif args.kernel:
+        record["kernels"] = bench_kernels(repeats=args.repeats)
     else:
         record.update(
             greca_end_to_end=bench_greca_end_to_end(repeats=args.repeats),

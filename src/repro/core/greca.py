@@ -72,6 +72,7 @@ from repro.core.affinity import (
 from repro.core.bounds import PairwiseAffinityBounds
 from repro.core.buffer import ColumnarCandidateBuffer
 from repro.core.consensus import ConsensusFunction
+from repro.core.kernels import make_round_state, resolve_kernel
 from repro.core.lists import (
     KIND_PERIODIC_AFFINITY,
     KIND_PREFERENCE,
@@ -188,6 +189,7 @@ class GrecaIndex:
         item_col: dict[int, int] | None = None,
         repr_rank: np.ndarray | None = None,
         item_objects: np.ndarray | None = None,
+        buffer_pool: list[ColumnarCandidateBuffer] | None = None,
     ) -> None:
         """Install the columnar substrate (optionally shared with a sibling index)."""
         self.members = members
@@ -199,6 +201,12 @@ class GrecaIndex:
         )
         self._repr_rank = repr_rank
         self._item_objects = item_objects
+        # Candidate buffers are item-universe-scoped and fully overwritten by
+        # replace_bounds, so siblings over the same substrate share one pool
+        # instead of paying the O(items) slot registration per Greca.run.
+        self._buffer_pool: list[ColumnarCandidateBuffer] = (
+            buffer_pool if buffer_pool is not None else []
+        )
         if max_apref is not None:
             self.max_apref = float(max_apref)
         else:
@@ -239,17 +247,28 @@ class GrecaIndex:
         item_col: dict[int, int] | None = None,
         repr_rank: np.ndarray | None = None,
         item_objects: np.ndarray | None = None,
+        buffer_pool: list[ColumnarCandidateBuffer] | None = None,
     ) -> "GrecaIndex":
         """Build an index directly from an existing columnar substrate.
 
-        The matrix (and the optional tie-break ranking / item-object caches)
-        are *shared*, not copied: the index never mutates them.
+        The matrix (and the optional tie-break ranking / item-object /
+        candidate-buffer caches) are *shared*, not copied: the index never
+        mutates the read-only ones, and pooled buffers are wholesale
+        overwritten before every use.
         """
         if time_model not in (TIME_MODEL_DISCRETE, TIME_MODEL_CONTINUOUS):
             raise AlgorithmError(f"unknown time model {time_model!r}")
         instance = cls.__new__(cls)
         instance._install_columns(
-            members, items, matrix, time_model, max_apref, item_col, repr_rank, item_objects
+            members,
+            items,
+            matrix,
+            time_model,
+            max_apref,
+            item_col,
+            repr_rank,
+            item_objects,
+            buffer_pool,
         )
         instance._install_affinities(static, periodic, averages)
         return instance
@@ -280,6 +299,7 @@ class GrecaIndex:
             item_col=self._item_col,
             repr_rank=self._tie_break_ranking(),
             item_objects=self._item_object_array(),
+            buffer_pool=self._buffer_pool,
         )
 
     def restrict_items(self, items: Sequence[int]) -> "GrecaIndex":
@@ -462,6 +482,22 @@ class GrecaIndex:
             objects[:] = self.items
             self._item_objects = objects
         return self._item_objects
+
+    def _acquire_buffer(self) -> ColumnarCandidateBuffer:
+        """A candidate buffer over this item universe, pooled across runs.
+
+        ``list.pop``/``append`` are atomic under the GIL, so concurrent
+        callers either share pooled buffers safely or fall back to a fresh
+        allocation — never to a buffer another run is still ranking.
+        """
+        try:
+            return self._buffer_pool.pop()
+        except IndexError:
+            return ColumnarCandidateBuffer(self.items, repr_rank=self._tie_break_ranking())
+
+    def _release_buffer(self, buffer: ColumnarCandidateBuffer) -> None:
+        """Return a buffer to the pool once its top-k has been materialised."""
+        self._buffer_pool.append(buffer)
 
     def build_lists(
         self, counter: AccessCounter
@@ -701,6 +737,13 @@ class Greca:
         conditions.  ``None`` selects an adaptive default that keeps the
         bookkeeping overhead negligible while bounding the overshoot to a
         small fraction of the lists.
+    kernel:
+        Round-kernel backend executing the advance/refresh steps —
+        ``"reference"`` (the default), ``"fused"``, or ``"numba"`` when the
+        optional dependency is installed.  Every registered kernel is
+        bit-identical to the reference tier (see :mod:`repro.core.kernels`);
+        unknown names raise :class:`ValueError` at the single choice point
+        (:func:`repro.core.kernels.validate_kernel_name`).
     """
 
     def __init__(
@@ -708,6 +751,7 @@ class Greca:
         consensus: ConsensusFunction,
         k: int = 10,
         check_interval: int | None = None,
+        kernel: str | None = None,
     ) -> None:
         if k <= 0:
             raise AlgorithmError("k must be positive")
@@ -716,6 +760,8 @@ class Greca:
         self.consensus = consensus
         self.k = k
         self.check_interval = check_interval
+        self.kernel = kernel
+        self._kernel = resolve_kernel(kernel)
 
     # -- public API ---------------------------------------------------------------------------
 
@@ -731,24 +777,22 @@ class Greca:
             periodic_lists,
             combine_batch=index.combine_batch,
         )
-        all_lists: list[SortedAccessList] = list(preference_lists) + affinity_bounds.lists
+        # Partial knowledge, maintained in place by the round kernel.
+        # apref_low holds 0 for unseen (member, item) cells and the exact
+        # score once seen; apref_high additionally carries each member's
+        # cursor score over the unseen suffix of their sort permutation,
+        # refreshed at check time.
+        state = make_round_state(
+            preference_lists, affinity_bounds, len(index.members), len(index.items)
+        )
+        kernel = self._kernel
+        all_lists: list[SortedAccessList] = state.all_lists
         total = total_entries(all_lists)
 
-        n_members = len(index.members)
-        n_items = len(index.items)
+        n_items = state.n_items
         k = min(self.k, n_items)
         check_interval = self.check_interval or self._default_check_interval(n_items)
 
-        # Partial knowledge, maintained in place.  apref_low holds 0 for
-        # unseen (member, item) cells and the exact score once seen;
-        # apref_high additionally carries each member's cursor score over the
-        # unseen suffix of their sort permutation, refreshed at check time.
-        apref_low = np.zeros((n_members, n_items))
-        apref_high = np.empty((n_members, n_items))
-        buffered = np.zeros(n_items, dtype=bool)
-        cursor_values = np.empty(n_members)
-
-        rounds = 0
         stopping = STOP_EXHAUSTED
         finished = False
         lower = np.zeros(n_items)
@@ -761,48 +805,21 @@ class Greca:
             # `block` one-entry round-robin cycles, because no check happens
             # in between either way.
             max_remaining = max(access_list.remaining for access_list in all_lists)
-            if max_remaining == 0:
-                # Unreachable: preference lists always hold >= 1 entry (empty
-                # catalogues raise in GrecaIndex) and exhaustion finishes the
-                # loop below.  Kept as a defensive guard so a broken invariant
-                # degrades into one idle round instead of an infinite loop.
-                block = 1
-            else:
-                block = min(check_interval - rounds % check_interval, max_remaining)
-            for row, preference_list in enumerate(preference_lists):
-                start = preference_list.position
-                _, scores = preference_list.sequential_block(block)
-                if scores.size:
-                    cols = preference_list.key_index[start : start + scores.size]
-                    apref_low[row, cols] = scores
-                    apref_high[row, cols] = scores
-                    buffered[cols] = True
-            affinity_bounds.advance(block)
-            rounds += block
+            block = self._round_block(max_remaining, state.rounds, check_interval)
+            kernel.advance(state, block)
             exhausted = max_remaining <= block
 
-            # Bound maintenance: only pairs whose lists moved are recombined,
-            # and only the unseen suffix of each member row is rewritten.
-            aff_low, aff_high = affinity_bounds.bounds()
-            for row, preference_list in enumerate(preference_lists):
-                cursor = preference_list.cursor_score
-                cursor_values[row] = cursor
-                position = preference_list.position
-                if position < n_items:
-                    apref_high[row, preference_list.key_index[position:]] = cursor
-            pref_low = apref_low + aff_low @ apref_low
-            pref_high = apref_high + aff_high @ apref_high
+            pref_low, pref_high = kernel.refresh_bounds(state)
             lower, upper = consensus_bounds(self.consensus, pref_low, pref_high, index.scale)
 
-            # Global threshold: the best score a completely unseen item could reach.
-            virtual_low = np.zeros((n_members, 1))
-            virtual_high = (cursor_values + aff_high @ cursor_values)[:, None]
+            # Global threshold: the best score a completely unseen item could
+            # reach (the kernel filled the reusable virtual_* columns).
             _, threshold_arr = consensus_bounds(
-                self.consensus, virtual_low, virtual_high, index.scale
+                self.consensus, state.virtual_low, state.virtual_high, index.scale
             )
             threshold = float(threshold_arr[0])
 
-            decision = self._check_stop(lower, upper, threshold, buffered, k, exhausted)
+            decision = self._check_stop(lower, upper, threshold, state.buffered, k, exhausted)
             if decision is not None:
                 stopping = decision
                 finished = True
@@ -810,9 +827,12 @@ class Greca:
                 stopping = STOP_EXHAUSTED
                 finished = True
 
-        buffer = ColumnarCandidateBuffer(index.items, repr_rank=index._tie_break_ranking())
-        buffer.replace_bounds(lower, upper, buffered)
-        top = buffer.top_k(k) if buffered.any() else []
+        buffer = index._acquire_buffer()
+        try:
+            buffer.replace_bounds(lower, upper, state.buffered)
+            top = buffer.top_k(k) if state.buffered.any() else []
+        finally:
+            index._release_buffer(buffer)
         top_items = tuple(entry.item for entry in top)
         exact = index.exact_scores_for(top_items, self.consensus)
         return GrecaResult(
@@ -822,13 +842,24 @@ class Greca:
             sequential_accesses=counter.sequential,
             random_accesses=counter.random,
             total_entries=total,
-            rounds=rounds,
+            rounds=state.rounds,
             stopping=stopping,
             consensus=self.consensus.name,
             k=k,
         )
 
     # -- internals ------------------------------------------------------------------------------
+
+    @staticmethod
+    def _round_block(max_remaining: int, rounds: int, check_interval: int) -> int:
+        """Rounds to advance before the next stopping-condition check."""
+        if max_remaining == 0:
+            # Unreachable: preference lists always hold >= 1 entry (empty
+            # catalogues raise in GrecaIndex) and exhaustion finishes the
+            # loop.  Kept as a defensive guard so a broken invariant
+            # degrades into one idle round instead of an infinite loop.
+            return 1
+        return min(check_interval - rounds % check_interval, max_remaining)
 
     @staticmethod
     def _default_check_interval(n_items: int) -> int:

@@ -29,6 +29,11 @@ Usage::
                                                        # but the column store spools
                                                        # to memory-mapped files
                                                        # instead of /dev/shm
+    python -m repro.experiments.runner --kernel fused  # same bit-identical results
+                                                       # on the batched numpy round
+                                                       # kernel (``numba`` opts into
+                                                       # the njit tier when the
+                                                       # kernels extra is installed)
 
 Each experiment prints the same rows/series the paper reports (with the
 paper's own values alongside where they are known).  Quality experiments
@@ -57,9 +62,11 @@ from repro.parallel import (
     ExecutionPolicy,
     SupervisionPolicy,
     executor_names,
+    kernel_names,
     resolve_policy,
     summarise_reports,
     validate_executor_name,
+    validate_kernel_name,
     validate_storage_name,
 )
 from repro.study.environment import build_study_environment
@@ -85,6 +92,7 @@ def run_all(
     executor: str | None = None,
     supervision: SupervisionPolicy | None = None,
     storage: str | None = None,
+    kernel: str | None = None,
     policy: ExecutionPolicy | None = None,
 ) -> dict[str, object]:
     """Run the selected experiments (all of them by default) and print their tables.
@@ -99,15 +107,18 @@ def run_all(
     fault-tolerant dispatch on top of that warm pool and prints a recovery
     summary at the end).  ``supervision`` overrides the supervised policy
     (timeouts, retry budget).  ``storage`` picks the column-store backend
-    (``shm`` shared memory or ``mmap`` spool files).  All of these can
-    arrive bundled as one :class:`~repro.parallel.ExecutionPolicy` via
-    ``policy=`` instead — mixing the two spellings raises at the
+    (``shm`` shared memory or ``mmap`` spool files).  ``kernel`` picks the
+    GRECA round-kernel tier every evaluation runs on (``reference``,
+    ``fused`` or, when the kernels extra is installed, ``numba`` — all
+    bit-identical).  All of these can arrive bundled as one
+    :class:`~repro.parallel.ExecutionPolicy` via ``policy=`` instead —
+    mixing the two spellings raises at the
     :func:`~repro.parallel.resolve_policy` choice point, and unknown
-    executor or storage names raise :class:`ValueError` before anything
-    runs.
+    executor, storage or kernel names raise :class:`ValueError` before
+    anything runs.
     """
     policy = resolve_policy(
-        policy, n_workers=n_workers, executor=executor, storage=storage
+        policy, n_workers=n_workers, executor=executor, storage=storage, kernel=kernel
     )
     selected = list(names) if names else list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
@@ -205,6 +216,16 @@ def main(argv: list[str] | None = None) -> int:
         "unknown names raise ValueError at the single storage choice point",
     )
     parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="NAME",
+        help="GRECA round-kernel tier every evaluation runs on: one of "
+        + ", ".join(kernel_names())
+        + " (default: reference; all tiers are bit-identical — the same "
+        "axis ExecutionPolicy(kernel=...) bundles programmatically; unknown "
+        "names raise ValueError at the single kernel choice point)",
+    )
+    parser.add_argument(
         "--serve",
         action="store_true",
         help="serving smoke: start the GrecaService front-end over the default "
@@ -246,12 +267,18 @@ def main(argv: list[str] | None = None) -> int:
             forwarded += ["--executor", args.executor]
         if args.storage is not None:
             forwarded += ["--storage", args.storage]
+        if args.kernel is not None:
+            forwarded += ["--kernel", args.kernel]
         return service_main(forwarded)
     if args.storage is not None:
         # The single storage choice point (repro.parallel.storage
         # .validate_storage_name): unknown backends fail here, not deep
         # inside an export.
         validate_storage_name(args.storage)
+    if args.kernel is not None:
+        # The single kernel choice point (repro.core.kernels
+        # .validate_kernel_name): unknown tiers fail here, not mid-run.
+        validate_kernel_name(args.kernel)
     if args.executor is not None:
         # The single choice point (repro.parallel.pool.validate_executor_name):
         # unknown backends fail here, not deep inside evaluate_tasks.
@@ -282,7 +309,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.scalability import run_quick_smoke
 
         result = run_quick_smoke(
-            n_workers=args.workers, executor=args.executor, storage=args.storage
+            n_workers=args.workers,
+            executor=args.executor,
+            storage=args.storage,
+            kernel=args.kernel,
         )
         print(result.format_summary())
         return 0 if result.within_budget else 1
@@ -292,6 +322,7 @@ def main(argv: list[str] | None = None) -> int:
         executor=args.executor,
         supervision=supervision,
         storage=args.storage,
+        kernel=args.kernel,
     )
     return 0
 

@@ -39,7 +39,11 @@ keywords at the single :func:`~repro.parallel.resolve_policy` choice point
 (mixing the two spellings raises).  The policy's ``storage`` axis selects
 which column-store backend the environment's registry exports into
 (``"shm"`` shared memory or ``"mmap"`` spool files); the environment keeps
-one registry per backend so both can serve dispatches side by side.
+one registry per backend so both can serve dispatches side by side.  The
+``kernel`` axis selects the GRECA round-kernel tier
+(:mod:`repro.core.kernels`) every run — serial or worker-side — executes
+on; all registered kernels are bit-identical, so it is purely a
+performance knob.
 """
 
 from __future__ import annotations
@@ -47,7 +51,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from statistics import mean, stdev
 from typing import Iterator, Sequence
 
@@ -677,11 +681,12 @@ class ScalabilityEnvironment:
         affinity: str = "discrete",
         period: Period | None = None,
         n_items: int | None = None,
+        kernel: str | None = None,
     ) -> float:
         """%SA of one GRECA run for one group (index built through the reuse layer)."""
         consensus_fn = self._consensus_fn(consensus)
         index = self.cached_index(group, period=period, affinity=affinity, n_items=n_items)
-        result = Greca(consensus_fn, k=k or self.config.k).run(index)
+        result = Greca(consensus_fn, k=k or self.config.k, kernel=kernel).run(index)
         return result.percent_sequential_accesses
 
     def task_for(
@@ -693,6 +698,7 @@ class ScalabilityEnvironment:
         period: Period | None = None,
         n_items: int | None = None,
         columnar: bool = True,
+        kernel: str | None = None,
     ) -> GroupEvalTask:
         """Materialise one sweep point as a shippable :class:`GroupEvalTask`.
 
@@ -720,6 +726,7 @@ class ScalabilityEnvironment:
             k=int(k or self.config.k),
             consensus=self._consensus_fn(consensus),
             items=items,
+            kernel=kernel,
         )
         if columnar:
             columns, time_model = self.affinity_columns(group, affinity)
@@ -760,6 +767,7 @@ class ScalabilityEnvironment:
         fault_plan: FaultPlan | None = None,
         shipment: str | None = None,
         storage: str | None = None,
+        kernel: str | None = None,
         policy: ExecutionPolicy | None = None,
     ) -> list[GroupRunRecord]:
         """Evaluate materialised tasks, serially or through the sharded layer.
@@ -786,6 +794,9 @@ class ScalabilityEnvironment:
         ``storage=`` selects the column-store backend descriptor shipment
         exports into (``"shm"`` shared memory — the default — or ``"mmap"``
         spool files); the environment keeps one registry per backend.
+        ``kernel=`` selects the round-kernel tier every run executes on; a
+        policy kernel is stamped onto tasks that do not already carry their
+        own, so serial runs and warm-pool workers honour it alike.
 
         All dispatch knobs can arrive bundled as ``policy=``
         (:class:`~repro.parallel.ExecutionPolicy`); mixing ``policy=`` with
@@ -800,7 +811,16 @@ class ScalabilityEnvironment:
             shipment=shipment,
             supervision=supervision,
             storage=storage,
+            kernel=kernel,
         )
+        if policy.kernel is not None:
+            # The policy's kernel travels inside each task (that is what warm
+            # persistent-pool workers read); tasks carrying an explicit
+            # kernel of their own keep it.
+            tasks = [
+                task if task.kernel is not None else replace(task, kernel=policy.kernel)
+                for task in tasks
+            ]
         if policy.is_serial:
             from repro.parallel.worker import run_task
 
@@ -851,6 +871,7 @@ class ScalabilityEnvironment:
         fault_plan: FaultPlan | None = None,
         shipment: str | None = None,
         storage: str | None = None,
+        kernel: str | None = None,
         policy: ExecutionPolicy | None = None,
     ) -> list[GroupRunRecord]:
         """One GRECA run record per group, in group order.
@@ -869,6 +890,7 @@ class ScalabilityEnvironment:
             shipment=shipment,
             supervision=supervision,
             storage=storage,
+            kernel=kernel,
         )
         if policy.is_serial:
             consensus_fn = self._consensus_fn(consensus)
@@ -877,7 +899,9 @@ class ScalabilityEnvironment:
                 index = self.cached_index(
                     group, period=period, affinity=affinity, n_items=n_items
                 )
-                result = Greca(consensus_fn, k=k or self.config.k).run(index)
+                result = Greca(
+                    consensus_fn, k=k or self.config.k, kernel=policy.kernel
+                ).run(index)
                 records.append(record_from_result(group_key(group), result))
             return records
         tasks = [
@@ -903,6 +927,7 @@ class ScalabilityEnvironment:
         fault_plan: FaultPlan | None = None,
         shipment: str | None = None,
         storage: str | None = None,
+        kernel: str | None = None,
         policy: ExecutionPolicy | None = None,
     ) -> list[list[GroupRunRecord]]:
         """Evaluate many sweep points; one record list per point, in point order.
@@ -926,6 +951,7 @@ class ScalabilityEnvironment:
             shipment=shipment,
             supervision=supervision,
             storage=storage,
+            kernel=kernel,
         )
         if policy.is_serial:
             return [
@@ -936,6 +962,7 @@ class ScalabilityEnvironment:
                     affinity=point.affinity,
                     period=point.period,
                     n_items=point.n_items,
+                    kernel=policy.kernel,
                 )
                 for point in points
             ]
@@ -974,6 +1001,7 @@ class ScalabilityEnvironment:
         n_workers: int | None = None,
         executor: ShardExecutor | str | None = None,
         storage: str | None = None,
+        kernel: str | None = None,
         policy: ExecutionPolicy | None = None,
     ) -> AccessStats:
         """Average %SA over a collection of groups (one GRECA run each).
@@ -991,7 +1019,11 @@ class ScalabilityEnvironment:
             period=period,
             n_items=n_items,
             policy=resolve_policy(
-                policy, n_workers=n_workers, executor=executor, storage=storage
+                policy,
+                n_workers=n_workers,
+                executor=executor,
+                storage=storage,
+                kernel=kernel,
             ),
         )
         return summarize_percent_sa([record.percent_sa for record in records])
@@ -1073,6 +1105,7 @@ def run_quick_smoke(
     n_workers: int | None = None,
     executor: ShardExecutor | str | None = None,
     storage: str | None = None,
+    kernel: str | None = None,
     policy: ExecutionPolicy | None = None,
 ) -> QuickSmokeResult:
     """Run one default scalability point under a wall-clock budget.
@@ -1092,7 +1125,7 @@ def run_quick_smoke(
     """
     start = time.perf_counter()
     policy = resolve_policy(
-        policy, n_workers=n_workers, executor=executor, storage=storage
+        policy, n_workers=n_workers, executor=executor, storage=storage, kernel=kernel
     )
     environment = ScalabilityEnvironment(config)
     try:
@@ -1130,7 +1163,10 @@ def _run_quick_smoke(
         # phase is exactly what BENCH_engine.json tracks (list build +
         # algorithm + result).
         start = time.perf_counter()
-        results = [Greca(consensus, k=environment.config.k).run(index) for index in indexes]
+        results = [
+            Greca(consensus, k=environment.config.k, kernel=policy.kernel).run(index)
+            for index in indexes
+        ]
         measure_seconds = time.perf_counter() - start
         values = [result.percent_sequential_accesses for result in results]
     else:
@@ -1206,6 +1242,7 @@ def run_paper_scale(
     config: ScalabilityConfig | None = None,
     environment: ScalabilityEnvironment | None = None,
     storage: str | None = None,
+    kernel: str | None = None,
 ) -> PaperScaleResult:
     """Run the full MovieLens-1M-scale substrate through the sharded path.
 
@@ -1221,7 +1258,7 @@ def run_paper_scale(
     if environment is None:
         environment = ScalabilityEnvironment(config or ScalabilityConfig.paper_scale())
     try:
-        return _run_paper_scale(environment, start, n_workers, executor, storage)
+        return _run_paper_scale(environment, start, n_workers, executor, storage, kernel)
     finally:
         if owns_environment:
             environment.close()
@@ -1233,6 +1270,7 @@ def _run_paper_scale(
     n_workers: int,
     executor: ShardExecutor | str | None,
     storage: str | None = None,
+    kernel: str | None = None,
 ) -> PaperScaleResult:
     groups = environment.random_groups()
     periods = list(environment.timeline)
@@ -1247,12 +1285,12 @@ def _run_paper_scale(
     setup_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    serial_records = environment.evaluate(tasks)
+    serial_records = environment.evaluate(tasks, kernel=kernel)
     serial_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     sharded_records = environment.evaluate(
-        tasks, n_workers=n_workers, executor=executor, storage=storage
+        tasks, n_workers=n_workers, executor=executor, storage=storage, kernel=kernel
     )
     sharded_seconds = time.perf_counter() - start
 

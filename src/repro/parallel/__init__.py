@@ -34,9 +34,12 @@ keeping the serial semantics bit-exact:
   spilled to automatically past a configurable shm budget;
 * :mod:`repro.parallel.policy` — :class:`ExecutionPolicy`, the one frozen
   bundle of every dispatch knob (``n_workers`` / ``executor`` /
-  ``shipment`` / ``supervision`` / ``columnar`` / ``storage``), resolved
-  against the legacy keyword spellings at a single choice point
-  (:func:`resolve_policy`).
+  ``shipment`` / ``supervision`` / ``columnar`` / ``storage`` /
+  ``kernel``), resolved against the legacy keyword spellings at a single
+  choice point (:func:`resolve_policy`).  The ``kernel`` knob selects the
+  GRECA round-kernel tier (:mod:`repro.core.kernels`) each worker runs;
+  :func:`repro.core.kernels.validate_kernel_name` is re-exported here
+  beside its executor/storage siblings.
 
 Serial execution remains the reference semantics everywhere: the sharded
 path must (and, per ``tests/test_parallel_equivalence.py``, does) reproduce
@@ -45,6 +48,13 @@ reasons — bit-for-bit for every shard count, every partition, every backend
 and both shipment modes.
 """
 
+from repro.core.kernels import (
+    KERNEL_FUSED,
+    KERNEL_NUMBA,
+    KERNEL_REFERENCE,
+    kernel_names,
+    validate_kernel_name,
+)
 from repro.parallel.evaluation import build_payloads, evaluate_tasks
 from repro.parallel.merge import merge_shard_records
 from repro.parallel.pool import (
@@ -119,6 +129,9 @@ __all__ = [
     "FaultSpec",
     "GroupEvalTask",
     "GroupRunRecord",
+    "KERNEL_FUSED",
+    "KERNEL_NUMBA",
+    "KERNEL_REFERENCE",
     "MappedFileSegment",
     "PersistentPool",
     "PersistentShardExecutor",
@@ -141,6 +154,7 @@ __all__ = [
     "SupervisionPolicy",
     "VALID_EXECUTORS",
     "VALID_FAULT_MODES",
+    "VALID_KERNELS",
     "VALID_SHIPMENTS",
     "VALID_STORAGES",
     "attach_array",
@@ -150,6 +164,7 @@ __all__ = [
     "executor_names",
     "fault_plan_from_env",
     "group_key",
+    "kernel_names",
     "materialise_affinity",
     "materialise_factory",
     "merge_shard_records",
@@ -163,14 +178,17 @@ __all__ = [
     "run_task",
     "summarise_reports",
     "validate_executor_name",
+    "validate_kernel_name",
     "validate_storage_name",
 ]
 
 
 def __getattr__(name: str):
-    # ``VALID_EXECUTORS`` is registry-derived now; resolving it lazily means
-    # it always reflects every registered backend, including ones registered
-    # after this package was imported.
+    # ``VALID_EXECUTORS``/``VALID_KERNELS`` are registry-derived; resolving
+    # them lazily means they always reflect every registered backend,
+    # including ones registered after this package was imported.
     if name == "VALID_EXECUTORS":
         return executor_names()
+    if name == "VALID_KERNELS":
+        return kernel_names()
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -2,7 +2,8 @@
 
 Eight PRs grew the parallel layer one keyword at a time: ``n_workers=`` /
 ``executor=`` (PR 3), ``shipment=`` (PR 4), ``columnar=`` (PR 5),
-``supervision=`` (PR 6) and now ``storage=`` (PR 9).  Every entry point —
+``supervision=`` (PR 6), ``storage=`` (PR 9) and now ``kernel=``
+(PR 10).  Every entry point —
 ``ScalabilityEnvironment.evaluate`` / ``run_records`` / ``run_sweep`` /
 ``average_percent_sa``, the figure drivers, the runner and
 ``ServiceConfig`` — threads the same bundle, so this module collapses it
@@ -10,7 +11,8 @@ into a single frozen dataclass with one validation/resolution choice point:
 
 * :class:`ExecutionPolicy` — the bundle, validated on construction through
   the same registries the loose knobs used (``pool.validate_executor_name``,
-  ``shm.VALID_SHIPMENTS``, ``storage.validate_storage_name``).
+  ``shm.VALID_SHIPMENTS``, ``storage.validate_storage_name``,
+  ``kernels.validate_kernel_name``).
 * :func:`resolve_policy` — the back-compat shim every entry point calls:
   legacy keywords still work exactly as before, ``policy=`` supersedes
   them, and *mixing the two spellings is an error* (silently preferring one
@@ -25,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.kernels import KERNEL_REFERENCE, validate_kernel_name
 from repro.exceptions import ConfigurationError
 from repro.parallel.pool import ShardExecutor, validate_executor_name
 from repro.parallel.resilience import SupervisionPolicy
@@ -40,7 +43,9 @@ class ExecutionPolicy:
     and no executor mean the serial reference path, ``shipment=None``
     defaults per backend (descriptor shipment when the backend ships
     payloads to other processes), ``storage=None`` means shared memory,
-    ``supervision=None`` means whatever the executor itself provides.
+    ``supervision=None`` means whatever the executor itself provides, and
+    ``kernel=None`` means the reference round kernel (every registered
+    kernel is bit-identical, so this is a pure performance knob).
     ``columnar`` selects descriptor-ready affinity columns when tasks are
     materialised (the PR 5 default).
     """
@@ -51,6 +56,7 @@ class ExecutionPolicy:
     supervision: SupervisionPolicy | bool | None = None
     columnar: bool = True
     storage: str | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_workers is not None and self.n_workers < 1:
@@ -71,6 +77,8 @@ class ExecutionPolicy:
             )
         if self.storage is not None:
             validate_storage_name(self.storage)
+        if self.kernel is not None:
+            validate_kernel_name(self.kernel)
         if self.supervision is not None and not isinstance(
             self.supervision, (SupervisionPolicy, bool)
         ):
@@ -89,6 +97,11 @@ class ExecutionPolicy:
         """The effective storage backend (default: shared memory)."""
         return self.storage or STORAGE_SHM
 
+    @property
+    def kernel_name(self) -> str:
+        """The effective round kernel (default: the reference tier)."""
+        return self.kernel or KERNEL_REFERENCE
+
 
 def resolve_policy(
     policy: ExecutionPolicy | None = None,
@@ -99,6 +112,7 @@ def resolve_policy(
     supervision: SupervisionPolicy | bool | None = None,
     columnar: bool | None = None,
     storage: str | None = None,
+    kernel: str | None = None,
 ) -> ExecutionPolicy:
     """The single resolution choice point behind every ``policy=`` entry point.
 
@@ -116,6 +130,7 @@ def resolve_policy(
             ("supervision", supervision),
             ("columnar", columnar),
             ("storage", storage),
+            ("kernel", kernel),
         )
         if value is not None
     }
@@ -137,4 +152,5 @@ def resolve_policy(
         supervision=supervision,
         columnar=True if columnar is None else columnar,
         storage=storage,
+        kernel=kernel,
     )

@@ -61,7 +61,10 @@ class GroupEvalTask:
       so both paths build bit-identical indexes.
 
     ``items`` optionally restricts the candidate universe (``None`` means
-    the factory's full catalogue).
+    the factory's full catalogue).  ``kernel`` selects the round-kernel
+    backend the worker-side :class:`~repro.core.greca.Greca` runs on
+    (``None`` means the reference tier); it travels with the task so warm
+    persistent-pool workers honour the caller's policy on every dispatch.
     """
 
     group: GroupKey
@@ -75,6 +78,7 @@ class GroupEvalTask:
     check_interval: int | None = None
     affinity_ref: object | None = None
     n_periods: int | None = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.affinity_ref is not None and (self.static or self.periodic or self.averages):
@@ -195,7 +199,9 @@ def build_task_index(task: GroupEvalTask, factory: GrecaIndexFactory) -> GrecaIn
 def run_task(task: GroupEvalTask, factory: GrecaIndexFactory) -> GroupRunRecord:
     """Evaluate one task against its group's factory (worker-side)."""
     index = build_task_index(task, factory)
-    algorithm = Greca(task.consensus, k=task.k, check_interval=task.check_interval)
+    algorithm = Greca(
+        task.consensus, k=task.k, check_interval=task.check_interval, kernel=task.kernel
+    )
     return record_from_result(task.group, algorithm.run(index))
 
 
@@ -279,6 +285,8 @@ def run_shard(payload: ShardPayload) -> tuple[GroupRunRecord, ...]:
                 shm.store_index(stable_key, index)
             elif local_key is not None:
                 local_indexes[local_key] = index
-        algorithm = Greca(task.consensus, k=task.k, check_interval=task.check_interval)
+        algorithm = Greca(
+            task.consensus, k=task.k, check_interval=task.check_interval, kernel=task.kernel
+        )
         records.append(record_from_result(task.group, algorithm.run(index)))
     return tuple(records)

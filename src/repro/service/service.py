@@ -51,6 +51,7 @@ from repro.parallel import (
     group_key,
     run_task,
     validate_executor_name,
+    validate_kernel_name,
     validate_storage_name,
 )
 
@@ -74,11 +75,14 @@ class ServiceConfig:
     without bound.
 
     ``storage`` selects the column-store backend dispatches export into
-    (``"shm"`` shared memory — the default — or ``"mmap"`` spool files).
-    The execution knobs can instead arrive bundled as ``policy=`` (an
-    :class:`~repro.parallel.ExecutionPolicy`); combining ``policy=`` with a
-    non-default ``n_workers`` / ``executor`` / ``storage`` raises, mirroring
-    the :func:`~repro.parallel.resolve_policy` mixing rule.
+    (``"shm"`` shared memory — the default — or ``"mmap"`` spool files);
+    ``kernel`` selects the GRECA round-kernel tier every batch's runs
+    execute on (``None`` = the reference tier; all registered kernels are
+    bit-identical).  The execution knobs can instead arrive bundled as
+    ``policy=`` (an :class:`~repro.parallel.ExecutionPolicy`); combining
+    ``policy=`` with a non-default ``n_workers`` / ``executor`` /
+    ``storage`` / ``kernel`` raises, mirroring the
+    :func:`~repro.parallel.resolve_policy` mixing rule.
     """
 
     n_workers: int = 2
@@ -87,6 +91,7 @@ class ServiceConfig:
     max_batch_delay: float = 0.005
     max_queue: int = 1024
     storage: str | None = None
+    kernel: str | None = None
     policy: ExecutionPolicy | None = None
 
     def __post_init__(self) -> None:
@@ -101,6 +106,7 @@ class ServiceConfig:
                     ("n_workers", self.n_workers, 2),
                     ("executor", self.executor, EXECUTOR_SUPERVISED),
                     ("storage", self.storage, None),
+                    ("kernel", self.kernel, None),
                 )
                 if value != default
             ]
@@ -113,6 +119,8 @@ class ServiceConfig:
             validate_executor_name(self.executor)
         if self.storage is not None:
             validate_storage_name(self.storage)
+        if self.kernel is not None:
+            validate_kernel_name(self.kernel)
         if self.n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
         if self.max_batch_size < 1:
@@ -133,9 +141,12 @@ class ServiceConfig:
         if self.policy is not None:
             return self.policy
         if self.executor is None:
-            return ExecutionPolicy(storage=self.storage)
+            return ExecutionPolicy(storage=self.storage, kernel=self.kernel)
         return ExecutionPolicy(
-            n_workers=self.n_workers, executor=self.executor, storage=self.storage
+            n_workers=self.n_workers,
+            executor=self.executor,
+            storage=self.storage,
+            kernel=self.kernel,
         )
 
 
